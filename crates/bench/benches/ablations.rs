@@ -1,0 +1,51 @@
+//! Ablation benches: regenerate the design-choice studies of DESIGN.md on
+//! the smoke grid under `cargo bench`, printing the resulting tables so the
+//! bench log doubles as an ablation report.
+
+use cluster_harness::ablations::{
+    ablation_cache_size, ablation_clean_first, ablation_fabric, ablation_harvester,
+    ablation_lru, ablation_sync_write, ablation_write_policy,
+};
+use cluster_harness::figures::Grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn grid() -> Grid {
+    Grid::smoke()
+}
+
+macro_rules! ablation_bench {
+    ($fn_name:ident, $driver:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut printed = false;
+            c.bench_function(stringify!($driver), |b| {
+                b.iter(|| {
+                    let fig = $driver(&grid());
+                    if !printed {
+                        println!("\n{}", fig.to_markdown());
+                        printed = true;
+                    }
+                    fig
+                })
+            });
+        }
+    };
+}
+
+ablation_bench!(bench_write_policy, ablation_write_policy);
+ablation_bench!(bench_lru, ablation_lru);
+ablation_bench!(bench_clean_first, ablation_clean_first);
+ablation_bench!(bench_fabric, ablation_fabric);
+ablation_bench!(bench_sync_write, ablation_sync_write);
+ablation_bench!(bench_harvester, ablation_harvester);
+ablation_bench!(bench_cache_size, ablation_cache_size);
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_write_policy, bench_lru, bench_clean_first, bench_fabric,
+              bench_sync_write, bench_harvester, bench_cache_size
+}
+criterion_main!(benches);

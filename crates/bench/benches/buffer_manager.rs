@@ -1,0 +1,128 @@
+//! Component benches for the buffer manager — including the paper's
+//! central implementation argument: approximate (clock) LRU keeps the
+//! per-access cost low, where exact LRU "can result in a significant
+//! overhead at each read/write invocation".
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use kcache::{BlockKey, BufferManager, EvictPolicy, Span};
+use pvfs::Fid;
+use sim_net::NodeId;
+use std::sync::Arc;
+
+fn key(b: u64) -> BlockKey {
+    BlockKey::new(Fid(1), b)
+}
+
+fn filled_manager(policy: EvictPolicy, cap: usize) -> BufferManager {
+    let m = BufferManager::new(cap, policy);
+    let buf = vec![0xABu8; 4096];
+    for b in 0..cap as u64 {
+        m.insert_clean(key(b), NodeId(0), Span::FULL, &buf);
+    }
+    m
+}
+
+/// Hit path: the per-access bookkeeping cost the paper worries about.
+fn bench_hit_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hit_path");
+    g.throughput(Throughput::Elements(1));
+    for (name, policy) in [
+        ("clock_approx_lru", EvictPolicy { exact: false, clean_first: true }),
+        ("exact_lru", EvictPolicy { exact: true, clean_first: true }),
+    ] {
+        let m = filled_manager(policy, 300);
+        let mut out = vec![0u8; 4096];
+        let mut i = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                i = (i + 7) % 300;
+                assert!(m.try_read(key(i), Span::FULL, &mut out));
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Miss + insert + eviction churn.
+fn bench_insert_evict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("insert_evict");
+    g.throughput(Throughput::Elements(1));
+    for (name, policy) in [
+        ("clock_approx_lru", EvictPolicy { exact: false, clean_first: true }),
+        ("exact_lru", EvictPolicy { exact: true, clean_first: true }),
+    ] {
+        let m = filled_manager(policy, 300);
+        let buf = vec![0xCDu8; 4096];
+        let mut next = 300u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                next += 1;
+                m.insert_clean(key(next), NodeId(0), Span::FULL, &buf);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Write-behind absorb path (copy + dirty-list linkage).
+fn bench_write_absorb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_absorb");
+    g.throughput(Throughput::Bytes(4096));
+    let buf = vec![0xEFu8; 4096];
+    g.bench_function("absorb_then_flush_cycle", |b| {
+        b.iter_batched(
+            || BufferManager::new(300, EvictPolicy::default()),
+            |m| {
+                for blk in 0..128u64 {
+                    let _ = m.write(key(blk), NodeId(0), Span::FULL, &buf);
+                }
+                let items = m.take_dirty(128);
+                for it in &items {
+                    m.flush_complete(it.key, it.span);
+                }
+                items.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Multi-threaded contention: the fine-grained-locking claim (§3.2).
+fn bench_concurrent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concurrent_access");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_function(format!("{}_threads", threads), |b| {
+            b.iter_batched(
+                || Arc::new(filled_manager(EvictPolicy::default(), 1024)),
+                |m| {
+                    crossbeam::scope(|s| {
+                        for t in 0..threads {
+                            let m = Arc::clone(&m);
+                            s.spawn(move |_| {
+                                let mut out = vec![0u8; 4096];
+                                for i in 0..2000u64 {
+                                    let k = key((i * 13 + t as u64 * 97) % 1024);
+                                    let _ = m.try_read(k, Span::FULL, &mut out);
+                                }
+                            });
+                        }
+                    })
+                    .unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_hit_path, bench_insert_evict, bench_write_absorb, bench_concurrent
+}
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Substrate microbenches: striping arithmetic, the DES engine, the
+//! network fabric and the disk model — how fast the simulator itself runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pvfs::{split_ranges, ByteRange, StripeSpec};
+use sim_core::{Actor, Ctx, Dur, Engine, Msg};
+use sim_net::{Deliver, Fabric, NetConfig, NetMessage, NodeId, Port, Xmit};
+
+fn bench_striping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("striping");
+    let spec = StripeSpec { unit: 65536, n_iods: 6, base: 2 };
+    for (name, range) in [
+        ("small_one_iod", ByteRange::new(12_345, 4096)),
+        ("one_mb_all_iods", ByteRange::new(999, 1 << 20)),
+    ] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(name, |b| b.iter(|| split_ranges(&spec, std::hint::black_box(range))));
+    }
+    g.finish();
+}
+
+struct PingPong {
+    peer: usize,
+    left: u32,
+}
+struct Ball;
+impl Actor for PingPong {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.schedule_in(Dur::micros(1), self.peer, Ball);
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_engine");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("ping_pong_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut eng = Engine::new(0);
+                let a = eng.reserve_actor();
+                let p2 = eng.add_actor(Box::new(PingPong { peer: a, left: 50_000 }));
+                eng.install(a, Box::new(PingPong { peer: p2, left: 50_000 }));
+                eng.post(Dur::ZERO, a, Ball);
+                eng
+            },
+            |mut eng| eng.run(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+struct Sink;
+impl Actor for Sink {
+    fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
+        let _ = msg.is::<Deliver>();
+    }
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("hub_1mb_transfer", |b| {
+        b.iter_batched(
+            || {
+                let mut eng = Engine::new(0);
+                let sinks: Vec<_> = (0..2).map(|_| eng.add_actor(Box::new(Sink))).collect();
+                let fabric =
+                    eng.add_actor(Box::new(Fabric::new(NetConfig::hub_100mbps(), sinks)));
+                let m = NetMessage::new(
+                    (NodeId(0), Port(1)),
+                    (NodeId(1), Port(2)),
+                    1 << 20,
+                    0,
+                    (),
+                );
+                eng.post(Dur::ZERO, fabric, Xmit(m));
+                eng
+            },
+            |mut eng| eng.run(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_disk(c: &mut Criterion) {
+    use sim_disk::{Disk, DiskGeometry, DiskOp, DiskRequest, DiskSched};
+    let mut g = c.benchmark_group("disk");
+    g.throughput(Throughput::Elements(256));
+    for (name, sched) in [("fifo_256_random", DiskSched::Fifo), ("clook_256_random", DiskSched::CLook)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut eng = Engine::new(0);
+                    let sink = eng.add_actor(Box::new(Sink));
+                    let disk =
+                        eng.add_actor(Box::new(Disk::new(DiskGeometry::maxtor_20gb(), sched)));
+                    let mut x = 0x9E3779B9u64;
+                    for i in 0..256u64 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        eng.post(
+                            Dur::ZERO,
+                            disk,
+                            DiskRequest {
+                                op: DiskOp::Read,
+                                pblk: x % 5_000_000,
+                                blocks: 8,
+                                reply_to: sink,
+                                token: i,
+                            },
+                        );
+                    }
+                    eng
+                },
+                |mut eng| eng.run(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_striping, bench_engine, bench_fabric, bench_disk
+}
+criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! Ablations of the paper's design decisions (§3.2), each regenerable as a
+//! figure-style table.
+
+use crate::builder::ClusterSpec;
+use crate::experiment::run_experiment;
+use crate::figures::Grid;
+use crate::report::FigureData;
+use crate::sweep::parallel_map;
+use kcache::{CacheConfig, EvictPolicy};
+use sim_core::Dur;
+use sim_net::{NetConfig, NodeId};
+use workload::{AppSpec, Mode};
+
+fn app(grid: &Grid, d: u32, p: u32, mode: Mode, l: f64, s: f64, name: &str) -> AppSpec {
+    AppSpec {
+        name: name.into(),
+        nodes: (0..p as u16).map(NodeId).collect(),
+        total_bytes: grid.total_bytes,
+        request_size: d,
+        mode,
+        locality: l,
+        sharing: s,
+        shared_file: "shared".into(),
+        file_size: grid.file_size,
+        start_delay: Dur::ZERO,
+        min_requests: 1,
+    }
+}
+
+fn makespans(
+    grid: &Grid,
+    configs: Vec<(Option<CacheConfig>, Vec<AppSpec>, Option<NetConfig>)>,
+) -> Vec<f64> {
+    parallel_map(configs, |(cache, apps, net)| {
+        let mut spec = ClusterSpec::paper(cache.clone());
+        if let Some(net) = net {
+            spec.net = net.clone();
+        }
+        spec.seed = grid.seed;
+        let r = run_experiment(&spec, apps);
+        assert!(r.completed && r.total_verify_failures() == 0);
+        r.mean_makespan_s()
+    })
+}
+
+/// Write-behind vs write-through vs no cache (the flusher's justification).
+pub fn ablation_write_policy(grid: &Grid) -> FigureData {
+    let mut configs = Vec::new();
+    for &d in &grid.d_values {
+        let apps = vec![app(grid, d, 4, Mode::Write, 0.0, 0.0, "app0")];
+        configs.push((Some(CacheConfig::paper()), apps.clone(), None));
+        let wt = CacheConfig { write_behind: false, ..CacheConfig::paper() };
+        configs.push((Some(wt), apps.clone(), None));
+        configs.push((None, apps, None));
+    }
+    let vals = makespans(grid, configs);
+    let mut fig = FigureData::new(
+        "ablation_write_policy",
+        "write-behind vs write-through (writes, p=4, l=0)",
+        "request size d (bytes)",
+        "total time (s)",
+        vec!["write-behind".into(), "write-through".into(), "no caching".into()],
+    );
+    for (i, &d) in grid.d_values.iter().enumerate() {
+        fig.push(d as f64, vec![vals[3 * i], vals[3 * i + 1], vals[3 * i + 2]]);
+    }
+    fig
+}
+
+/// Approximate (clock) vs exact LRU: end-to-end effect on a localized read
+/// workload. (The paper's argument — per-access CPU overhead of exact LRU —
+/// is quantified by the `buffer_manager` Criterion bench.)
+pub fn ablation_lru(grid: &Grid) -> FigureData {
+    let mut configs = Vec::new();
+    for &d in &grid.d_values {
+        let apps = vec![app(grid, d, 4, Mode::Read, 0.8, 0.0, "app0")];
+        let clock = CacheConfig {
+            policy: EvictPolicy { exact: false, clean_first: true },
+            ..CacheConfig::paper()
+        };
+        let exact = CacheConfig {
+            policy: EvictPolicy { exact: true, clean_first: true },
+            ..CacheConfig::paper()
+        };
+        configs.push((Some(clock), apps.clone(), None));
+        configs.push((Some(exact), apps, None));
+    }
+    let vals = makespans(grid, configs);
+    let mut fig = FigureData::new(
+        "ablation_lru",
+        "approximate (clock) vs exact LRU (reads, p=4, l=0.8)",
+        "request size d (bytes)",
+        "total time (s)",
+        vec!["clock (approximate)".into(), "exact LRU".into()],
+    );
+    for (i, &d) in grid.d_values.iter().enumerate() {
+        fig.push(d as f64, vec![vals[2 * i], vals[2 * i + 1]]);
+    }
+    fig
+}
+
+/// Clean-first eviction preference on a mixed read+write co-schedule.
+pub fn ablation_clean_first(grid: &Grid) -> FigureData {
+    let mut configs = Vec::new();
+    for &d in &grid.d_values {
+        let apps = vec![
+            app(grid, d, 4, Mode::Read, 0.5, 0.5, "appA"),
+            app(grid, d, 4, Mode::Write, 0.5, 0.5, "appB"),
+        ];
+        let clean = CacheConfig {
+            policy: EvictPolicy { exact: false, clean_first: true },
+            ..CacheConfig::paper()
+        };
+        let oblivious = CacheConfig {
+            policy: EvictPolicy { exact: false, clean_first: false },
+            ..CacheConfig::paper()
+        };
+        configs.push((Some(clean), apps.clone(), None));
+        configs.push((Some(oblivious), apps, None));
+    }
+    let vals = makespans(grid, configs);
+    let mut fig = FigureData::new(
+        "ablation_clean_first",
+        "clean-first vs oblivious eviction (read+write instances, p=4)",
+        "request size d (bytes)",
+        "total time (s)",
+        vec!["clean-first".into(), "oblivious".into()],
+    );
+    for (i, &d) in grid.d_values.iter().enumerate() {
+        fig.push(d as f64, vec![vals[2 * i], vals[2 * i + 1]]);
+    }
+    fig
+}
+
+/// Shared hub (the paper's platform) vs a store-and-forward switch.
+pub fn ablation_fabric(grid: &Grid) -> FigureData {
+    let mut configs = Vec::new();
+    for &d in &grid.d_values {
+        let apps = vec![
+            app(grid, d, 4, Mode::Read, 0.5, 0.5, "appA"),
+            app(grid, d, 4, Mode::Read, 0.5, 0.5, "appB"),
+        ];
+        for net in [NetConfig::hub_100mbps(), NetConfig::switch_100mbps()] {
+            for cache in [Some(CacheConfig::paper()), None] {
+                configs.push((cache, apps.clone(), Some(net.clone())));
+            }
+        }
+    }
+    let vals = makespans(grid, configs);
+    let mut fig = FigureData::new(
+        "ablation_fabric",
+        "hub vs switch (two read instances, p=4, l=0.5, s=50%)",
+        "request size d (bytes)",
+        "total time (s)",
+        vec![
+            "hub + caching".into(),
+            "hub, no caching".into(),
+            "switch + caching".into(),
+            "switch, no caching".into(),
+        ],
+    );
+    for (i, &d) in grid.d_values.iter().enumerate() {
+        fig.push(d as f64, (0..4).map(|k| vals[4 * i + k]).collect());
+    }
+    fig
+}
+
+/// Coherent sync-writes vs plain write-behind under full sharing.
+pub fn ablation_sync_write(grid: &Grid) -> FigureData {
+    let mut configs = Vec::new();
+    for &d in &grid.d_values {
+        for mode in [Mode::Write, Mode::SyncWrite] {
+            let apps = vec![
+                app(grid, d, 2, mode, 0.5, 1.0, "appA"),
+                app(grid, d, 2, mode, 0.5, 1.0, "appB"),
+            ];
+            configs.push((Some(CacheConfig::paper()), apps, None));
+        }
+    }
+    let vals = makespans(grid, configs);
+    let mut fig = FigureData::new(
+        "ablation_sync_write",
+        "write-behind vs coherent sync-write (two instances, s=100%)",
+        "request size d (bytes)",
+        "total time (s)",
+        vec!["write-behind".into(), "sync-write".into()],
+    );
+    for (i, &d) in grid.d_values.iter().enumerate() {
+        fig.push(d as f64, vec![vals[2 * i], vals[2 * i + 1]]);
+    }
+    fig
+}
+
+/// Harvester watermark sensitivity on a write-heavy workload.
+pub fn ablation_harvester(grid: &Grid) -> FigureData {
+    let marks = [(1usize, 4usize), (30, 75), (120, 200)];
+    let mut configs = Vec::new();
+    for &d in &grid.d_values {
+        let apps = vec![app(grid, d, 4, Mode::Write, 0.3, 0.0, "app0")];
+        for (lo, hi) in marks {
+            let cfg = CacheConfig {
+                low_watermark: lo,
+                high_watermark: hi,
+                ..CacheConfig::paper()
+            };
+            configs.push((Some(cfg), apps.clone(), None));
+        }
+    }
+    let vals = makespans(grid, configs);
+    let mut fig = FigureData::new(
+        "ablation_harvester",
+        "harvester watermarks (writes, p=4, l=0.3)",
+        "request size d (bytes)",
+        "total time (s)",
+        vec!["low=1/high=4".into(), "low=30/high=75 (paper)".into(), "low=120/high=200".into()],
+    );
+    for (i, &d) in grid.d_values.iter().enumerate() {
+        fig.push(d as f64, (0..3).map(|k| vals[3 * i + k]).collect());
+    }
+    fig
+}
+
+/// Extension: cache-size sensitivity (the paper fixes 1.2 MB; §5 motivates
+/// exploring more).
+pub fn ablation_cache_size(grid: &Grid) -> FigureData {
+    let sizes = [75usize, 150, 300, 600, 1200];
+    let d = *grid.d_values.iter().find(|&&d| d >= 64 << 10).unwrap_or(&grid.d_values[0]);
+    let mut configs = Vec::new();
+    for &cap in &sizes {
+        let apps = vec![
+            app(grid, d, 4, Mode::Read, 0.5, 0.5, "appA"),
+            app(grid, d, 4, Mode::Read, 0.5, 0.5, "appB"),
+        ];
+        let cfg = CacheConfig {
+            capacity_blocks: cap,
+            low_watermark: cap / 10,
+            high_watermark: cap / 4,
+            ..CacheConfig::paper()
+        };
+        configs.push((Some(cfg), apps, None));
+    }
+    let vals = makespans(grid, configs);
+    let mut fig = FigureData::new(
+        "ablation_cache_size",
+        format!("cache size sweep (two read instances, d={d}, l=0.5, s=50%)"),
+        "cache capacity (blocks)",
+        "total time (s)",
+        vec!["caching".into()],
+    );
+    for (i, &cap) in sizes.iter().enumerate() {
+        fig.push(cap as f64, vec![vals[i]]);
+    }
+    fig
+}
+
+/// All ablations.
+pub fn all_ablations(grid: &Grid) -> Vec<FigureData> {
+    vec![
+        ablation_write_policy(grid),
+        ablation_lru(grid),
+        ablation_clean_first(grid),
+        ablation_fabric(grid),
+        ablation_sync_write(grid),
+        ablation_harvester(grid),
+        ablation_cache_size(grid),
+    ]
+}

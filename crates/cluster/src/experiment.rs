@@ -1,0 +1,210 @@
+//! Experiment execution and result extraction.
+
+use crate::builder::{build, Cluster, ClusterSpec};
+use kcache::{CacheModule, CacheStats, ModuleStats};
+use pvfs::{Iod, IodStats};
+use serde::Serialize;
+use sim_core::{Dur, SimTime, StopReason};
+use sim_net::{Fabric, FabricStats};
+use workload::{AppSpec, Coordinator};
+
+/// Aggregated outcome of one instance of the micro-benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct InstanceResult {
+    pub name: String,
+    /// First process start to last process finish, seconds.
+    pub makespan_s: f64,
+    /// Mean per-process request latency, seconds.
+    pub read_latency_s: f64,
+    pub write_latency_s: f64,
+    pub requests: u64,
+    pub bytes: u64,
+    pub verify_failures: u64,
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    pub instances: Vec<InstanceResult>,
+    pub cache: Option<CacheStats>,
+    pub module: Option<ModuleStats>,
+    pub iod: IodStats,
+    pub fabric: FabricStats,
+    pub medium_utilization: f64,
+    pub events: u64,
+    pub sim_end: SimTime,
+    pub completed: bool,
+}
+
+impl ExperimentResult {
+    /// Mean makespan across instances, seconds.
+    pub fn mean_makespan_s(&self) -> f64 {
+        if self.instances.is_empty() {
+            return 0.0;
+        }
+        self.instances.iter().map(|i| i.makespan_s).sum::<f64>() / self.instances.len() as f64
+    }
+
+    /// Mean per-request read latency across instances, seconds.
+    pub fn mean_read_latency_s(&self) -> f64 {
+        let xs: Vec<f64> =
+            self.instances.iter().map(|i| i.read_latency_s).filter(|x| *x > 0.0).collect();
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+
+    /// Mean per-request write latency across instances, seconds.
+    pub fn mean_write_latency_s(&self) -> f64 {
+        let xs: Vec<f64> =
+            self.instances.iter().map(|i| i.write_latency_s).filter(|x| *x > 0.0).collect();
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+
+    /// Overall cache hit ratio (caching runs only).
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let c = self.cache.as_ref()?;
+        let total = c.hits + c.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(c.hits as f64 / total as f64)
+        }
+    }
+
+    pub fn total_verify_failures(&self) -> u64 {
+        self.instances.iter().map(|i| i.verify_failures).sum()
+    }
+}
+
+/// Default wall-clock guard for a single run.
+pub fn default_horizon() -> Dur {
+    Dur::secs(3600)
+}
+
+/// Build and run one experiment to completion.
+pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult {
+    let mut cluster: Cluster = build(spec, apps);
+    let horizon = SimTime::ZERO + default_horizon();
+    let report = cluster.engine.run_until(horizon);
+    let completed = report.stop == StopReason::Stopped;
+    debug_assert!(
+        completed,
+        "experiment did not complete before horizon: {:?}",
+        report.stop
+    );
+
+    let coord = cluster
+        .engine
+        .actor_as::<Coordinator>(cluster.coordinator)
+        .expect("coordinator downcast");
+    let mut instances = Vec::new();
+    for (i, a) in apps.iter().enumerate() {
+        let procs: Vec<_> =
+            coord.results().iter().filter(|r| r.instance == i as u32).collect();
+        let makespan = coord
+            .instance_makespan(i as u32)
+            .map(|(s, e)| e.since(s).as_secs_f64())
+            .unwrap_or(0.0);
+        let mut read = sim_core::Tally::new();
+        let mut write = sim_core::Tally::new();
+        let mut requests = 0;
+        let mut bytes = 0;
+        let mut verify_failures = 0;
+        for p in &procs {
+            read.merge(&p.read_latency);
+            write.merge(&p.write_latency);
+            requests += p.requests;
+            bytes += p.bytes;
+            verify_failures += p.verify_failures;
+        }
+        instances.push(InstanceResult {
+            name: a.name.clone(),
+            makespan_s: makespan,
+            read_latency_s: read.mean() / 1e9,
+            write_latency_s: write.mean() / 1e9,
+            requests,
+            bytes,
+            verify_failures,
+        });
+    }
+
+    // Aggregate subsystem statistics.
+    let mut cache_total: Option<CacheStats> = None;
+    let mut module_total: Option<ModuleStats> = None;
+    for m in cluster.modules.iter().flatten() {
+        let module = cluster.engine.actor_as::<CacheModule>(*m).expect("module downcast");
+        let cs = module.cache().stats();
+        let ms = module.stats().clone();
+        let acc = cache_total.get_or_insert_with(CacheStats::default);
+        acc.hits += cs.hits;
+        acc.misses += cs.misses;
+        acc.insertions += cs.insertions;
+        acc.writes_absorbed += cs.writes_absorbed;
+        acc.writes_passthrough += cs.writes_passthrough;
+        acc.evictions_clean += cs.evictions_clean;
+        acc.evictions_dirty += cs.evictions_dirty;
+        acc.flush_blocks += cs.flush_blocks;
+        acc.invalidated += cs.invalidated;
+        acc.invalidated_dirty += cs.invalidated_dirty;
+        let macc = module_total.get_or_insert_with(ModuleStats::default);
+        macc.reads_intercepted += ms.reads_intercepted;
+        macc.writes_intercepted += ms.writes_intercepted;
+        macc.full_hits += ms.full_hits;
+        macc.partial_hits += ms.partial_hits;
+        macc.full_misses += ms.full_misses;
+        macc.request_splits += ms.request_splits;
+        macc.fake_read_acks += ms.fake_read_acks;
+        macc.fake_write_acks += ms.fake_write_acks;
+        macc.blocks_served += ms.blocks_served;
+        macc.blocks_fetched += ms.blocks_fetched;
+        macc.dedup_blocks += ms.dedup_blocks;
+        macc.bytes_served += ms.bytes_served;
+        macc.bytes_fetched += ms.bytes_fetched;
+        macc.bytes_absorbed += ms.bytes_absorbed;
+        macc.bytes_passthrough += ms.bytes_passthrough;
+        macc.sync_writes += ms.sync_writes;
+        macc.invalidate_msgs += ms.invalidate_msgs;
+        macc.flush_msgs += ms.flush_msgs;
+        macc.urgent_flush_blocks += ms.urgent_flush_blocks;
+        macc.harvest_runs += ms.harvest_runs;
+    }
+
+    let mut iod_total = IodStats::default();
+    for &i in &cluster.iods {
+        let iod = cluster.engine.actor_as::<Iod>(i).expect("iod downcast");
+        let s = iod.stats();
+        iod_total.read_reqs += s.read_reqs;
+        iod_total.write_reqs += s.write_reqs;
+        iod_total.flush_reqs += s.flush_reqs;
+        iod_total.sync_writes += s.sync_writes;
+        iod_total.bytes_read += s.bytes_read;
+        iod_total.bytes_written += s.bytes_written;
+        iod_total.disk_reads += s.disk_reads;
+        iod_total.disk_writes += s.disk_writes;
+        iod_total.invalidations_sent += s.invalidations_sent;
+        iod_total.directory_entries += s.directory_entries;
+    }
+
+    let fabric = cluster.engine.actor_as::<Fabric>(cluster.fabric).expect("fabric downcast");
+    let fabric_stats: FabricStats = fabric.stats().clone();
+    let medium_utilization = fabric.medium_utilization(cluster.engine.now());
+
+    ExperimentResult {
+        instances,
+        cache: cache_total,
+        module: module_total,
+        iod: iod_total,
+        fabric: fabric_stats,
+        medium_utilization,
+        events: report.events,
+        sim_end: report.end_time,
+        completed,
+    }
+}

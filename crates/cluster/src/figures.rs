@@ -1,0 +1,348 @@
+//! Per-figure experiment drivers: one function per figure of the paper's
+//! evaluation (§4.2), each regenerating the same series the paper plots.
+
+use crate::builder::ClusterSpec;
+use crate::experiment::{run_experiment, ExperimentResult};
+use crate::report::FigureData;
+use crate::sweep::parallel_map;
+use kcache::CacheConfig;
+use sim_core::Dur;
+use sim_net::NodeId;
+use workload::{AppSpec, Mode};
+
+/// Sweep resolution and sizing shared by all figures.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Application-level request sizes `d` (the x axis of every figure).
+    pub d_values: Vec<u32>,
+    /// Total bytes moved per instance (constant across the sweep, §4.2.3).
+    pub total_bytes: u64,
+    /// Logical size of each file.
+    pub file_size: u64,
+    pub seed: u64,
+}
+
+impl Grid {
+    /// Small grid for CI / Criterion: a few d points, 2 MB per instance.
+    pub fn quick() -> Grid {
+        Grid {
+            d_values: vec![1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20],
+            total_bytes: 2 << 20,
+            file_size: 8 << 20,
+            seed: 42,
+        }
+    }
+
+    /// Full grid matching the paper's x-axis density (1 KB .. 1 MB).
+    pub fn full() -> Grid {
+        Grid {
+            d_values: vec![
+                1 << 10,
+                2 << 10,
+                4 << 10,
+                8 << 10,
+                16 << 10,
+                32 << 10,
+                64 << 10,
+                128 << 10,
+                256 << 10,
+                512 << 10,
+                1 << 20,
+            ],
+            total_bytes: 6 << 20,
+            file_size: 16 << 20,
+            seed: 42,
+        }
+    }
+
+    /// Tiny grid for smoke tests.
+    pub fn smoke() -> Grid {
+        Grid {
+            d_values: vec![4 << 10, 256 << 10],
+            total_bytes: 512 << 10,
+            file_size: 4 << 20,
+            seed: 42,
+        }
+    }
+}
+
+/// What a point contributes to its figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Mean per-request read latency (Figures 4a, 5a).
+    ReadLatency,
+    /// Mean per-request write latency (Figures 4b, 5b).
+    WriteLatency,
+    /// Mean instance completion time (Figures 6-8).
+    Makespan,
+}
+
+fn extract(metric: Metric, r: &ExperimentResult) -> f64 {
+    assert!(r.completed, "experiment hit the horizon without completing");
+    assert_eq!(r.total_verify_failures(), 0, "data corruption detected in experiment");
+    match metric {
+        Metric::ReadLatency => r.mean_read_latency_s(),
+        Metric::WriteLatency => r.mean_write_latency_s(),
+        Metric::Makespan => r.mean_makespan_s(),
+    }
+}
+
+/// One sweep point: a cluster + app set + metric.
+#[derive(Clone)]
+struct Point {
+    cache: Option<CacheConfig>,
+    apps: Vec<AppSpec>,
+    metric: Metric,
+    seed: u64,
+}
+
+fn run_points(points: Vec<Point>) -> Vec<f64> {
+    parallel_map(points, |p| {
+        let mut spec = ClusterSpec::paper(p.cache.clone());
+        spec.seed = p.seed;
+        extract(p.metric, &run_experiment(&spec, &p.apps))
+    })
+}
+
+fn nodes(p: u32, base: u16) -> Vec<NodeId> {
+    (0..p as u16).map(|i| NodeId(base + i)).collect()
+}
+
+fn single_app(grid: &Grid, d: u32, p: u32, mode: Mode, locality: f64) -> AppSpec {
+    AppSpec {
+        name: "app0".into(),
+        nodes: nodes(p, 0),
+        total_bytes: grid.total_bytes,
+        request_size: d,
+        mode,
+        locality,
+        sharing: 0.0,
+        shared_file: "shared".into(),
+        file_size: grid.file_size,
+        start_delay: Dur::ZERO,
+        // Per-request latency figures need steady state, not cold start.
+        min_requests: 32,
+    }
+}
+
+fn two_apps(
+    grid: &Grid,
+    d: u32,
+    nodes_a: Vec<NodeId>,
+    nodes_b: Vec<NodeId>,
+    mode: Mode,
+    locality: f64,
+    sharing: f64,
+) -> Vec<AppSpec> {
+    let mk = |name: &str, nodes: Vec<NodeId>| AppSpec {
+        name: name.into(),
+        nodes,
+        total_bytes: grid.total_bytes,
+        request_size: d,
+        mode,
+        locality,
+        sharing,
+        shared_file: "shared".into(),
+        file_size: grid.file_size,
+        start_delay: Dur::ZERO,
+        min_requests: 1,
+    };
+    vec![mk("appA", nodes_a), mk("appB", nodes_b)]
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: caching overhead (single instance, p = 4, l = 0)
+// ---------------------------------------------------------------------
+
+/// Figures 4(a) and 4(b): per-request read and write time vs `d` with no
+/// locality — the worst case for the caching version.
+pub fn fig4(grid: &Grid) -> Vec<FigureData> {
+    fig45(grid, 0.0, "fig4", "caching overhead (l=0)", &grid.d_values)
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: locality benefit (single instance, p = 4, l = 1)
+// ---------------------------------------------------------------------
+
+/// Figures 5(a) and 5(b): same sweep with perfect locality. The paper only
+/// plots d up to ~100 KB here ("an individual request size cannot exceed
+/// the cache size"): filter the sweep accordingly.
+pub fn fig5(grid: &Grid) -> Vec<FigureData> {
+    let ds: Vec<u32> = grid.d_values.iter().copied().filter(|d| *d <= 256 << 10).collect();
+    fig45(grid, 1.0, "fig5", "locality benefit (l=1)", &ds)
+}
+
+fn fig45(grid: &Grid, l: f64, id: &str, title: &str, ds: &[u32]) -> Vec<FigureData> {
+    let mut figs = Vec::new();
+    for (sub, mode, metric) in
+        [("a", Mode::Read, Metric::ReadLatency), ("b", Mode::Write, Metric::WriteLatency)]
+    {
+        let mut points = Vec::new();
+        for caching in [true, false] {
+            for &d in ds {
+                points.push(Point {
+                    cache: caching.then(CacheConfig::paper),
+                    apps: vec![single_app(grid, d, 4, mode, l)],
+                    metric,
+                    seed: grid.seed,
+                });
+            }
+        }
+        let vals = run_points(points);
+        let mut fig = FigureData::new(
+            format!("{id}{sub}"),
+            format!("{title} — {:?}s, p=4", mode),
+            "request size d (bytes)",
+            "time per request (s)",
+            vec!["caching".into(), "no caching".into()],
+        );
+        let n = ds.len();
+        for (i, &d) in ds.iter().enumerate() {
+            fig.push(d as f64, vec![vals[i], vals[n + i]]);
+        }
+        figs.push(fig);
+    }
+    figs
+}
+
+// ---------------------------------------------------------------------
+// Figures 6 and 7: two instances sharing data on the same nodes
+// ---------------------------------------------------------------------
+
+/// Figure 6: two instances on the same p=4 nodes, reads, l ∈ {0, .5, 1},
+/// sharing ∈ {25, 50, 75, 100}%.
+pub fn fig6(grid: &Grid) -> Vec<FigureData> {
+    sharing_figure(grid, 4, "fig6")
+}
+
+/// Figure 7: same as Figure 6 with p = 2.
+pub fn fig7(grid: &Grid) -> Vec<FigureData> {
+    sharing_figure(grid, 2, "fig7")
+}
+
+const SHARINGS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+const LOCALITIES: [(char, f64); 3] = [('a', 0.0), ('b', 0.5), ('c', 1.0)];
+
+fn sharing_figure(grid: &Grid, p: u32, id: &str) -> Vec<FigureData> {
+    let mut figs = Vec::new();
+    for (sub, l) in LOCALITIES {
+        let mut points = Vec::new();
+        for &s in &SHARINGS {
+            for &d in &grid.d_values {
+                points.push(Point {
+                    cache: Some(CacheConfig::paper()),
+                    apps: two_apps(grid, d, nodes(p, 0), nodes(p, 0), Mode::Read, l, s),
+                    metric: Metric::Makespan,
+                    seed: grid.seed,
+                });
+            }
+        }
+        // The no-caching version issues network requests regardless of s:
+        // one line (run at s = 25%).
+        for &d in &grid.d_values {
+            points.push(Point {
+                cache: None,
+                apps: two_apps(grid, d, nodes(p, 0), nodes(p, 0), Mode::Read, l, 0.25),
+                metric: Metric::Makespan,
+                seed: grid.seed,
+            });
+        }
+        let vals = run_points(points);
+        let mut fig = FigureData::new(
+            format!("{id}{sub}"),
+            format!("two instances, reads, p={p}, l={l}"),
+            "request size d (bytes)",
+            "total time (s)",
+            vec![
+                "caching 25%".into(),
+                "caching 50%".into(),
+                "caching 75%".into(),
+                "caching 100%".into(),
+                "no caching".into(),
+            ],
+        );
+        let n = grid.d_values.len();
+        for (i, &d) in grid.d_values.iter().enumerate() {
+            let row: Vec<f64> = (0..5).map(|k| vals[k * n + i]).collect();
+            fig.push(d as f64, row);
+        }
+        figs.push(fig);
+    }
+    figs
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: caching vs parallelism
+// ---------------------------------------------------------------------
+
+/// Figure 8: can caching compensate for loss of parallelism? Two instances
+/// either co-located on 3 nodes (with/without caching) or spread over 6
+/// distinct nodes (without caching).
+pub fn fig8(grid: &Grid) -> Vec<FigureData> {
+    let mut figs = Vec::new();
+    for (sub, l) in LOCALITIES {
+        let mut points = Vec::new();
+        // Caching, co-located on nodes 0-2, per sharing degree.
+        for &s in &SHARINGS {
+            for &d in &grid.d_values {
+                points.push(Point {
+                    cache: Some(CacheConfig::paper()),
+                    apps: two_apps(grid, d, nodes(3, 0), nodes(3, 0), Mode::Read, l, s),
+                    metric: Metric::Makespan,
+                    seed: grid.seed,
+                });
+            }
+        }
+        // No caching, same 3 nodes.
+        for &d in &grid.d_values {
+            points.push(Point {
+                cache: None,
+                apps: two_apps(grid, d, nodes(3, 0), nodes(3, 0), Mode::Read, l, 0.25),
+                metric: Metric::Makespan,
+                seed: grid.seed,
+            });
+        }
+        // No caching, 6 distinct nodes (full parallelism).
+        for &d in &grid.d_values {
+            points.push(Point {
+                cache: None,
+                apps: two_apps(grid, d, nodes(3, 0), nodes(3, 3), Mode::Read, l, 0.25),
+                metric: Metric::Makespan,
+                seed: grid.seed,
+            });
+        }
+        let vals = run_points(points);
+        let mut fig = FigureData::new(
+            format!("fig8{sub}"),
+            format!("caching vs parallelism, two instances on 3 vs 6 nodes, l={l}"),
+            "request size d (bytes)",
+            "total time (s)",
+            vec![
+                "caching 25% (3 nodes)".into(),
+                "caching 50% (3 nodes)".into(),
+                "caching 75% (3 nodes)".into(),
+                "caching 100% (3 nodes)".into(),
+                "no caching (same 3 nodes)".into(),
+                "no caching (6 distinct nodes)".into(),
+            ],
+        );
+        let n = grid.d_values.len();
+        for (i, &d) in grid.d_values.iter().enumerate() {
+            let row: Vec<f64> = (0..6).map(|k| vals[k * n + i]).collect();
+            fig.push(d as f64, row);
+        }
+        figs.push(fig);
+    }
+    figs
+}
+
+/// Run every figure of the paper.
+pub fn all_figures(grid: &Grid) -> Vec<FigureData> {
+    let mut out = Vec::new();
+    out.extend(fig4(grid));
+    out.extend(fig5(grid));
+    out.extend(fig6(grid));
+    out.extend(fig7(grid));
+    out.extend(fig8(grid));
+    out
+}

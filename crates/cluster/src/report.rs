@@ -1,0 +1,175 @@
+//! Figure data containers and rendering (markdown tables, CSV, JSON).
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One regenerated figure (or subplot): x values against named series.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureData {
+    /// e.g. "fig6a"
+    pub id: String,
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<String>,
+    pub rows: Vec<FigRow>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct FigRow {
+    pub x: f64,
+    pub y: Vec<f64>,
+}
+
+impl FigureData {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        series: Vec<String>,
+    ) -> FigureData {
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: Vec<f64>) {
+        assert_eq!(y.len(), self.series.len(), "row width mismatch in {}", self.id);
+        self.rows.push(FigRow { x, y });
+    }
+
+    /// Column of values for one series.
+    pub fn column(&self, series: &str) -> Option<Vec<f64>> {
+        let i = self.series.iter().position(|s| s == series)?;
+        Some(self.rows.iter().map(|r| r.y[i]).collect())
+    }
+
+    /// Render as a GitHub-markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = writeln!(out, "");
+        let _ = write!(out, "| {} |", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {} |", s);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "| {} |", format_x(r.x));
+            for v in &r.y {
+                let _ = write!(out, " {:.6} |", v);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as CSV (x, then one column per series).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{}", s);
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{}", r.x);
+            for v in &r.y {
+                let _ = write!(out, ",{}", v);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn format_x(x: f64) -> String {
+    let v = x as u64;
+    if v >= 1 << 20 && v % (1 << 20) == 0 {
+        format!("{}M", v >> 20)
+    } else if v >= 1024 && v % 1024 == 0 {
+        format!("{}K", v >> 10)
+    } else {
+        format!("{}", v)
+    }
+}
+
+/// Write each figure as `<id>.csv` and `<id>.json` plus a combined
+/// `figures.md` under `dir`.
+pub fn write_outputs(dir: &Path, figs: &[FigureData]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut md = String::new();
+    for f in figs {
+        std::fs::write(dir.join(format!("{}.csv", f.id)), f.to_csv())?;
+        std::fs::write(
+            dir.join(format!("{}.json", f.id)),
+            serde_json::to_string_pretty(f).expect("figure serialization"),
+        )?;
+        md.push_str(&f.to_markdown());
+        md.push('\n');
+    }
+    std::fs::write(dir.join("figures.md"), md)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureData {
+        let mut f = FigureData::new(
+            "t1",
+            "test figure",
+            "size",
+            "seconds",
+            vec!["a".into(), "b".into()],
+        );
+        f.push(1024.0, vec![0.5, 0.25]);
+        f.push(1048576.0, vec![1.5, 1.25]);
+        f
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = fig().to_markdown();
+        assert!(md.contains("| size | a | b |"));
+        assert!(md.contains("| 1K | 0.500000 | 0.250000 |"));
+        assert!(md.contains("| 1M | 1.500000 | 1.250000 |"));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "size,a,b");
+        assert!(lines[1].starts_with("1024,"));
+    }
+
+    #[test]
+    fn column_extraction() {
+        let f = fig();
+        assert_eq!(f.column("a").unwrap(), vec![0.5, 1.5]);
+        assert_eq!(f.column("b").unwrap(), vec![0.25, 1.25]);
+        assert!(f.column("zzz").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut f = fig();
+        f.push(1.0, vec![0.0]);
+    }
+}

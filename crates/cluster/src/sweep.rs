@@ -1,0 +1,73 @@
+//! Parallel parameter sweeps.
+//!
+//! Every experiment point is an independent deterministic simulation, so a
+//! sweep is embarrassingly parallel: points are distributed over host
+//! threads (crossbeam scoped) and results are returned in input order —
+//! determinism is preserved regardless of thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` using up to `available_parallelism` host threads,
+/// preserving input order in the result.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
+    if threads <= 1 {
+        return items.iter().map(|t| f(t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                out.lock().unwrap()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    out.into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("sweep point not computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let out = parallel_map(vec![7u32], |&x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Cache module configuration.
+
+use crate::manager::EvictPolicy;
+use sim_core::Dur;
+
+/// Tunables of the per-node kernel cache module.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Cache capacity in 4 KB blocks. The paper uses 300 (1.2 MB),
+    /// deliberately small relative to the data sets.
+    pub capacity_blocks: usize,
+    /// Replacement policy (approximate LRU + clean-first by default).
+    pub policy: EvictPolicy,
+    /// Harvester wake-up threshold: free list below this many frames.
+    pub low_watermark: usize,
+    /// Harvester target: free frames after a sweep.
+    pub high_watermark: usize,
+    /// Delay between the free list crossing the watermark and the harvester
+    /// thread actually running (kernel thread wake-up latency).
+    pub harvester_wakeup: Dur,
+    /// Period of the flusher thread.
+    pub flush_interval: Dur,
+    /// Max dirty blocks shipped per flusher round.
+    pub flush_batch: usize,
+    /// Write-behind on (the paper's design) or off (write-through
+    /// ablation: every write forwards to the iod synchronously).
+    pub write_behind: bool,
+}
+
+impl CacheConfig {
+    /// The paper's configuration: 1.2 MB cache of 4 KB blocks.
+    pub fn paper() -> CacheConfig {
+        CacheConfig {
+            capacity_blocks: 300,
+            policy: EvictPolicy::default(),
+            low_watermark: 30,
+            high_watermark: 75,
+            harvester_wakeup: Dur::millis(1),
+            flush_interval: Dur::millis(500),
+            flush_batch: 64,
+            write_behind: true,
+        }
+    }
+
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_blocks * crate::block::CACHE_BLOCK_SIZE
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_1_2_mb() {
+        let c = CacheConfig::paper();
+        assert_eq!(c.capacity_bytes(), 1_228_800);
+        assert!(c.low_watermark < c.high_watermark);
+        assert!(c.high_watermark < c.capacity_blocks);
+        assert!(c.write_behind);
+    }
+}

@@ -1,0 +1,30 @@
+//! # kcache — the paper's kernel-level shared I/O cache
+//!
+//! Reproduction of the contribution of *"Kernel-Level Caching for
+//! Optimizing I/O by Exploiting Inter-Application Data Sharing"*
+//! (Vilayannur, Kandemir, Sivasubramaniam — CLUSTER 2002): a per-node block
+//! cache, shared by **all application processes on the node**, inserted
+//! transparently underneath the PVFS client library by intercepting its
+//! socket traffic.
+//!
+//! * [`block`] — block identity and in-block spans (4 KB blocks, §3.2).
+//! * [`manager`] — the buffer manager: open-hash table with per-bucket
+//!   locks, free list, dirty list, clock-based approximate LRU with
+//!   clean-first eviction (plus an exact-LRU ablation), write-behind with
+//!   saturation pass-through, invalidation. `Send + Sync`, exercised by
+//!   real threads in tests and benches.
+//! * [`module`] — the cache module actor: per-socket interception FSM
+//!   (request discounting, request splitting, fake acks, data assembly),
+//!   the flusher and harvester background threads, and the sync-write
+//!   coherence client.
+//! * [`config`] — the paper's 1.2 MB configuration and tuning knobs.
+
+pub mod block;
+pub mod config;
+pub mod manager;
+pub mod module;
+
+pub use block::{blocks_of_range, span_in_block, BlockKey, Span, CACHE_BLOCK_SIZE};
+pub use config::CacheConfig;
+pub use manager::{BufferManager, CacheStats, EvictPolicy, FlushItem, WriteOutcome};
+pub use module::{CacheModule, ModuleStats};

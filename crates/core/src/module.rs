@@ -1,0 +1,807 @@
+//! The kernel cache module actor — the paper's contribution.
+//!
+//! Installed on a client node, it impersonates the socket layer in both
+//! directions (§3.2):
+//!
+//! * **outbound**: libpvfs's `sock_target` points here instead of at the
+//!   fabric, so every iod request is intercepted. Reads are *discounted* by
+//!   the cached blocks (possibly splitting contiguous ranges around cached
+//!   holes); fully-cached requests never reach the network — the module
+//!   **fakes the acknowledgment** and serves the data locally. Writes are
+//!   absorbed into the cache (write-behind) and acked immediately, unless
+//!   the cache is saturated with dirty data or the write is a sync-write.
+//! * **inbound**: the node's `NodeNet` binds the client reply ports to the
+//!   module, so iod replies flow through it: arriving data is copied into
+//!   the cache, pending partial requests are completed, and a per-request
+//!   finite state machine reconciles what the client library expects to
+//!   receive with what actually crossed the wire.
+//!
+//! Two background activities complete the picture: the **flusher** (ships
+//! dirty blocks to the iods' flush listeners periodically) and the
+//! **harvester** (replenishes the free list to the high watermark when it
+//! drops below the low watermark).
+
+use crate::block::{blocks_of_range, span_in_block, BlockKey, Span, CACHE_BLOCK_SIZE};
+use crate::config::CacheConfig;
+use crate::manager::{BufferManager, FlushItem, WriteOutcome};
+use bytes::Bytes;
+use pvfs::{
+    ByteRange, CostModel, Fid, FlushAck, FlushBlocks, FlushEntry, Invalidate, InvalidateAck,
+    ReadAck, ReadData, ReadReq, WriteAck, WritePart, WriteReq, CACHE_PORT, IOD_FLUSH_PORT,
+};
+use sim_core::{resource, Actor, ActorId, Ctx, Dur, Msg, SharedResource, SimTime};
+use sim_net::{Deliver, NetMessage, NodeId, Port, Xmit};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Module statistics (beyond the buffer manager's own counters).
+#[derive(Debug, Default, Clone)]
+pub struct ModuleStats {
+    pub reads_intercepted: u64,
+    pub writes_intercepted: u64,
+    pub full_hits: u64,
+    pub partial_hits: u64,
+    pub full_misses: u64,
+    pub request_splits: u64,
+    pub fake_read_acks: u64,
+    pub fake_write_acks: u64,
+    pub blocks_served: u64,
+    pub blocks_fetched: u64,
+    /// Blocks a request wanted that were already in flight for another
+    /// process — the inter-application "pending request" hit (§3.2).
+    pub dedup_blocks: u64,
+    pub bytes_served: u64,
+    pub bytes_fetched: u64,
+    pub bytes_absorbed: u64,
+    pub bytes_passthrough: u64,
+    pub sync_writes: u64,
+    pub invalidate_msgs: u64,
+    pub flush_msgs: u64,
+    pub urgent_flush_blocks: u64,
+    pub harvest_runs: u64,
+}
+
+/// A client range still waiting for fetched blocks.
+struct WaitingRange {
+    range: ByteRange,
+    missing: Vec<u64>,
+    buf: Vec<u8>,
+}
+
+/// Per (client, request) fetch state.
+struct PendingFetch {
+    fid: Fid,
+    client_port: Port,
+    waiting: Vec<WaitingRange>,
+}
+
+struct FlushTick;
+struct HarvestNow;
+
+/// The cache module actor.
+pub struct CacheModule {
+    node: NodeId,
+    fabric: ActorId,
+    cpu: SharedResource,
+    costs: CostModel,
+    cfg: CacheConfig,
+    cache: Arc<BufferManager>,
+    /// Client reply port → client actor (the processes on this node).
+    clients: HashMap<u16, ActorId>,
+    pending: HashMap<(u16, u64), PendingFetch>,
+    /// Blocks currently being fetched from an iod (the FSM's "transfers
+    /// pending" state); requests for these blocks wait instead of
+    /// re-fetching.
+    fetching: std::collections::HashSet<BlockKey>,
+    /// Which pending requests wait on each in-flight block.
+    block_waiters: HashMap<BlockKey, Vec<(u16, u64)>>,
+    /// Resident blocks in flight per flush request (completed on FlushAck).
+    inflight_flushes: HashMap<u64, Vec<(BlockKey, Span)>>,
+    flush_seq: u64,
+    harvest_scheduled: bool,
+    started: bool,
+    tag: u64,
+    stats: ModuleStats,
+}
+
+impl CacheModule {
+    pub fn new(
+        node: NodeId,
+        fabric: ActorId,
+        cpu: SharedResource,
+        costs: CostModel,
+        cfg: CacheConfig,
+    ) -> CacheModule {
+        let cache = Arc::new(BufferManager::with_watermarks(
+            cfg.capacity_blocks,
+            cfg.policy,
+            cfg.low_watermark,
+            cfg.high_watermark,
+        ));
+        CacheModule {
+            node,
+            fabric,
+            cpu,
+            costs,
+            cfg,
+            cache,
+            clients: HashMap::new(),
+            pending: HashMap::new(),
+            fetching: std::collections::HashSet::new(),
+            block_waiters: HashMap::new(),
+            inflight_flushes: HashMap::new(),
+            flush_seq: 1,
+            harvest_scheduled: false,
+            started: false,
+            tag: 0,
+            stats: ModuleStats::default(),
+        }
+    }
+
+    /// Register a client process living on this node (its reply port must
+    /// also be bound to this module in the node's `NodeNet`).
+    pub fn register_client(&mut self, port: Port, actor: ActorId) {
+        self.clients.insert(port.0, actor);
+    }
+
+    pub fn stats(&self) -> &ModuleStats {
+        &self.stats
+    }
+
+    pub fn cache(&self) -> &Arc<BufferManager> {
+        &self.cache
+    }
+
+    fn charge(&self, now: SimTime, d: Dur) -> SimTime {
+        resource::reserve(&self.cpu, now, d)
+    }
+
+    /// Deliver a synthesized message to a local client process.
+    fn to_client(&mut self, ctx: &mut Ctx<'_>, at: SimTime, port: Port, payload: impl Any) {
+        let Some(&client) = self.clients.get(&port.0) else {
+            debug_assert!(false, "no client registered on {:?}", port);
+            return;
+        };
+        self.tag += 1;
+        let m = NetMessage::new((self.node, CACHE_PORT), (self.node, port), 0, self.tag, payload);
+        ctx.schedule_in(at.since(ctx.now()), client, Deliver(m));
+    }
+
+    /// Put a (possibly rewritten) message on the wire.
+    fn to_net(&mut self, ctx: &mut Ctx<'_>, at: SimTime, m: NetMessage) {
+        ctx.schedule_in(at.since(ctx.now()), self.fabric, Xmit(m));
+    }
+
+    fn maybe_schedule_harvest(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.harvest_scheduled && self.cache.needs_harvest() {
+            self.harvest_scheduled = true;
+            ctx.schedule_self(self.cfg.harvester_wakeup, HarvestNow);
+        }
+    }
+
+    /// Ship flush items to their home iods (grouped per iod+fid).
+    /// `resident` items stay in the cache until their FlushAck arrives;
+    /// eviction victims are gone from the cache already.
+    fn send_flushes(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        at: SimTime,
+        items: Vec<FlushItem>,
+        urgent: bool,
+        resident: bool,
+    ) {
+        if items.is_empty() {
+            return;
+        }
+        if urgent {
+            self.stats.urgent_flush_blocks += items.len() as u64;
+        }
+        let mut groups: HashMap<(NodeId, Fid), Vec<(FlushEntry, BlockKey, Span)>> = HashMap::new();
+        for it in items {
+            groups.entry((it.home, it.key.fid)).or_default().push((
+                FlushEntry { blk: it.key.blk, offset: it.span.start, data: Bytes::from(it.data) },
+                it.key,
+                it.span,
+            ));
+        }
+        let mut at = at;
+        for ((home, fid), entries) in groups {
+            let nblocks = entries.len() as u64;
+            let cpu = self.costs.send_overhead
+                + Dur::nanos(self.costs.cache_copy_per_block.as_nanos() * nblocks / 4);
+            at = self.charge(at, cpu);
+            self.flush_seq += 1;
+            if resident {
+                self.inflight_flushes.insert(
+                    self.flush_seq,
+                    entries.iter().map(|(_, k, sp)| (*k, *sp)).collect(),
+                );
+            }
+            let f = FlushBlocks {
+                req_id: self.flush_seq,
+                fid,
+                blocks: entries.into_iter().map(|(e, _, _)| e).collect(),
+                reply_to: (self.node, CACHE_PORT),
+            };
+            self.tag += 1;
+            let wire = f.wire_bytes();
+            let m = NetMessage::new(
+                (self.node, CACHE_PORT),
+                (home, IOD_FLUSH_PORT),
+                wire,
+                self.tag,
+                f,
+            );
+            self.to_net(ctx, at, m);
+            self.stats.flush_msgs += 1;
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Outbound interception (libpvfs → net)
+    // -----------------------------------------------------------------
+
+    fn intercept_read(&mut self, ctx: &mut Ctx<'_>, mut net: NetMessage, rr: ReadReq) {
+        self.stats.reads_intercepted += 1;
+        let now = ctx.now();
+        let iod_node = net.dst;
+        let client_port = rr.reply_to.1;
+        let total_blocks: u64 =
+            rr.ranges.iter().map(|r| blocks_of_range(r.offset, r.len).count() as u64).sum();
+        // FSM + hash lookups for every block of the request.
+        let mut t = self.charge(
+            now,
+            self.costs.cache_call_overhead
+                + Dur::nanos(self.costs.cache_lookup_per_block.as_nanos() * total_blocks),
+        );
+
+        let mut served: Vec<(ByteRange, Vec<u8>)> = Vec::new();
+        let mut waiting: Vec<WaitingRange> = Vec::new();
+        let mut fetch_ranges: Vec<ByteRange> = Vec::new();
+        let mut hit_blocks = 0u64;
+        let mut waited_keys: Vec<BlockKey> = Vec::new();
+
+        for r in &rr.ranges {
+            let mut buf = vec![0u8; r.len as usize];
+            let mut missing: Vec<u64> = Vec::new();
+            for blk in blocks_of_range(r.offset, r.len) {
+                let span = span_in_block(blk, r.offset, r.len);
+                let lo = (blk * CACHE_BLOCK_SIZE as u64 + span.start as u64 - r.offset) as usize;
+                let hi = lo + span.len() as usize;
+                if self.cache.try_read(BlockKey::new(rr.fid, blk), span, &mut buf[lo..hi]) {
+                    hit_blocks += 1;
+                } else {
+                    missing.push(blk);
+                }
+            }
+            if missing.is_empty() {
+                served.push((*r, buf));
+            } else {
+                // Fetch only blocks not already in flight (the FSM's
+                // pending-block state): a concurrent fetch — possibly for a
+                // *different application's* process — will satisfy ours too.
+                let to_fetch: Vec<u64> = missing
+                    .iter()
+                    .copied()
+                    .filter(|blk| !self.fetching.contains(&BlockKey::new(rr.fid, *blk)))
+                    .collect();
+                self.stats.dedup_blocks += (missing.len() - to_fetch.len()) as u64;
+                for blk in &missing {
+                    waited_keys.push(BlockKey::new(rr.fid, *blk));
+                }
+                // Block-aligned fetch ranges over the to-fetch blocks,
+                // coalescing adjacent blocks. A cached block in the middle
+                // of the range splits the external request (§3.2).
+                let mut runs = 0;
+                let mut i = 0;
+                while i < to_fetch.len() {
+                    let start = to_fetch[i];
+                    let mut n = 1u64;
+                    while i + (n as usize) < to_fetch.len()
+                        && to_fetch[i + n as usize] == start + n
+                    {
+                        n += 1;
+                    }
+                    fetch_ranges.push(ByteRange::new(
+                        start * CACHE_BLOCK_SIZE as u64,
+                        (n * CACHE_BLOCK_SIZE as u64) as u32,
+                    ));
+                    self.fetching.insert(BlockKey::new(rr.fid, start));
+                    for b in start..start + n {
+                        self.fetching.insert(BlockKey::new(rr.fid, b));
+                    }
+                    runs += 1;
+                    i += n as usize;
+                }
+                if runs > 1
+                    || missing.len() as u64 != blocks_of_range(r.offset, r.len).count() as u64
+                {
+                    self.stats.request_splits += 1;
+                }
+                waiting.push(WaitingRange { range: *r, missing, buf });
+            }
+        }
+
+        // Copy cost for blocks served from cache.
+        if hit_blocks > 0 {
+            t = self.charge(t, Dur::nanos(self.costs.cache_copy_per_block.as_nanos() * hit_blocks));
+            self.stats.blocks_served += hit_blocks;
+        }
+
+        if waiting.is_empty() {
+            // Full hit: fake the ack, serve everything locally, and never
+            // touch the network.
+            self.stats.full_hits += 1;
+            self.stats.fake_read_acks += 1;
+            let total: u64 = rr.ranges.iter().map(|r| r.len as u64).sum();
+            self.stats.bytes_served += total;
+            self.to_client(ctx, t, client_port, ReadAck { req_id: rr.req_id, bytes: total });
+            for (range, buf) in served {
+                self.to_client(
+                    ctx,
+                    t,
+                    client_port,
+                    ReadData { req_id: rr.req_id, fid: rr.fid, range, data: Bytes::from(buf) },
+                );
+            }
+            return;
+        }
+        if hit_blocks > 0 {
+            self.stats.partial_hits += 1;
+        } else {
+            self.stats.full_misses += 1;
+        }
+        // Serve the fully-cached ranges now.
+        for (range, buf) in served {
+            self.stats.bytes_served += range.len as u64;
+            self.to_client(
+                ctx,
+                t,
+                client_port,
+                ReadData { req_id: rr.req_id, fid: rr.fid, range, data: Bytes::from(buf) },
+            );
+        }
+        // Register this request as a waiter on every missing block.
+        for key in waited_keys {
+            let entry = self.block_waiters.entry(key).or_default();
+            if !entry.contains(&(client_port.0, rr.req_id)) {
+                entry.push((client_port.0, rr.req_id));
+            }
+        }
+        match self.pending.entry((client_port.0, rr.req_id)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().waiting.extend(waiting);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                debug_assert!(
+                    self.clients.contains_key(&client_port.0),
+                    "intercepted request from unregistered client"
+                );
+                e.insert(PendingFetch { fid: rr.fid, client_port, waiting });
+            }
+        }
+        if fetch_ranges.is_empty() {
+            // Everything missing is already in flight for someone else:
+            // nothing to send, but the client still expects this iod's ack.
+            self.stats.fake_read_acks += 1;
+            let total: u64 = rr.ranges.iter().map(|r| r.len as u64).sum();
+            self.to_client(ctx, t, client_port, ReadAck { req_id: rr.req_id, bytes: total });
+            return;
+        }
+        let reduced = ReadReq {
+            req_id: rr.req_id,
+            fid: rr.fid,
+            ranges: fetch_ranges,
+            reply_to: rr.reply_to,
+            caching: true,
+        };
+        let wire = reduced.wire_bytes();
+        // The client already paid the socket-call cost; the in-kernel
+        // module only rewrites and passes the buffer onward.
+        t = self.charge(t, self.costs.cache_call_overhead);
+        net.wire_bytes = wire;
+        net.payload = Box::new(reduced);
+        let _ = iod_node;
+        self.to_net(ctx, t, net);
+    }
+
+    fn intercept_write(&mut self, ctx: &mut Ctx<'_>, mut net: NetMessage, wr: WriteReq) {
+        self.stats.writes_intercepted += 1;
+        let now = ctx.now();
+        let iod_node = net.dst;
+        let client_port = wr.reply_to.1;
+        let total_bytes = wr.total_bytes();
+
+        if !self.cfg.write_behind || wr.sync {
+            // Write-through ablation, or coherent sync-write: update any
+            // resident blocks in place, then forward the full request.
+            if wr.sync {
+                self.stats.sync_writes += 1;
+            }
+            let mut blocks = 0u64;
+            for part in &wr.parts {
+                for blk in blocks_of_range(part.range.offset, part.range.len) {
+                    blocks += 1;
+                    let span = span_in_block(blk, part.range.offset, part.range.len);
+                    let lo = (blk * CACHE_BLOCK_SIZE as u64 + span.start as u64
+                        - part.range.offset) as usize;
+                    let hi = lo + span.len() as usize;
+                    self.cache.update_if_present(
+                        BlockKey::new(wr.fid, blk),
+                        span,
+                        &part.data[lo..hi],
+                    );
+                }
+            }
+            let t = self.charge(
+                now,
+                self.costs.cache_call_overhead
+                    + Dur::nanos(self.costs.cache_lookup_per_block.as_nanos() * blocks),
+            );
+            self.stats.bytes_passthrough += total_bytes;
+            net.payload = Box::new(wr);
+            self.to_net(ctx, t, net);
+            return;
+        }
+
+        let nblocks: u64 =
+            wr.parts.iter().map(|p| blocks_of_range(p.range.offset, p.range.len).count() as u64).sum();
+        let mut t = self.charge(
+            now,
+            self.costs.cache_call_overhead
+                + Dur::nanos(self.costs.cache_lookup_per_block.as_nanos() * nblocks),
+        );
+
+        let mut passthrough: Vec<WritePart> = Vec::new();
+        let mut absorbed_blocks = 0u64;
+        let mut absorbed_bytes = 0u64;
+        for part in &wr.parts {
+            // Try to absorb block by block; contiguous failures re-form
+            // pass-through parts.
+            let mut fail_start: Option<u64> = None; // byte offset
+            let mut fail_end: u64 = 0;
+            for blk in blocks_of_range(part.range.offset, part.range.len) {
+                let span = span_in_block(blk, part.range.offset, part.range.len);
+                let abs_start = blk * CACHE_BLOCK_SIZE as u64 + span.start as u64;
+                let lo = (abs_start - part.range.offset) as usize;
+                let hi = lo + span.len() as usize;
+                let outcome = self.cache.write(
+                    BlockKey::new(wr.fid, blk),
+                    iod_node,
+                    span,
+                    &part.data[lo..hi],
+                );
+                match outcome {
+                    WriteOutcome::Absorbed => {
+                        absorbed_blocks += 1;
+                        absorbed_bytes += span.len() as u64;
+                        self.maybe_schedule_harvest(ctx);
+                    }
+                    WriteOutcome::PassThrough => match fail_start {
+                        Some(_) if fail_end == abs_start => fail_end += span.len() as u64,
+                        Some(s) => {
+                            passthrough.push(Self::slice_part(part, s, fail_end));
+                            fail_start = Some(abs_start);
+                            fail_end = abs_start + span.len() as u64;
+                        }
+                        None => {
+                            fail_start = Some(abs_start);
+                            fail_end = abs_start + span.len() as u64;
+                        }
+                    },
+                }
+            }
+            if let Some(s) = fail_start {
+                passthrough.push(Self::slice_part(part, s, fail_end));
+            }
+        }
+        if absorbed_blocks > 0 {
+            t = self.charge(
+                t,
+                Dur::nanos(self.costs.cache_copy_per_block.as_nanos() * absorbed_blocks),
+            );
+        }
+        self.stats.bytes_absorbed += absorbed_bytes;
+        if passthrough.is_empty() {
+            // Fully absorbed: fake the write ack (write-behind).
+            self.stats.fake_write_acks += 1;
+            self.to_client(
+                ctx,
+                t,
+                client_port,
+                WriteAck { req_id: wr.req_id, bytes: total_bytes },
+            );
+        } else {
+            let pass_bytes: u64 = passthrough.iter().map(|p| p.range.len as u64).sum();
+            self.stats.bytes_passthrough += pass_bytes;
+            let reduced = WriteReq {
+                req_id: wr.req_id,
+                fid: wr.fid,
+                parts: passthrough,
+                reply_to: wr.reply_to,
+                caching: true,
+                sync: false,
+            };
+            t = self.charge(t, self.costs.cache_call_overhead);
+            net.wire_bytes = reduced.wire_bytes();
+            net.payload = Box::new(reduced);
+            self.to_net(ctx, t, net);
+        }
+    }
+
+    fn slice_part(part: &WritePart, abs_start: u64, abs_end: u64) -> WritePart {
+        let lo = (abs_start - part.range.offset) as usize;
+        let hi = (abs_end - part.range.offset) as usize;
+        WritePart {
+            range: ByteRange::new(abs_start, (abs_end - abs_start) as u32),
+            data: part.data.slice(lo..hi),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Inbound interception (net → libpvfs)
+    // -----------------------------------------------------------------
+
+    fn inbound_read_data(&mut self, ctx: &mut Ctx<'_>, net: NetMessage, rd: ReadData) {
+        let now = ctx.now();
+        let home = net.src;
+        let nblocks = blocks_of_range(rd.range.offset, rd.range.len).count() as u64;
+        self.stats.blocks_fetched += nblocks;
+        self.stats.bytes_fetched += rd.range.len as u64;
+        let t = self.charge(
+            now,
+            self.costs.cache_call_overhead
+                + Dur::nanos(self.costs.cache_insert_per_block.as_nanos() * nblocks),
+        );
+        // Install the fetched blocks and wake every waiter — including
+        // waiters belonging to *other processes* whose fetches were
+        // suppressed by the pending-block state.
+        let mut urgent: Vec<FlushItem> = Vec::new();
+        let mut completed: Vec<(Port, u64, Fid, ByteRange, Vec<u8>)> = Vec::new();
+        for blk in blocks_of_range(rd.range.offset, rd.range.len) {
+            let key = BlockKey::new(rd.fid, blk);
+            let span = span_in_block(blk, rd.range.offset, rd.range.len);
+            let lo = (blk * CACHE_BLOCK_SIZE as u64 + span.start as u64 - rd.range.offset) as usize;
+            let hi = lo + span.len() as usize;
+            if let Some(fl) = self.cache.insert_clean(key, home, span, &rd.data[lo..hi]) {
+                urgent.push(fl);
+            }
+            self.maybe_schedule_harvest(ctx);
+            self.fetching.remove(&key);
+            let Some(waiters) = self.block_waiters.remove(&key) else {
+                continue;
+            };
+            for (port, req_id) in waiters {
+                let Some(pf) = self.pending.get_mut(&(port, req_id)) else {
+                    continue;
+                };
+                let fid = pf.fid;
+                let client_port = pf.client_port;
+                for w in &mut pf.waiting {
+                    let Some(pos) = w.missing.iter().position(|b| *b == blk) else {
+                        continue;
+                    };
+                    let wspan = span_in_block(blk, w.range.offset, w.range.len);
+                    debug_assert!(span.covers(wspan), "fetch did not cover the waiter span");
+                    let abs = blk * CACHE_BLOCK_SIZE as u64;
+                    let src_lo = (abs + wspan.start as u64 - rd.range.offset) as usize;
+                    let dst_lo = (abs + wspan.start as u64 - w.range.offset) as usize;
+                    let n = wspan.len() as usize;
+                    w.buf[dst_lo..dst_lo + n].copy_from_slice(&rd.data[src_lo..src_lo + n]);
+                    w.missing.remove(pos);
+                    if w.missing.is_empty() {
+                        completed.push((
+                            client_port,
+                            req_id,
+                            fid,
+                            w.range,
+                            std::mem::take(&mut w.buf),
+                        ));
+                    }
+                }
+                pf.waiting.retain(|w| !w.missing.is_empty());
+                if pf.waiting.is_empty() {
+                    self.pending.remove(&(port, req_id));
+                }
+            }
+        }
+        if !urgent.is_empty() {
+            self.send_flushes(ctx, t, urgent, true, false);
+        }
+        if !completed.is_empty() {
+            for (client_port, req_id, fid, range, buf) in completed {
+                self.to_client(
+                    ctx,
+                    t,
+                    client_port,
+                    ReadData { req_id, fid, range, data: Bytes::from(buf) },
+                );
+            }
+        }
+    }
+
+    fn inbound(&mut self, ctx: &mut Ctx<'_>, net: NetMessage) {
+        // Coherence traffic addressed to the module itself.
+        if net.dst_port == CACHE_PORT {
+            let net = match net.cast::<Invalidate>() {
+                Ok((meta, inv)) => {
+                    self.stats.invalidate_msgs += 1;
+                    let t = self.charge(
+                        ctx.now(),
+                        self.costs.cache_call_overhead
+                            + Dur::nanos(
+                                self.costs.cache_lookup_per_block.as_nanos()
+                                    * inv.blocks.len() as u64,
+                            )
+                            + self.costs.send_overhead,
+                    );
+                    self.cache
+                        .invalidate(inv.blocks.iter().map(|b| BlockKey::new(inv.fid, *b)));
+                    self.tag += 1;
+                    let ack = InvalidateAck { req_id: inv.req_id };
+                    let m = NetMessage::new(
+                        (self.node, CACHE_PORT),
+                        inv.reply_to,
+                        ack.wire_bytes(),
+                        self.tag,
+                        ack,
+                    );
+                    let _ = meta;
+                    self.to_net(ctx, t, m);
+                    return;
+                }
+                Err(n) => n,
+            };
+            let _net = match net.cast::<FlushAck>() {
+                Ok((_, ack)) => {
+                    if let Some(done) = self.inflight_flushes.remove(&ack.req_id) {
+                        for (key, span) in done {
+                            self.cache.flush_complete(key, span);
+                        }
+                    }
+                    // Keep the drain pipeline full while a backlog remains.
+                    if self.cache.dirty_queue_len() > 0 {
+                        let items = self.cache.take_dirty(self.cfg.flush_batch);
+                        let now = ctx.now();
+                        self.send_flushes(ctx, now, items, false, true);
+                    }
+                    return;
+                }
+                Err(n) => n,
+            };
+            debug_assert!(false, "unexpected message on cache port");
+            return;
+        }
+        // iod replies on client ports.
+        let net = match net.cast::<ReadAck>() {
+            Ok((meta, ack)) => {
+                // Forward the (real) ack to the client (FSM transition).
+                let t = self.charge(ctx.now(), self.costs.cache_call_overhead);
+                self.to_client(ctx, t, meta.dst_port, *ack);
+                return;
+            }
+            Err(n) => n,
+        };
+        let net = match net.cast::<WriteAck>() {
+            Ok((meta, ack)) => {
+                let t = self.charge(ctx.now(), self.costs.cache_call_overhead);
+                self.to_client(ctx, t, meta.dst_port, *ack);
+                return;
+            }
+            Err(n) => n,
+        };
+        let net = match net.cast::<ReadData>() {
+            Ok((meta, rd)) => {
+                let net2 = NetMessage::new(
+                    (meta.src, meta.src_port),
+                    (meta.dst, meta.dst_port),
+                    meta.wire_bytes,
+                    meta.tag,
+                    (),
+                );
+                self.inbound_read_data(ctx, net2, *rd);
+                return;
+            }
+            Err(n) => n,
+        };
+        // Anything else on a client port (mgr replies, etc.) is not iod
+        // data traffic: hand it to the client process untouched.
+        let Some(&client) = self.clients.get(&net.dst_port.0) else {
+            panic!("cache module: unexpected inbound payload {:?}", net);
+        };
+        ctx.schedule_in(Dur::ZERO, client, Deliver(net));
+    }
+
+    fn flush_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let items = self.cache.take_dirty(self.cfg.flush_batch);
+        let now = ctx.now();
+        self.send_flushes(ctx, now, items, false, true);
+        ctx.schedule_self(self.cfg.flush_interval, FlushTick);
+    }
+
+    fn harvest_now(&mut self, ctx: &mut Ctx<'_>) {
+        self.harvest_scheduled = false;
+        self.stats.harvest_runs += 1;
+        let items = self.cache.harvest();
+        let now = ctx.now();
+        let t = self.charge(now, Dur::nanos(self.costs.cache_lookup_per_block.as_nanos() * 8));
+        self.send_flushes(ctx, t, items, true, true);
+        // If still below the watermark (everything dirty and in flight),
+        // try again after the next wakeup.
+        self.maybe_schedule_harvest(ctx);
+    }
+}
+
+impl Actor for CacheModule {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if !self.started {
+            self.started = true;
+            ctx.schedule_self(self.cfg.flush_interval, FlushTick);
+        }
+        // Outbound: libpvfs socket sends.
+        let msg = match msg.cast::<Xmit>() {
+            Ok(x) => {
+                let net = x.0;
+                let net = match net.cast::<ReadReq>() {
+                    Ok((meta, rr)) => {
+                        let net2 = NetMessage::new(
+                            (meta.src, meta.src_port),
+                            (meta.dst, meta.dst_port),
+                            meta.wire_bytes,
+                            meta.tag,
+                            (),
+                        );
+                        return self.intercept_read(ctx, net2, *rr);
+                    }
+                    Err(n) => n,
+                };
+                let net = match net.cast::<WriteReq>() {
+                    Ok((meta, wr)) => {
+                        let net2 = NetMessage::new(
+                            (meta.src, meta.src_port),
+                            (meta.dst, meta.dst_port),
+                            meta.wire_bytes,
+                            meta.tag,
+                            (),
+                        );
+                        return self.intercept_write(ctx, net2, *wr);
+                    }
+                    Err(n) => n,
+                };
+                // Anything else (mgr traffic routed here by mistake, etc.)
+                // passes through untouched.
+                let now = ctx.now();
+                self.to_net(ctx, now, net);
+                return;
+            }
+            Err(m) => m,
+        };
+        // Inbound: deliveries re-routed to the module by NodeNet.
+        let msg = match msg.cast::<Deliver>() {
+            Ok(d) => return self.inbound(ctx, d.0),
+            Err(m) => m,
+        };
+        let msg = match msg.cast::<FlushTick>() {
+            Ok(_) => return self.flush_tick(ctx),
+            Err(m) => m,
+        };
+        if msg.is::<HarvestNow>() {
+            self.harvest_now(ctx);
+        } else {
+            panic!("cache module received unexpected message");
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("kcache-{}", self.node)
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
+    }
+}

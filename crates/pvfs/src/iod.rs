@@ -1,0 +1,886 @@
+//! The PVFS data server daemon (`iod`).
+//!
+//! One per storage node. Serves striped reads/writes from its local file
+//! system through the node's OS page cache and disk, listens on a separate
+//! port for cache-module flushes (the paper's server-side flusher), and —
+//! for the coherence extension — keeps a **per-block directory** of which
+//! client nodes cache each block, so a sync-write can invalidate them
+//! (§3.2: "requires a directory entry per block (at the IOD)").
+
+use crate::config::{CostModel, PvfsConfig};
+use crate::protocol::{
+    pattern_bytes, ByteRange, Fid, FlushAck, FlushBlocks, Invalidate, InvalidateAck, ReadAck,
+    ReadData, ReadReq, WriteAck, WriteReq, CACHE_PORT, IOD_FLUSH_PORT, IOD_PORT,
+};
+use bytes::Bytes;
+use sim_core::{resource, Actor, ActorId, Ctx, Dur, Msg, SharedResource, SimTime};
+use sim_net::{Deliver, NetMessage, NodeId, Port, Xmit};
+use sim_disk::{BlockFs, DiskOp, DiskReply, DiskRequest, Ino, PageCache, BLOCK_SIZE};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// iod statistics.
+#[derive(Debug, Default, Clone)]
+pub struct IodStats {
+    pub read_reqs: u64,
+    pub write_reqs: u64,
+    pub flush_reqs: u64,
+    pub sync_writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub disk_reads: u64,
+    pub disk_writes: u64,
+    pub invalidations_sent: u64,
+    pub directory_entries: u64,
+}
+
+struct PendingRead {
+    req: ReadReq,
+    disk_remaining: usize,
+}
+
+struct PendingSync {
+    req_id: u64,
+    reply_to: (NodeId, Port),
+    acks_remaining: usize,
+    bytes: u64,
+}
+
+/// Periodic dirty-page write-back tick (Linux kupdate analogue).
+struct KupdateTick;
+
+/// The data server actor.
+pub struct Iod {
+    node: NodeId,
+    fabric: ActorId,
+    disk: ActorId,
+    cpu: SharedResource,
+    costs: CostModel,
+    cfg: PvfsConfig,
+    fs: BlockFs,
+    files: HashMap<Fid, Ino>,
+    pcache: PageCache,
+    /// (fid, logical 4 KB block) → client nodes holding a cached copy.
+    directory: HashMap<(Fid, u64), Vec<NodeId>>,
+    pending_reads: HashMap<u64, PendingRead>,
+    /// disk token → pending read id.
+    token_owner: HashMap<u64, u64>,
+    pending_syncs: HashMap<u64, PendingSync>,
+    next_pending: u64,
+    next_token: u64,
+    next_inv_req: u64,
+    tag: u64,
+    stats: IodStats,
+    started: bool,
+}
+
+impl Iod {
+    pub fn new(
+        node: NodeId,
+        fabric: ActorId,
+        disk: ActorId,
+        cpu: SharedResource,
+        costs: CostModel,
+        cfg: PvfsConfig,
+        fs_capacity_blocks: u64,
+    ) -> Iod {
+        let pages = cfg.iod_page_cache_pages;
+        Iod {
+            node,
+            fabric,
+            disk,
+            cpu,
+            costs,
+            cfg,
+            fs: BlockFs::new(fs_capacity_blocks),
+            files: HashMap::new(),
+            pcache: PageCache::new(pages),
+            directory: HashMap::new(),
+            pending_reads: HashMap::new(),
+            token_owner: HashMap::new(),
+            pending_syncs: HashMap::new(),
+            next_pending: 1,
+            next_token: 1,
+            next_inv_req: 1,
+            tag: 0,
+            stats: IodStats::default(),
+            started: false,
+        }
+    }
+
+    pub fn stats(&self) -> &IodStats {
+        &self.stats
+    }
+
+    pub fn page_cache(&self) -> &PageCache {
+        &self.pcache
+    }
+
+    /// Number of nodes registered for a block in the coherence directory.
+    pub fn directory_sharers(&self, fid: Fid, block: u64) -> usize {
+        self.directory.get(&(fid, block)).map_or(0, |v| v.len())
+    }
+
+    /// First physical block backing a fid's local file, if any (test probe).
+    pub fn fs_extent_probe(&self, fid: Fid) -> Option<u64> {
+        let ino = *self.files.get(&fid)?;
+        self.fs
+            .extents_of(ino, 0, BLOCK_SIZE)
+            .ok()
+            .and_then(|e| e.first().map(|x| x.pblk))
+    }
+
+    /// Pre-populate this iod's share of a file with deterministic pattern
+    /// bytes, outside simulated time (experiment setup). With `warm` the
+    /// pages are also brought into the server page cache, modelling a file
+    /// written recently enough to still be memory-resident — the state the
+    /// paper's measurements run against.
+    pub fn preload(&mut self, fid: Fid, ranges: &[ByteRange], warm: bool) {
+        let ino = self.file_for(fid);
+        for r in ranges {
+            let data = pattern_bytes(fid, r.offset, r.len as usize);
+            let out = self.fs.write(ino, r.offset, &data).expect("preload write failed");
+            if warm {
+                for e in &out.extents {
+                    for p in e.pblk..e.pblk + e.blocks as u64 {
+                        self.pcache.insert(p, false);
+                    }
+                }
+            }
+        }
+    }
+
+    fn file_for(&mut self, fid: Fid) -> Ino {
+        match self.files.get(&fid) {
+            Some(&ino) => ino,
+            None => {
+                let ino = self
+                    .fs
+                    .open_or_create(&format!("fid{}", fid.0))
+                    .expect("iod namespace full");
+                self.files.insert(fid, ino);
+                ino
+            }
+        }
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_>, at: SimTime, src_port: Port, dst: (NodeId, Port), wire: u32, payload: impl Any) {
+        self.tag += 1;
+        let m = NetMessage::new((self.node, src_port), dst, wire, self.tag, payload);
+        ctx.schedule_in(at.since(ctx.now()), self.fabric, Xmit(m));
+    }
+
+    fn register_reader(&mut self, fid: Fid, blocks: impl Iterator<Item = u64>, node: NodeId) {
+        for b in blocks {
+            let entry = self.directory.entry((fid, b)).or_default();
+            if !entry.contains(&node) {
+                entry.push(node);
+                self.stats.directory_entries += 1;
+            }
+        }
+    }
+
+    fn blocks_of(range: &ByteRange) -> impl Iterator<Item = u64> {
+        let first = range.offset / BLOCK_SIZE as u64;
+        let last = (range.end().saturating_sub(1)) / BLOCK_SIZE as u64;
+        first..=last
+    }
+
+    /// Bring every page backing `range` into the page cache; returns the
+    /// physical extents that must be read from disk, and handles dirty
+    /// evictions by issuing background disk writes.
+    fn stage_range(&mut self, ctx: &mut Ctx<'_>, ino: Ino, range: &ByteRange) -> Vec<(u64, u32)> {
+        let mut miss_pblks: Vec<u64> = Vec::new();
+        let exts = self.fs.extents_of(ino, range.offset, range.len as usize).unwrap_or_default();
+        for e in exts {
+            for p in e.pblk..e.pblk + e.blocks as u64 {
+                if !self.pcache.lookup(p) {
+                    miss_pblks.push(p);
+                    if let Some(ev) = self.pcache.insert(p, false) {
+                        if ev.dirty {
+                            self.issue_disk(ctx, DiskOp::Write, ev.pblk, 1, 0);
+                        }
+                    }
+                }
+            }
+        }
+        // Coalesce into contiguous disk requests.
+        miss_pblks.sort_unstable();
+        miss_pblks.dedup();
+        let mut runs: Vec<(u64, u32)> = Vec::new();
+        for p in miss_pblks {
+            match runs.last_mut() {
+                Some((start, n)) if *start + *n as u64 == p => *n += 1,
+                _ => runs.push((p, 1)),
+            }
+        }
+        runs
+    }
+
+    fn issue_disk(&mut self, ctx: &mut Ctx<'_>, op: DiskOp, pblk: u64, blocks: u32, token: u64) {
+        match op {
+            DiskOp::Read => self.stats.disk_reads += 1,
+            DiskOp::Write => self.stats.disk_writes += 1,
+        }
+        ctx.schedule_in(
+            Dur::ZERO,
+            self.disk,
+            DiskRequest { op, pblk, blocks, reply_to: ctx.self_id(), token },
+        );
+    }
+
+    fn handle_read(&mut self, ctx: &mut Ctx<'_>, req: ReadReq) {
+        self.stats.read_reqs += 1;
+        let now = ctx.now();
+        let total: u64 = req.ranges.iter().map(|r| r.len as u64).sum();
+        self.stats.bytes_read += total;
+        let t1 = resource::reserve(
+            &self.cpu,
+            now,
+            self.costs.recv_overhead + self.costs.iod_request_overhead + self.costs.send_overhead,
+        );
+        // Acknowledge acceptance (libpvfs blocks on this).
+        self.send(
+            ctx,
+            t1,
+            IOD_PORT,
+            req.reply_to,
+            ReadAck { req_id: req.req_id, bytes: total }.wire_bytes(),
+            ReadAck { req_id: req.req_id, bytes: total },
+        );
+        if req.caching {
+            let fid = req.fid;
+            let node = req.reply_to.0;
+            let blocks: Vec<u64> = req.ranges.iter().flat_map(Self::blocks_of).collect();
+            self.register_reader(fid, blocks.into_iter(), node);
+        }
+        let ino = self.file_for(req.fid);
+        // Stage pages; issue disk reads for the misses.
+        let mut disk_ops = 0usize;
+        let pending_id = self.next_pending;
+        let ranges = req.ranges.clone();
+        for r in &ranges {
+            for (pblk, blocks) in self.stage_range(ctx, ino, r) {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.token_owner.insert(token, pending_id);
+                self.issue_disk(ctx, DiskOp::Read, pblk, blocks, token);
+                disk_ops += 1;
+            }
+        }
+        if disk_ops == 0 {
+            self.finish_read(ctx, req);
+        } else {
+            self.next_pending += 1;
+            self.pending_reads.insert(pending_id, PendingRead { req, disk_remaining: disk_ops });
+        }
+    }
+
+    fn finish_read(&mut self, ctx: &mut Ctx<'_>, req: ReadReq) {
+        let now = ctx.now();
+        let ino = self.file_for(req.fid);
+        // Copy cost: per 4 KB block moved from page cache to the socket,
+        // plus one send per data message.
+        let total_blocks: u64 = req.ranges.iter().map(|r| Self::blocks_of(r).count() as u64).sum();
+        let cpu = Dur::nanos(self.costs.iod_copy_per_block.as_nanos() * total_blocks)
+            + Dur::nanos(self.costs.send_overhead.as_nanos() * req.ranges.len().max(1) as u64);
+        let t = resource::reserve(&self.cpu, now, cpu);
+        for r in &req.ranges {
+            let mut buf = vec![0u8; r.len as usize];
+            let got = self.fs.read(ino, r.offset, &mut buf).map(|o| o.bytes).unwrap_or(0);
+            // Bytes past EOF stay zero: the logical file is pre-sized by the
+            // mgr, unwritten regions read as holes.
+            let _ = got;
+            let rd = ReadData {
+                req_id: req.req_id,
+                fid: req.fid,
+                range: *r,
+                data: Bytes::from(buf),
+            };
+            let wire = rd.wire_bytes();
+            self.send(ctx, t, IOD_PORT, req.reply_to, wire, rd);
+        }
+    }
+
+    fn apply_write(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        fid: Fid,
+        range: &ByteRange,
+        data: &Bytes,
+    ) {
+        let ino = self.file_for(fid);
+        debug_assert_eq!(data.len(), range.len as usize);
+        let out = self.fs.write(ino, range.offset, data).expect("iod disk full");
+        for e in &out.extents {
+            for p in e.pblk..e.pblk + e.blocks as u64 {
+                if let Some(ev) = self.pcache.insert(p, true) {
+                    if ev.dirty {
+                        self.issue_disk(ctx, DiskOp::Write, ev.pblk, 1, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_write(&mut self, ctx: &mut Ctx<'_>, req: WriteReq) {
+        self.stats.write_reqs += 1;
+        let now = ctx.now();
+        let total = req.total_bytes();
+        let blocks: u64 = req.parts.iter().map(|p| Self::blocks_of(&p.range).count() as u64).sum();
+        self.stats.bytes_written += total;
+        let cpu = self.costs.recv_overhead
+            + self.costs.iod_request_overhead
+            + Dur::nanos(self.costs.iod_copy_per_block.as_nanos() * blocks)
+            + self.costs.send_overhead;
+        let t = resource::reserve(&self.cpu, now, cpu);
+        for part in &req.parts {
+            self.apply_write(ctx, req.fid, &part.range, &part.data);
+        }
+        if req.caching {
+            let blocks: Vec<u64> =
+                req.parts.iter().flat_map(|p| Self::blocks_of(&p.range)).collect();
+            self.register_reader(req.fid, blocks.into_iter(), req.reply_to.0);
+        }
+        if req.sync {
+            self.stats.sync_writes += 1;
+            self.start_invalidation(ctx, t, req);
+        } else {
+            let ack = WriteAck { req_id: req.req_id, bytes: total };
+            self.send(ctx, t, IOD_PORT, req.reply_to, ack.wire_bytes(), ack);
+        }
+    }
+
+    /// Sync-write coherence: invalidate every *other* node caching one of
+    /// the written blocks, ack the writer once all invalidations complete.
+    fn start_invalidation(&mut self, ctx: &mut Ctx<'_>, t: SimTime, req: WriteReq) {
+        let writer = req.reply_to.0;
+        let mut per_node: HashMap<NodeId, Vec<u64>> = HashMap::new();
+        for b in req.parts.iter().flat_map(|p| Self::blocks_of(&p.range)) {
+            if let Some(nodes) = self.directory.get_mut(&(req.fid, b)) {
+                nodes.retain(|n| {
+                    if *n == writer {
+                        true
+                    } else {
+                        per_node.entry(*n).or_default().push(b);
+                        false // invalidated below: drop from directory
+                    }
+                });
+            }
+        }
+        if per_node.is_empty() {
+            let ack = WriteAck { req_id: req.req_id, bytes: req.total_bytes() };
+            self.send(ctx, t, IOD_PORT, req.reply_to, ack.wire_bytes(), ack);
+            return;
+        }
+        let inv_req = self.next_inv_req;
+        self.next_inv_req += 1;
+        self.pending_syncs.insert(
+            inv_req,
+            PendingSync {
+                req_id: req.req_id,
+                reply_to: req.reply_to,
+                acks_remaining: per_node.len(),
+                bytes: req.total_bytes(),
+            },
+        );
+        for (node, blocks) in per_node {
+            self.stats.invalidations_sent += 1;
+            let inv = Invalidate {
+                req_id: inv_req,
+                fid: req.fid,
+                blocks,
+                reply_to: (self.node, IOD_PORT),
+            };
+            let wire = inv.wire_bytes();
+            let t_send = resource::reserve(&self.cpu, t, self.costs.send_overhead);
+            self.send(ctx, t_send, IOD_PORT, (node, CACHE_PORT), wire, inv);
+        }
+    }
+
+    fn handle_flush(&mut self, ctx: &mut Ctx<'_>, f: FlushBlocks) {
+        self.stats.flush_reqs += 1;
+        let now = ctx.now();
+        let nblocks = f.blocks.len() as u64;
+        self.stats.bytes_written += f.total_bytes();
+        let cpu = self.costs.recv_overhead
+            + self.costs.iod_request_overhead
+            + Dur::nanos(self.costs.iod_copy_per_block.as_nanos() * nblocks)
+            + self.costs.send_overhead;
+        let t = resource::reserve(&self.cpu, now, cpu);
+        for e in &f.blocks {
+            let range =
+                ByteRange::new(e.blk * BLOCK_SIZE as u64 + e.offset as u64, e.data.len() as u32);
+            self.apply_write(ctx, f.fid, &range, &e.data);
+        }
+        // The flushing node keeps the blocks cached (now clean): track it.
+        let flusher = f.reply_to.0;
+        let blocks: Vec<u64> = f.blocks.iter().map(|e| e.blk).collect();
+        self.register_reader(f.fid, blocks.into_iter(), flusher);
+        let ack = FlushAck { req_id: f.req_id };
+        self.send(ctx, t, IOD_FLUSH_PORT, f.reply_to, ack.wire_bytes(), ack);
+    }
+
+    fn handle_disk_reply(&mut self, ctx: &mut Ctx<'_>, r: DiskReply) {
+        if r.token == 0 {
+            return; // background write-back completion
+        }
+        let Some(pending_id) = self.token_owner.remove(&r.token) else {
+            return;
+        };
+        let done = {
+            let p = self.pending_reads.get_mut(&pending_id).expect("orphan disk token");
+            p.disk_remaining -= 1;
+            p.disk_remaining == 0
+        };
+        if done {
+            let p = self.pending_reads.remove(&pending_id).unwrap();
+            self.finish_read(ctx, p.req);
+        }
+    }
+
+    fn kupdate(&mut self, ctx: &mut Ctx<'_>) {
+        let dirty = self.pcache.drain_dirty(self.cfg.iod_flush_batch);
+        // Coalesce contiguous pages into single disk writes.
+        let mut sorted = dirty;
+        sorted.sort_unstable();
+        let mut i = 0;
+        while i < sorted.len() {
+            let start = sorted[i];
+            let mut n = 1u32;
+            while i + (n as usize) < sorted.len() && sorted[i + n as usize] == start + n as u64 {
+                n += 1;
+            }
+            self.issue_disk(ctx, DiskOp::Write, start, n, 0);
+            i += n as usize;
+        }
+        ctx.schedule_self(self.cfg.iod_flush_interval, KupdateTick);
+    }
+}
+
+impl Actor for Iod {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if !self.started {
+            self.started = true;
+            ctx.schedule_self(self.cfg.iod_flush_interval, KupdateTick);
+        }
+        let msg = match msg.cast::<Deliver>() {
+            Ok(d) => {
+                let net = d.0;
+                let net = match net.cast::<ReadReq>() {
+                    Ok((_, r)) => return self.handle_read(ctx, *r),
+                    Err(n) => n,
+                };
+                let net = match net.cast::<WriteReq>() {
+                    Ok((_, w)) => return self.handle_write(ctx, *w),
+                    Err(n) => n,
+                };
+                let net = match net.cast::<FlushBlocks>() {
+                    Ok((_, f)) => return self.handle_flush(ctx, *f),
+                    Err(n) => n,
+                };
+                match net.cast::<InvalidateAck>() {
+                    Ok((_, ack)) => {
+                        let done = {
+                            let Some(p) = self.pending_syncs.get_mut(&ack.req_id) else {
+                                return;
+                            };
+                            p.acks_remaining -= 1;
+                            p.acks_remaining == 0
+                        };
+                        if done {
+                            let p = self.pending_syncs.remove(&ack.req_id).unwrap();
+                            let t = resource::reserve(
+                                &self.cpu,
+                                ctx.now(),
+                                self.costs.recv_overhead + self.costs.send_overhead,
+                            );
+                            let wack = WriteAck { req_id: p.req_id, bytes: p.bytes };
+                            self.send(ctx, t, IOD_PORT, p.reply_to, wack.wire_bytes(), wack);
+                        }
+                        return;
+                    }
+                    Err(n) => panic!("iod received unknown network payload: {:?}", n),
+                }
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.cast::<DiskReply>() {
+            Ok(r) => return self.handle_disk_reply(ctx, *r),
+            Err(m) => m,
+        };
+        if msg.is::<KupdateTick>() {
+            self.kupdate(ctx);
+        } else {
+            panic!("iod received unexpected message");
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("iod-{}", self.node)
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{pattern_byte, FlushEntry, WritePart};
+    use sim_core::{Engine, FifoResource};
+    use sim_disk::{DiskGeometry, DiskSched};
+    use sim_net::{Fabric, NetConfig};
+
+    /// Endpoint that records every delivered protocol message.
+    struct Client {
+        acks: Vec<ReadAck>,
+        data: Vec<ReadData>,
+        wacks: Vec<WriteAck>,
+        facks: Vec<FlushAck>,
+        invs: Vec<(Invalidate, SimTime)>,
+        auto_ack_invalidate: bool,
+        fabric: ActorId,
+        node: NodeId,
+    }
+
+    impl Actor for Client {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            let d = match msg.cast::<Deliver>() {
+                Ok(d) => d.0,
+                Err(_) => return,
+            };
+            let d = match d.cast::<ReadAck>() {
+                Ok((_, a)) => return self.acks.push(*a),
+                Err(d) => d,
+            };
+            let d = match d.cast::<ReadData>() {
+                Ok((_, r)) => return self.data.push(*r),
+                Err(d) => d,
+            };
+            let d = match d.cast::<WriteAck>() {
+                Ok((_, a)) => return self.wacks.push(*a),
+                Err(d) => d,
+            };
+            let d = match d.cast::<FlushAck>() {
+                Ok((_, a)) => return self.facks.push(*a),
+                Err(d) => d,
+            };
+            if let Ok((_, inv)) = d.cast::<Invalidate>() {
+                if self.auto_ack_invalidate {
+                    let ack = InvalidateAck { req_id: inv.req_id };
+                    let m = NetMessage::new(
+                        (self.node, CACHE_PORT),
+                        inv.reply_to,
+                        ack.wire_bytes(),
+                        0,
+                        ack,
+                    );
+                    ctx.schedule_in(Dur::ZERO, self.fabric, Xmit(m));
+                }
+                self.invs.push((*inv, ctx.now()));
+            }
+        }
+        fn as_any(&self) -> Option<&dyn Any> {
+            Some(self)
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+            Some(self)
+        }
+    }
+
+    struct Rig {
+        eng: Engine,
+        iod: ActorId,
+        clients: Vec<ActorId>,
+        fabric: ActorId,
+    }
+
+    /// Node 0 runs the iod; nodes 1.. are client endpoints.
+    fn rig(n_clients: usize) -> Rig {
+        let mut eng = Engine::new(7);
+        let fabric_slot = eng.reserve_actor();
+        let disk = eng
+            .add_actor(Box::new(sim_disk::Disk::new(DiskGeometry::maxtor_20gb(), DiskSched::CLook)));
+        let iod = eng.add_actor(Box::new(Iod::new(
+            NodeId(0),
+            fabric_slot,
+            disk,
+            FifoResource::shared("iod-cpu"),
+            CostModel::default(),
+            PvfsConfig::default(),
+            1 << 20,
+        )));
+        let mut endpoints = vec![iod];
+        let mut clients = Vec::new();
+        for i in 0..n_clients {
+            let c = eng.add_actor(Box::new(Client {
+                acks: vec![],
+                data: vec![],
+                wacks: vec![],
+                facks: vec![],
+                invs: vec![],
+                auto_ack_invalidate: true,
+                fabric: fabric_slot,
+                node: NodeId(i as u16 + 1),
+            }));
+            endpoints.push(c);
+            clients.push(c);
+        }
+        eng.install(fabric_slot, Box::new(Fabric::new(NetConfig::hub_100mbps(), endpoints)));
+        Rig { eng, iod, clients, fabric: fabric_slot }
+    }
+
+    fn send_to_iod(rig: &mut Rig, from: u16, port: Port, wire: u32, payload: impl Any) {
+        let m = NetMessage::new((NodeId(from), Port(9000)), (NodeId(0), port), wire, 0, payload);
+        rig.eng.post(Dur::ZERO, rig.fabric, Xmit(m));
+    }
+
+    #[test]
+    fn preloaded_warm_read_serves_without_disk() {
+        let mut r = rig(1);
+        {
+            let iod = r.eng.actor_as_mut::<Iod>(r.iod).unwrap();
+            iod.preload(Fid(1), &[ByteRange::new(0, 65536)], true);
+        }
+        let req = ReadReq {
+            req_id: 42,
+            fid: Fid(1),
+            ranges: vec![ByteRange::new(0, 8192)],
+            reply_to: (NodeId(1), Port(9000)),
+            caching: false,
+        };
+        let wire = req.wire_bytes();
+        send_to_iod(&mut r, 1, IOD_PORT, wire, req);
+        r.eng.run_until(SimTime::ZERO + Dur::secs(1));
+        let c = r.eng.actor_as::<Client>(r.clients[0]).unwrap();
+        assert_eq!(c.acks.len(), 1);
+        assert_eq!(c.acks[0].bytes, 8192);
+        assert_eq!(c.data.len(), 1);
+        assert_eq!(c.data[0].data.len(), 8192);
+        // Data integrity: pattern bytes round-trip.
+        for (i, b) in c.data[0].data.iter().enumerate() {
+            assert_eq!(*b, pattern_byte(Fid(1), i as u64), "byte {} corrupted", i);
+        }
+        let iod = r.eng.actor_as::<Iod>(r.iod).unwrap();
+        assert_eq!(iod.stats().disk_reads, 0, "warm pages must not touch disk");
+    }
+
+    #[test]
+    fn cold_read_goes_to_disk() {
+        let mut r = rig(1);
+        {
+            let iod = r.eng.actor_as_mut::<Iod>(r.iod).unwrap();
+            iod.preload(Fid(1), &[ByteRange::new(0, 65536)], false);
+        }
+        let req = ReadReq {
+            req_id: 1,
+            fid: Fid(1),
+            ranges: vec![ByteRange::new(0, 16384)],
+            reply_to: (NodeId(1), Port(9000)),
+            caching: false,
+        };
+        let wire = req.wire_bytes();
+        send_to_iod(&mut r, 1, IOD_PORT, wire, req);
+        r.eng.run_until(SimTime::ZERO + Dur::secs(1));
+        let c = r.eng.actor_as::<Client>(r.clients[0]).unwrap();
+        assert_eq!(c.data.len(), 1);
+        let iod = r.eng.actor_as::<Iod>(r.iod).unwrap();
+        assert!(iod.stats().disk_reads >= 1, "cold read must hit the disk");
+        // Second identical read is now warm.
+        assert!(iod.page_cache().contains(
+            iod.fs_extent_probe(Fid(1)).expect("file exists")
+        ));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut r = rig(1);
+        let payload = pattern_bytes(Fid(9), 4096, 8192);
+        let req = WriteReq {
+            req_id: 5,
+            fid: Fid(9),
+            parts: vec![WritePart { range: ByteRange::new(4096, 8192), data: payload }],
+            reply_to: (NodeId(1), Port(9000)),
+            caching: false,
+            sync: false,
+        };
+        let wire = req.wire_bytes();
+        send_to_iod(&mut r, 1, IOD_PORT, wire, req);
+        r.eng.run_until(SimTime::ZERO + Dur::millis(100));
+        assert_eq!(r.eng.actor_as::<Client>(r.clients[0]).unwrap().wacks.len(), 1);
+        let rreq = ReadReq {
+            req_id: 6,
+            fid: Fid(9),
+            ranges: vec![ByteRange::new(4096, 8192)],
+            reply_to: (NodeId(1), Port(9000)),
+            caching: false,
+        };
+        let wire = rreq.wire_bytes();
+        send_to_iod(&mut r, 1, IOD_PORT, wire, rreq);
+        r.eng.run_until(SimTime::ZERO + Dur::secs(1));
+        let c = r.eng.actor_as::<Client>(r.clients[0]).unwrap();
+        assert_eq!(c.data.len(), 1);
+        for (i, b) in c.data[0].data.iter().enumerate() {
+            assert_eq!(*b, pattern_byte(Fid(9), 4096 + i as u64));
+        }
+    }
+
+    #[test]
+    fn flush_applies_blocks_and_acks_on_flush_port() {
+        let mut r = rig(1);
+        let blocks = vec![
+            FlushEntry { blk: 3, offset: 0, data: pattern_bytes(Fid(2), 3 * 4096, 4096) },
+            FlushEntry { blk: 4, offset: 0, data: pattern_bytes(Fid(2), 4 * 4096, 4096) },
+        ];
+        let f = FlushBlocks { req_id: 11, fid: Fid(2), blocks, reply_to: (NodeId(1), Port(9000)) };
+        let wire = f.wire_bytes();
+        send_to_iod(&mut r, 1, IOD_FLUSH_PORT, wire, f);
+        r.eng.run_until(SimTime::ZERO + Dur::secs(1));
+        let c = r.eng.actor_as::<Client>(r.clients[0]).unwrap();
+        assert_eq!(c.facks.len(), 1);
+        let iod = r.eng.actor_as::<Iod>(r.iod).unwrap();
+        assert_eq!(iod.stats().flush_reqs, 1);
+        // The flusher node is now a registered sharer.
+        assert_eq!(iod.directory_sharers(Fid(2), 3), 1);
+        assert_eq!(iod.directory_sharers(Fid(2), 4), 1);
+    }
+
+    #[test]
+    fn caching_reads_register_in_directory() {
+        let mut r = rig(2);
+        for (i, node) in [1u16, 2u16].iter().enumerate() {
+            let req = ReadReq {
+                req_id: i as u64,
+                fid: Fid(3),
+                ranges: vec![ByteRange::new(0, 4096)],
+                reply_to: (NodeId(*node), Port(9000)),
+                caching: true,
+            };
+            let wire = req.wire_bytes();
+            send_to_iod(&mut r, *node, IOD_PORT, wire, req);
+        }
+        r.eng.run_until(SimTime::ZERO + Dur::secs(1));
+        let iod = r.eng.actor_as::<Iod>(r.iod).unwrap();
+        assert_eq!(iod.directory_sharers(Fid(3), 0), 2);
+        // Non-caching reads do not register.
+        assert_eq!(iod.directory_sharers(Fid(3), 1), 0);
+    }
+
+    #[test]
+    fn sync_write_invalidates_other_sharers() {
+        let mut r = rig(2);
+        // Node 1 and node 2 cache block 0 of fid 4.
+        for node in [1u16, 2u16] {
+            let req = ReadReq {
+                req_id: node as u64,
+                fid: Fid(4),
+                ranges: vec![ByteRange::new(0, 4096)],
+                reply_to: (NodeId(node), Port(9000)),
+                caching: true,
+            };
+            let wire = req.wire_bytes();
+            send_to_iod(&mut r, node, IOD_PORT, wire, req);
+        }
+        r.eng.run_until(SimTime::ZERO + Dur::secs(1));
+        // Node 1 sync-writes block 0: node 2 must be invalidated, node 1 not.
+        let w = WriteReq {
+            req_id: 99,
+            fid: Fid(4),
+            parts: vec![WritePart {
+                range: ByteRange::new(0, 4096),
+                data: pattern_bytes(Fid(4), 0, 4096),
+            }],
+            reply_to: (NodeId(1), Port(9000)),
+            caching: true,
+            sync: true,
+        };
+        let wire = w.wire_bytes();
+        send_to_iod(&mut r, 1, IOD_PORT, wire, w);
+        r.eng.run_until(SimTime::ZERO + Dur::secs(2));
+        let c1 = r.eng.actor_as::<Client>(r.clients[0]).unwrap();
+        let c2 = r.eng.actor_as::<Client>(r.clients[1]).unwrap();
+        assert_eq!(c1.invs.len(), 0, "writer must not be invalidated");
+        assert_eq!(c2.invs.len(), 1);
+        assert_eq!(c2.invs[0].0.blocks, vec![0]);
+        // Writer got its ack only after the invalidation round.
+        assert_eq!(c1.wacks.len(), 1);
+        let iod = r.eng.actor_as::<Iod>(r.iod).unwrap();
+        assert_eq!(iod.stats().sync_writes, 1);
+        assert_eq!(iod.stats().invalidations_sent, 1);
+        assert_eq!(iod.directory_sharers(Fid(4), 0), 1, "only the writer remains");
+    }
+
+    #[test]
+    fn sync_write_with_no_sharers_acks_immediately() {
+        let mut r = rig(1);
+        let w = WriteReq {
+            req_id: 1,
+            fid: Fid(5),
+            parts: vec![WritePart {
+                range: ByteRange::new(0, 4096),
+                data: pattern_bytes(Fid(5), 0, 4096),
+            }],
+            reply_to: (NodeId(1), Port(9000)),
+            caching: false,
+            sync: true,
+        };
+        let wire = w.wire_bytes();
+        send_to_iod(&mut r, 1, IOD_PORT, wire, w);
+        r.eng.run_until(SimTime::ZERO + Dur::secs(1));
+        let c = r.eng.actor_as::<Client>(r.clients[0]).unwrap();
+        assert_eq!(c.wacks.len(), 1);
+        let iod = r.eng.actor_as::<Iod>(r.iod).unwrap();
+        assert_eq!(iod.stats().invalidations_sent, 0);
+    }
+
+    #[test]
+    fn kupdate_writes_dirty_pages_to_disk() {
+        let mut r = rig(1);
+        let w = WriteReq {
+            req_id: 1,
+            fid: Fid(6),
+            parts: vec![WritePart {
+                range: ByteRange::new(0, 65536),
+                data: pattern_bytes(Fid(6), 0, 65536),
+            }],
+            reply_to: (NodeId(1), Port(9000)),
+            caching: false,
+            sync: false,
+        };
+        let wire = w.wire_bytes();
+        send_to_iod(&mut r, 1, IOD_PORT, wire, w);
+        // Run past one kupdate interval.
+        r.eng.run_until(SimTime::ZERO + Dur::secs(11));
+        let iod = r.eng.actor_as::<Iod>(r.iod).unwrap();
+        assert!(iod.stats().disk_writes >= 1, "kupdate must flush dirty pages");
+        assert_eq!(iod.page_cache().dirty_pages(), 0);
+    }
+
+    #[test]
+    fn multi_range_read_sends_one_data_message_per_range() {
+        let mut r = rig(1);
+        {
+            let iod = r.eng.actor_as_mut::<Iod>(r.iod).unwrap();
+            iod.preload(Fid(7), &[ByteRange::new(0, 262144)], true);
+        }
+        let req = ReadReq {
+            req_id: 1,
+            fid: Fid(7),
+            ranges: vec![ByteRange::new(0, 4096), ByteRange::new(65536, 4096)],
+            reply_to: (NodeId(1), Port(9000)),
+            caching: false,
+        };
+        let wire = req.wire_bytes();
+        send_to_iod(&mut r, 1, IOD_PORT, wire, req);
+        r.eng.run_until(SimTime::ZERO + Dur::secs(1));
+        let c = r.eng.actor_as::<Client>(r.clients[0]).unwrap();
+        assert_eq!(c.data.len(), 2);
+        assert_eq!(c.acks[0].bytes, 8192);
+    }
+}

@@ -1,0 +1,157 @@
+//! Striping arithmetic: how a logical file spreads across iods.
+//!
+//! PVFS stripes files round-robin in fixed `unit`-byte stripes over `n`
+//! iods starting at a base iod. The client library uses [`split_ranges`] to
+//! turn one application request into per-iod range lists — the paper's
+//! "libpvfs read protocol aggregates all the reads to each iod".
+
+use crate::protocol::{ByteRange, StripeSpec};
+
+impl StripeSpec {
+    /// Which iod (0-based slot within the file's iod set) owns this byte.
+    #[inline]
+    pub fn iod_of(&self, offset: u64) -> u32 {
+        ((offset / self.unit as u64) % self.n_iods as u64) as u32
+    }
+
+    /// Bytes remaining in the stripe unit containing `offset`.
+    #[inline]
+    pub fn left_in_unit(&self, offset: u64) -> u64 {
+        self.unit as u64 - (offset % self.unit as u64)
+    }
+
+    /// Global iod index for slot `k` of this file.
+    #[inline]
+    pub fn global_iod(&self, slot: u32, total_iods: u32) -> u32 {
+        (self.base + slot) % total_iods
+    }
+}
+
+/// Split a logical byte range into per-iod-slot range lists. Returned as a
+/// dense vector indexed by iod slot; empty lists for slots the range misses.
+/// Consecutive stripe units on the same iod are *not* merged (they are not
+/// contiguous in the file), but each returned range is contiguous both
+/// logically and on its iod.
+pub fn split_ranges(stripe: &StripeSpec, range: ByteRange) -> Vec<Vec<ByteRange>> {
+    let mut per_iod: Vec<Vec<ByteRange>> = vec![Vec::new(); stripe.n_iods as usize];
+    if range.is_empty() {
+        return per_iod;
+    }
+    let mut off = range.offset;
+    let mut left = range.len as u64;
+    while left > 0 {
+        let chunk = stripe.left_in_unit(off).min(left) as u32;
+        let slot = stripe.iod_of(off) as usize;
+        per_iod[slot].push(ByteRange::new(off, chunk));
+        off += chunk as u64;
+        left -= chunk as u64;
+    }
+    per_iod
+}
+
+/// Reassembly check: do the per-iod lists exactly tile the original range?
+pub fn tiles_exactly(stripe: &StripeSpec, range: ByteRange, split: &[Vec<ByteRange>]) -> bool {
+    let mut pieces: Vec<ByteRange> = split.iter().flatten().copied().collect();
+    pieces.sort_by_key(|r| r.offset);
+    let mut cursor = range.offset;
+    for p in &pieces {
+        if p.offset != cursor {
+            return false;
+        }
+        cursor = p.end();
+    }
+    cursor == range.end()
+        && split
+            .iter()
+            .enumerate()
+            .all(|(slot, rs)| rs.iter().all(|r| stripe.iod_of(r.offset) as usize == slot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(unit: u32, n: u32) -> StripeSpec {
+        StripeSpec { unit, n_iods: n, base: 0 }
+    }
+
+    #[test]
+    fn small_request_hits_one_iod() {
+        let s = spec(65536, 4);
+        let split = split_ranges(&s, ByteRange::new(1000, 4096));
+        assert_eq!(split[0], vec![ByteRange::new(1000, 4096)]);
+        assert!(split[1..].iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn request_spanning_units_splits_at_boundaries() {
+        let s = spec(65536, 4);
+        let split = split_ranges(&s, ByteRange::new(65536 - 100, 200));
+        assert_eq!(split[0], vec![ByteRange::new(65436, 100)]);
+        assert_eq!(split[1], vec![ByteRange::new(65536, 100)]);
+    }
+
+    #[test]
+    fn wraps_around_all_iods() {
+        let s = spec(65536, 3);
+        // Four units: iods 0,1,2,0.
+        let split = split_ranges(&s, ByteRange::new(0, 4 * 65536));
+        assert_eq!(split[0], vec![ByteRange::new(0, 65536), ByteRange::new(3 * 65536, 65536)]);
+        assert_eq!(split[1], vec![ByteRange::new(65536, 65536)]);
+        assert_eq!(split[2], vec![ByteRange::new(2 * 65536, 65536)]);
+        assert!(tiles_exactly(&s, ByteRange::new(0, 4 * 65536), &split));
+    }
+
+    #[test]
+    fn empty_range_splits_empty() {
+        let s = spec(65536, 2);
+        let split = split_ranges(&s, ByteRange::new(1234, 0));
+        assert!(split.iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn iod_of_cycles() {
+        let s = spec(65536, 4);
+        assert_eq!(s.iod_of(0), 0);
+        assert_eq!(s.iod_of(65536), 1);
+        assert_eq!(s.iod_of(4 * 65536), 0);
+        assert_eq!(s.left_in_unit(0), 65536);
+        assert_eq!(s.left_in_unit(65535), 1);
+    }
+
+    #[test]
+    fn global_iod_applies_base() {
+        let s = StripeSpec { unit: 65536, n_iods: 4, base: 2 };
+        assert_eq!(s.global_iod(0, 6), 2);
+        assert_eq!(s.global_iod(3, 6), 5);
+        let s2 = StripeSpec { unit: 65536, n_iods: 4, base: 4 };
+        assert_eq!(s2.global_iod(3, 6), 1, "wraps modulo total");
+    }
+
+    #[test]
+    fn tiles_exactly_rejects_gaps_and_misrouting() {
+        let s = spec(65536, 2);
+        let r = ByteRange::new(0, 2 * 65536);
+        let mut split = split_ranges(&s, r);
+        assert!(tiles_exactly(&s, r, &split));
+        // Introduce a gap.
+        split[0][0].len -= 1;
+        assert!(!tiles_exactly(&s, r, &split));
+        // Misroute a range to the wrong iod.
+        let mut bad = split_ranges(&s, r);
+        let moved = bad[0].remove(0);
+        bad[1].push(moved);
+        assert!(!tiles_exactly(&s, r, &bad));
+    }
+
+    #[test]
+    fn unaligned_offsets_and_sizes_tile() {
+        let s = spec(65536, 5);
+        for (off, len) in [(1u64, 1u32), (65535, 2), (123_456, 777_777), (9_999, 65_536 * 7 + 13)]
+        {
+            let r = ByteRange::new(off, len);
+            let split = split_ranges(&s, r);
+            assert!(tiles_exactly(&s, r, &split), "({}, {}) failed to tile", off, len);
+        }
+    }
+}

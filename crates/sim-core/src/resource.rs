@@ -1,0 +1,172 @@
+//! Serially-shared resources (CPU, disk arm, shared network medium).
+//!
+//! The simulator models contention with the *reservation* pattern: a caller
+//! that knows its service time asks the resource when that work will
+//! complete; the resource appends the job to its FIFO timeline and returns
+//! the completion instant, which the caller uses to schedule its completion
+//! event. This is exact for non-preemptive FIFO service and keeps the event
+//! count at one event per job rather than one per queue operation.
+
+use crate::stats::{Tally, TimeWeighted};
+use crate::time::{Dur, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A non-preemptive FIFO resource with a single server.
+#[derive(Debug)]
+pub struct FifoResource {
+    name: String,
+    busy_until: SimTime,
+    busy_time: Dur,
+    jobs: u64,
+    wait: Tally,
+    service: Tally,
+    backlog: TimeWeighted,
+}
+
+impl FifoResource {
+    pub fn new(name: impl Into<String>) -> FifoResource {
+        FifoResource {
+            name: name.into(),
+            busy_until: SimTime::ZERO,
+            busy_time: Dur::ZERO,
+            jobs: 0,
+            wait: Tally::new(),
+            service: Tally::new(),
+            backlog: TimeWeighted::new(),
+        }
+    }
+
+    /// Convenience constructor for the common shared-ownership case.
+    pub fn shared(name: impl Into<String>) -> SharedResource {
+        Rc::new(RefCell::new(FifoResource::new(name)))
+    }
+
+    /// Reserve `service` units of this resource starting no earlier than
+    /// `now`; returns the instant the job completes.
+    pub fn reserve(&mut self, now: SimTime, service: Dur) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done = start + service;
+        self.jobs += 1;
+        self.busy_time += service;
+        self.wait.record_dur(start.since(now));
+        self.service.record_dur(service);
+        self.busy_until = done;
+        self.backlog.update(now, self.busy_until.since(now).as_secs_f64());
+        done
+    }
+
+    /// Instant at which the resource next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Would a job submitted at `now` start immediately?
+    pub fn idle_at(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Fraction of `[0, now]` the resource spent serving.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.nanos() == 0 {
+            return 0.0;
+        }
+        // busy_time counts reserved service even if it extends past `now`;
+        // clamp to the horizon for a sane ratio.
+        let served = self
+            .busy_time
+            .as_nanos()
+            .saturating_sub(self.busy_until.since(now).as_nanos());
+        served as f64 / now.nanos() as f64
+    }
+
+    /// Mean queueing delay experienced before service starts.
+    pub fn mean_wait(&self) -> Dur {
+        Dur(self.wait.mean() as u64)
+    }
+
+    /// Mean service demand per job.
+    pub fn mean_service(&self) -> Dur {
+        Dur(self.service.mean() as u64)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Shared handle to a resource. Simulations are single-threaded per run, so
+/// `Rc<RefCell<..>>` is the right ownership model here.
+pub type SharedResource = Rc<RefCell<FifoResource>>;
+
+/// Reserve on a shared resource (helper to keep call sites terse).
+pub fn reserve(res: &SharedResource, now: SimTime, service: Dur) -> SimTime {
+    res.borrow_mut().reserve(now, service)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut r = FifoResource::new("cpu");
+        let done = r.reserve(SimTime(1000), Dur::nanos(500));
+        assert_eq!(done, SimTime(1500));
+        assert_eq!(r.mean_wait(), Dur::ZERO);
+        assert_eq!(r.jobs(), 1);
+    }
+
+    #[test]
+    fn busy_resource_queues_fifo() {
+        let mut r = FifoResource::new("disk");
+        let d1 = r.reserve(SimTime(0), Dur::nanos(100));
+        let d2 = r.reserve(SimTime(0), Dur::nanos(100));
+        let d3 = r.reserve(SimTime(50), Dur::nanos(100));
+        assert_eq!(d1, SimTime(100));
+        assert_eq!(d2, SimTime(200), "second job waits for first");
+        assert_eq!(d3, SimTime(300), "third waits for both");
+        assert!(r.mean_wait() > Dur::ZERO);
+    }
+
+    #[test]
+    fn resource_drains_then_idles() {
+        let mut r = FifoResource::new("link");
+        r.reserve(SimTime(0), Dur::nanos(10));
+        assert!(!r.idle_at(SimTime(5)));
+        assert!(r.idle_at(SimTime(10)));
+        let done = r.reserve(SimTime(1000), Dur::nanos(10));
+        assert_eq!(done, SimTime(1010), "gap does not carry over");
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut r = FifoResource::new("cpu");
+        r.reserve(SimTime(0), Dur::nanos(500));
+        let u = r.utilization(SimTime(1000));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {} should be 0.5", u);
+    }
+
+    #[test]
+    fn utilization_clamps_future_reservations() {
+        let mut r = FifoResource::new("cpu");
+        r.reserve(SimTime(0), Dur::nanos(10_000));
+        let u = r.utilization(SimTime(1000));
+        assert!(u <= 1.0 + 1e-9, "utilization {} cannot exceed 1", u);
+    }
+
+    #[test]
+    fn shared_helper_round_trips() {
+        let r = FifoResource::shared("bus");
+        let d1 = reserve(&r, SimTime(0), Dur::nanos(100));
+        let d2 = reserve(&r, SimTime(0), Dur::nanos(50));
+        assert_eq!(d1, SimTime(100));
+        assert_eq!(d2, SimTime(150));
+        assert_eq!(r.borrow().name(), "bus");
+        assert_eq!(r.borrow().mean_service(), Dur::nanos(75));
+    }
+}

@@ -1,0 +1,416 @@
+//! A small local block file system for iod nodes.
+//!
+//! Holds real file bytes (so end-to-end data-integrity tests work through
+//! the whole stack) and reports the *physical extents* each operation
+//! touches, so the caller can charge page-cache and disk time. Supports
+//! sparse files — PVFS stripes mean each iod sees its own slice of a
+//! logical file at scattered local offsets.
+
+pub mod alloc;
+
+use crate::geometry::BLOCK_SIZE;
+use alloc::BlockAllocator;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A run of contiguous physical blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    pub pblk: u64,
+    pub blocks: u32,
+}
+
+/// Inode number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ino(pub u32);
+
+/// File system errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    NoSpace,
+    NoSuchFile,
+    AlreadyExists,
+    BadInode,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NoSpace => write!(f, "out of disk blocks"),
+            FsError::NoSuchFile => write!(f, "no such file"),
+            FsError::AlreadyExists => write!(f, "file exists"),
+            FsError::BadInode => write!(f, "bad inode"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[derive(Debug, Default)]
+struct Inode {
+    size: u64,
+    /// Logical block index → physical block; `None` is a hole.
+    blocks: Vec<Option<u64>>,
+}
+
+/// Result of a write: which physical extents were touched (for page-cache /
+/// disk accounting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoExtents {
+    pub extents: Vec<Extent>,
+    pub bytes: usize,
+}
+
+/// The file system.
+pub struct BlockFs {
+    alloc: BlockAllocator,
+    inodes: Vec<Option<Inode>>,
+    root: BTreeMap<String, Ino>,
+    data: BTreeMap<u64, Box<[u8; BLOCK_SIZE]>>,
+}
+
+fn coalesce(mut pblks: Vec<u64>) -> Vec<Extent> {
+    pblks.sort_unstable();
+    pblks.dedup();
+    let mut out: Vec<Extent> = Vec::new();
+    for p in pblks {
+        match out.last_mut() {
+            Some(e) if e.pblk + e.blocks as u64 == p => e.blocks += 1,
+            _ => out.push(Extent { pblk: p, blocks: 1 }),
+        }
+    }
+    out
+}
+
+impl BlockFs {
+    pub fn new(capacity_blocks: u64) -> BlockFs {
+        BlockFs {
+            alloc: BlockAllocator::new(capacity_blocks),
+            inodes: Vec::new(),
+            root: BTreeMap::new(),
+            data: BTreeMap::new(),
+        }
+    }
+
+    pub fn create(&mut self, name: &str) -> Result<Ino, FsError> {
+        if self.root.contains_key(name) {
+            return Err(FsError::AlreadyExists);
+        }
+        let ino = Ino(self.inodes.len() as u32);
+        self.inodes.push(Some(Inode::default()));
+        self.root.insert(name.to_string(), ino);
+        Ok(ino)
+    }
+
+    pub fn open(&self, name: &str) -> Option<Ino> {
+        self.root.get(name).copied()
+    }
+
+    /// Open the file, creating it if absent.
+    pub fn open_or_create(&mut self, name: &str) -> Result<Ino, FsError> {
+        match self.open(name) {
+            Some(ino) => Ok(ino),
+            None => self.create(name),
+        }
+    }
+
+    pub fn remove(&mut self, name: &str) -> Result<(), FsError> {
+        let ino = self.root.remove(name).ok_or(FsError::NoSuchFile)?;
+        let inode = self.inodes[ino.0 as usize].take().ok_or(FsError::BadInode)?;
+        for p in inode.blocks.into_iter().flatten() {
+            self.alloc.free(Extent { pblk: p, blocks: 1 });
+            self.data.remove(&p);
+        }
+        Ok(())
+    }
+
+    pub fn size(&self, ino: Ino) -> Result<u64, FsError> {
+        Ok(self.inode(ino)?.size)
+    }
+
+    pub fn files(&self) -> impl Iterator<Item = (&str, Ino)> {
+        self.root.iter().map(|(n, i)| (n.as_str(), *i))
+    }
+
+    pub fn free_blocks(&self) -> u64 {
+        self.alloc.free_blocks()
+    }
+
+    fn inode(&self, ino: Ino) -> Result<&Inode, FsError> {
+        self.inodes
+            .get(ino.0 as usize)
+            .and_then(|o| o.as_ref())
+            .ok_or(FsError::BadInode)
+    }
+
+    fn inode_mut(&mut self, ino: Ino) -> Result<&mut Inode, FsError> {
+        self.inodes
+            .get_mut(ino.0 as usize)
+            .and_then(|o| o.as_mut())
+            .ok_or(FsError::BadInode)
+    }
+
+    /// Write `buf` at `offset`, allocating blocks (including for any hole
+    /// being filled). Returns the physical extents touched.
+    pub fn write(&mut self, ino: Ino, offset: u64, buf: &[u8]) -> Result<IoExtents, FsError> {
+        if buf.is_empty() {
+            return Ok(IoExtents { extents: vec![], bytes: 0 });
+        }
+        self.inode(ino)?; // validate before mutating
+        let first_lblk = offset / BLOCK_SIZE as u64;
+        let last_lblk = (offset + buf.len() as u64 - 1) / BLOCK_SIZE as u64;
+
+        // Ensure the block table covers the write and allocate any missing
+        // physical blocks in one allocator call for contiguity.
+        let (needed, hint) = {
+            let inode = self.inode(ino)?;
+            let mut needed = 0u64;
+            for l in first_lblk..=last_lblk {
+                let missing = inode
+                    .blocks
+                    .get(l as usize)
+                    .map_or(true, |slot| slot.is_none());
+                if missing {
+                    needed += 1;
+                }
+            }
+            let hint = inode
+                .blocks
+                .iter()
+                .rev()
+                .flatten()
+                .next()
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            (needed, hint)
+        };
+        let mut fresh: Vec<u64> = Vec::new();
+        if needed > 0 {
+            let extents = self.alloc.allocate(needed, hint).ok_or(FsError::NoSpace)?;
+            for e in extents {
+                for p in e.pblk..e.pblk + e.blocks as u64 {
+                    fresh.push(p);
+                }
+            }
+        }
+        let mut fresh_iter = fresh.into_iter();
+        let inode = self.inode_mut(ino)?;
+        if inode.blocks.len() <= last_lblk as usize {
+            inode.blocks.resize(last_lblk as usize + 1, None);
+        }
+        let mut touched: Vec<u64> = Vec::with_capacity((last_lblk - first_lblk + 1) as usize);
+        for l in first_lblk..=last_lblk {
+            let slot = &mut inode.blocks[l as usize];
+            let p = match *slot {
+                Some(p) => p,
+                None => {
+                    let p = fresh_iter.next().expect("allocated count mismatch");
+                    *slot = Some(p);
+                    p
+                }
+            };
+            touched.push(p);
+        }
+        inode.size = inode.size.max(offset + buf.len() as u64);
+
+        // Copy the bytes.
+        let mut written = 0usize;
+        let mut pos = offset;
+        for (i, l) in (first_lblk..=last_lblk).enumerate() {
+            let p = touched[i];
+            let block = self
+                .data
+                .entry(p)
+                .or_insert_with(|| Box::new([0u8; BLOCK_SIZE]));
+            let in_block = (pos % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - in_block).min(buf.len() - written);
+            block[in_block..in_block + n].copy_from_slice(&buf[written..written + n]);
+            written += n;
+            pos += n as u64;
+            let _ = l;
+        }
+        debug_assert_eq!(written, buf.len());
+        Ok(IoExtents { extents: coalesce(touched), bytes: written })
+    }
+
+    /// Read up to `buf.len()` bytes at `offset`. Holes read as zeros (and
+    /// cost no physical extents). Returns bytes read and extents touched.
+    pub fn read(&self, ino: Ino, offset: u64, buf: &mut [u8]) -> Result<IoExtents, FsError> {
+        let inode = self.inode(ino)?;
+        if offset >= inode.size || buf.is_empty() {
+            return Ok(IoExtents { extents: vec![], bytes: 0 });
+        }
+        let len = buf.len().min((inode.size - offset) as usize);
+        let first_lblk = offset / BLOCK_SIZE as u64;
+        let last_lblk = (offset + len as u64 - 1) / BLOCK_SIZE as u64;
+        let mut touched: Vec<u64> = Vec::new();
+        let mut read = 0usize;
+        let mut pos = offset;
+        for l in first_lblk..=last_lblk {
+            let in_block = (pos % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - in_block).min(len - read);
+            match inode.blocks.get(l as usize).copied().flatten() {
+                Some(p) => {
+                    touched.push(p);
+                    match self.data.get(&p) {
+                        Some(block) => {
+                            buf[read..read + n].copy_from_slice(&block[in_block..in_block + n])
+                        }
+                        None => buf[read..read + n].fill(0),
+                    }
+                }
+                None => buf[read..read + n].fill(0),
+            }
+            read += n;
+            pos += n as u64;
+        }
+        debug_assert_eq!(read, len);
+        Ok(IoExtents { extents: coalesce(touched), bytes: read })
+    }
+
+    /// Physical extents backing a byte range (what a read *would* touch),
+    /// without copying data. Used by the iod to plan disk I/O.
+    pub fn extents_of(&self, ino: Ino, offset: u64, len: usize) -> Result<Vec<Extent>, FsError> {
+        let inode = self.inode(ino)?;
+        if len == 0 || offset >= inode.size {
+            return Ok(vec![]);
+        }
+        let len = len.min((inode.size - offset) as usize);
+        let first = offset / BLOCK_SIZE as u64;
+        let last = (offset + len as u64 - 1) / BLOCK_SIZE as u64;
+        let touched: Vec<u64> = (first..=last)
+            .filter_map(|l| inode.blocks.get(l as usize).copied().flatten())
+            .collect();
+        Ok(coalesce(touched))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> BlockFs {
+        BlockFs::new(4096)
+    }
+
+    #[test]
+    fn create_open_remove() {
+        let mut f = fs();
+        let ino = f.create("a").unwrap();
+        assert_eq!(f.open("a"), Some(ino));
+        assert_eq!(f.create("a"), Err(FsError::AlreadyExists));
+        assert_eq!(f.open_or_create("a").unwrap(), ino);
+        f.remove("a").unwrap();
+        assert_eq!(f.open("a"), None);
+        assert_eq!(f.remove("a"), Err(FsError::NoSuchFile));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut f = fs();
+        let ino = f.create("x").unwrap();
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let w = f.write(ino, 0, &data).unwrap();
+        assert_eq!(w.bytes, 10_000);
+        assert_eq!(f.size(ino).unwrap(), 10_000);
+        let mut out = vec![0u8; 10_000];
+        let r = f.read(ino, 0, &mut out).unwrap();
+        assert_eq!(r.bytes, 10_000);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn unaligned_overwrite_preserves_neighbors() {
+        let mut f = fs();
+        let ino = f.create("x").unwrap();
+        f.write(ino, 0, &[1u8; 8192]).unwrap();
+        f.write(ino, 1000, &[2u8; 100]).unwrap();
+        let mut out = vec![0u8; 8192];
+        f.read(ino, 0, &mut out).unwrap();
+        assert!(out[..1000].iter().all(|&b| b == 1));
+        assert!(out[1000..1100].iter().all(|&b| b == 2));
+        assert!(out[1100..].iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn sparse_holes_read_zero_and_cost_nothing() {
+        let mut f = fs();
+        let ino = f.create("x").unwrap();
+        // Write one block at 1 MB; everything before is a hole.
+        f.write(ino, 1 << 20, &[7u8; 4096]).unwrap();
+        assert_eq!(f.size(ino).unwrap(), (1 << 20) + 4096);
+        let mut out = vec![0xFFu8; 4096];
+        let r = f.read(ino, 0, &mut out).unwrap();
+        assert_eq!(r.bytes, 4096);
+        assert!(out.iter().all(|&b| b == 0));
+        assert!(r.extents.is_empty(), "hole read touches no physical blocks");
+        let ext = f.extents_of(ino, 1 << 20, 4096).unwrap();
+        assert_eq!(ext.iter().map(|e| e.blocks).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn sequential_growth_is_contiguous() {
+        let mut f = fs();
+        let ino = f.create("x").unwrap();
+        for i in 0..16u64 {
+            f.write(ino, i * 4096, &[i as u8; 4096]).unwrap();
+        }
+        let ext = f.extents_of(ino, 0, 16 * 4096).unwrap();
+        assert_eq!(ext.len(), 1, "sequential file fragmented: {:?}", ext);
+        assert_eq!(ext[0].blocks, 16);
+    }
+
+    #[test]
+    fn read_past_eof_truncates() {
+        let mut f = fs();
+        let ino = f.create("x").unwrap();
+        f.write(ino, 0, &[5u8; 1000]).unwrap();
+        let mut out = vec![0u8; 4096];
+        let r = f.read(ino, 500, &mut out).unwrap();
+        assert_eq!(r.bytes, 500);
+        assert!(out[..500].iter().all(|&b| b == 5));
+        let r2 = f.read(ino, 5000, &mut out).unwrap();
+        assert_eq!(r2.bytes, 0);
+    }
+
+    #[test]
+    fn extents_reported_match_write() {
+        let mut f = fs();
+        let ino = f.create("x").unwrap();
+        let w = f.write(ino, 0, &[1u8; 4096 * 3]).unwrap();
+        assert_eq!(w.extents.iter().map(|e| e.blocks).sum::<u32>(), 3);
+        // Overwrite touches the same extents, allocates nothing.
+        let free_before = f.free_blocks();
+        let w2 = f.write(ino, 0, &[2u8; 4096 * 3]).unwrap();
+        assert_eq!(w2.extents, w.extents);
+        assert_eq!(f.free_blocks(), free_before);
+    }
+
+    #[test]
+    fn out_of_space_is_reported() {
+        let mut f = BlockFs::new(4);
+        let ino = f.create("x").unwrap();
+        assert!(f.write(ino, 0, &[0u8; 4096 * 4]).is_ok());
+        let err = f.write(ino, 4096 * 4, &[0u8; 4096]).unwrap_err();
+        assert_eq!(err, FsError::NoSpace);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut f = BlockFs::new(8);
+        let ino = f.create("x").unwrap();
+        f.write(ino, 0, &[1u8; 4096 * 8]).unwrap();
+        assert_eq!(f.free_blocks(), 0);
+        f.remove("x").unwrap();
+        assert_eq!(f.free_blocks(), 8);
+        assert_eq!(f.files().count(), 0);
+    }
+
+    #[test]
+    fn bad_inode_rejected() {
+        let f = fs();
+        assert_eq!(f.size(Ino(99)), Err(FsError::BadInode));
+        let mut buf = [0u8; 10];
+        assert!(f.read(Ino(99), 0, &mut buf).is_err());
+    }
+}

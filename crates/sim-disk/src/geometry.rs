@@ -1,0 +1,183 @@
+//! Disk service-time model.
+//!
+//! Classic three-component model: seek (square-root curve over cylinder
+//! distance), rotational latency (half a revolution on average, taken as its
+//! expectation to keep runs deterministic), and media transfer. Sequential
+//! accesses that continue where the head left off skip seek and rotation,
+//! which is what makes streaming I/O an order of magnitude faster than
+//! random I/O — a ratio the paper's results depend on.
+
+use sim_core::Dur;
+
+/// Parameters of a disk drive.
+#[derive(Debug, Clone)]
+pub struct DiskGeometry {
+    /// Spindle speed.
+    pub rpm: u32,
+    /// Single-cylinder (track-to-track) seek.
+    pub min_seek: Dur,
+    /// Full-stroke seek.
+    pub max_seek: Dur,
+    /// Sustained media transfer rate, bytes/second.
+    pub media_rate: u64,
+    /// Per-request controller + bus overhead.
+    pub controller_overhead: Dur,
+    /// Total cylinders (for mapping block numbers to head positions).
+    pub cylinders: u32,
+    /// Capacity in 4 KB blocks.
+    pub capacity_blocks: u64,
+}
+
+/// Size of a physical disk block in this simulator (matches the Linux page
+/// size and the paper's cache block size).
+pub const BLOCK_SIZE: usize = 4096;
+
+impl DiskGeometry {
+    /// A Maxtor-class 20 GB IDE drive of the paper's era (2001/2002):
+    /// 7200 rpm, ~9 ms average seek, ~25 MB/s sustained.
+    pub fn maxtor_20gb() -> DiskGeometry {
+        DiskGeometry {
+            rpm: 7200,
+            min_seek: Dur::millis(1),
+            max_seek: Dur::micros(17_000),
+            media_rate: 25_000_000,
+            controller_overhead: Dur::micros(300),
+            cylinders: 17_000,
+            capacity_blocks: 20 * 1024 * 1024 * 1024 / BLOCK_SIZE as u64,
+        }
+    }
+
+    /// Time for one full revolution.
+    pub fn rotation_time(&self) -> Dur {
+        Dur::from_secs_f64(60.0 / self.rpm as f64)
+    }
+
+    /// Expected rotational latency (half a revolution).
+    pub fn avg_rotational_latency(&self) -> Dur {
+        self.rotation_time() / 2
+    }
+
+    /// Cylinder holding a physical block (blocks striped evenly).
+    pub fn cylinder_of(&self, pblk: u64) -> u32 {
+        let per_cyl = (self.capacity_blocks / self.cylinders as u64).max(1);
+        ((pblk / per_cyl) as u32).min(self.cylinders - 1)
+    }
+
+    /// Seek time between two cylinders: `min + (max-min) * sqrt(d/D)`.
+    pub fn seek_time(&self, from_cyl: u32, to_cyl: u32) -> Dur {
+        let d = from_cyl.abs_diff(to_cyl);
+        if d == 0 {
+            return Dur::ZERO;
+        }
+        let frac = (d as f64 / self.cylinders as f64).sqrt();
+        let span = self.max_seek.as_nanos().saturating_sub(self.min_seek.as_nanos()) as f64;
+        self.min_seek + Dur::nanos((span * frac) as u64)
+    }
+
+    /// Media transfer time for `blocks` 4 KB blocks.
+    pub fn transfer_time(&self, blocks: u32) -> Dur {
+        Dur::from_secs_f64((blocks as u64 * BLOCK_SIZE as u64) as f64 / self.media_rate as f64)
+    }
+
+    /// Full service time of a request, given the previous head cylinder and
+    /// whether the access continues sequentially from the last one.
+    pub fn service_time(&self, from_cyl: u32, pblk: u64, blocks: u32, sequential: bool) -> Dur {
+        let mut t = self.controller_overhead + self.transfer_time(blocks);
+        if !sequential {
+            t += self.seek_time(from_cyl, self.cylinder_of(pblk));
+            t += self.avg_rotational_latency();
+        }
+        t
+    }
+
+    /// Average random-access service time for sizing checks.
+    pub fn avg_access_time(&self) -> Dur {
+        // Average seek distance on a uniform workload is ~1/3 stroke;
+        // sqrt(1/3) ≈ 0.577 of the full-stroke fraction.
+        let avg_seek = self.min_seek
+            + Dur::nanos(
+                ((self.max_seek.as_nanos() - self.min_seek.as_nanos()) as f64 * 0.577) as u64,
+            );
+        avg_seek + self.avg_rotational_latency() + self.controller_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_matches_rpm() {
+        let g = DiskGeometry::maxtor_20gb();
+        // 7200 rpm = 8.333 ms/rev, 4.167 ms average latency.
+        assert_eq!(g.rotation_time(), Dur::nanos(8_333_333));
+        assert_eq!(g.avg_rotational_latency(), Dur::nanos(4_166_666));
+    }
+
+    #[test]
+    fn seek_zero_for_same_cylinder() {
+        let g = DiskGeometry::maxtor_20gb();
+        assert_eq!(g.seek_time(100, 100), Dur::ZERO);
+    }
+
+    #[test]
+    fn seek_monotone_in_distance() {
+        let g = DiskGeometry::maxtor_20gb();
+        let near = g.seek_time(0, 10);
+        let mid = g.seek_time(0, g.cylinders / 2);
+        let far = g.seek_time(0, g.cylinders - 1);
+        assert!(near < mid && mid < far);
+        assert!(near >= g.min_seek);
+        assert!(far <= g.max_seek + Dur::micros(1));
+    }
+
+    #[test]
+    fn transfer_time_linear() {
+        let g = DiskGeometry::maxtor_20gb();
+        let one = g.transfer_time(1);
+        assert_eq!(g.transfer_time(10), Dur::nanos(one.as_nanos() * 10));
+        // 4 KB at 25 MB/s = 163.84 microseconds.
+        assert_eq!(one, Dur::nanos(163_840));
+    }
+
+    #[test]
+    fn sequential_skips_positioning() {
+        let g = DiskGeometry::maxtor_20gb();
+        let seq = g.service_time(0, 1_000_000, 8, true);
+        let rnd = g.service_time(0, 1_000_000, 8, false);
+        assert!(
+            rnd > seq + Dur::millis(3),
+            "random {} must pay seek+rotation over sequential {}",
+            rnd,
+            seq
+        );
+    }
+
+    #[test]
+    fn cylinder_mapping_covers_disk() {
+        let g = DiskGeometry::maxtor_20gb();
+        assert_eq!(g.cylinder_of(0), 0);
+        assert_eq!(g.cylinder_of(g.capacity_blocks - 1), g.cylinders - 1);
+        // Integer blocks-per-cylinder rounds down, so the midpoint maps a
+        // fraction of a percent above the geometric middle.
+        let mid = g.cylinder_of(g.capacity_blocks / 2);
+        let half = g.cylinders / 2;
+        assert!(
+            (half..half + g.cylinders / 100).contains(&mid),
+            "mid cylinder {} vs half {}",
+            mid,
+            half
+        );
+    }
+
+    #[test]
+    fn avg_access_in_realistic_range() {
+        let g = DiskGeometry::maxtor_20gb();
+        let t = g.avg_access_time();
+        assert!(
+            (Dur::millis(8)..Dur::millis(20)).contains(&t),
+            "unrealistic average access {}",
+            t
+        );
+    }
+}

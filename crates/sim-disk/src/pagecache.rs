@@ -1,0 +1,355 @@
+//! Server-side OS page cache.
+//!
+//! The paper's no-caching baseline still ran on Linux iod nodes whose kernel
+//! cached file data. Modelling that cache keeps the baseline honest: reads
+//! that hit server memory skip the disk, and writes are absorbed and flushed
+//! in the background (kupdate-style).
+//!
+//! Exact LRU over physical 4 KB blocks, O(1) per operation via an intrusive
+//! doubly-linked list on a slab.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pblk: u64,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+/// What fell out of the cache when a new page came in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    pub pblk: u64,
+    /// Dirty victims must be written to disk by the caller.
+    pub dirty: bool,
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct PageCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub clean_evictions: u64,
+    pub dirty_evictions: u64,
+}
+
+/// Fixed-capacity exact-LRU page cache.
+pub struct PageCache {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // MRU
+    tail: usize, // LRU
+    dirty_count: usize,
+    stats: PageCacheStats,
+}
+
+impl PageCache {
+    pub fn new(capacity_pages: usize) -> PageCache {
+        assert!(capacity_pages > 0, "page cache needs at least one page");
+        PageCache {
+            capacity: capacity_pages,
+            map: HashMap::with_capacity(capacity_pages),
+            slab: Vec::with_capacity(capacity_pages),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            dirty_count: 0,
+            stats: PageCacheStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty_count
+    }
+
+    pub fn stats(&self) -> &PageCacheStats {
+        &self.stats
+    }
+
+    pub fn contains(&self, pblk: u64) -> bool {
+        self.map.contains_key(&pblk)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Reference a page for reading. Returns `true` on hit (and promotes the
+    /// page to MRU).
+    pub fn lookup(&mut self, pblk: u64) -> bool {
+        match self.map.get(&pblk).copied() {
+            Some(idx) => {
+                self.stats.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Insert (or re-reference) a page, optionally dirty. Returns the evicted
+    /// victim if the cache was full.
+    pub fn insert(&mut self, pblk: u64, dirty: bool) -> Option<Eviction> {
+        if let Some(&idx) = self.map.get(&pblk) {
+            if dirty && !self.slab[idx].dirty {
+                self.slab[idx].dirty = true;
+                self.dirty_count += 1;
+            }
+            self.unlink(idx);
+            self.push_front(idx);
+            return None;
+        }
+        self.stats.insertions += 1;
+        let victim = if self.map.len() >= self.capacity { self.evict_lru() } else { None };
+        let entry = Entry { pblk, dirty, prev: NIL, next: NIL };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        if dirty {
+            self.dirty_count += 1;
+        }
+        self.map.insert(pblk, idx);
+        self.push_front(idx);
+        victim
+    }
+
+    fn evict_lru(&mut self) -> Option<Eviction> {
+        let idx = self.tail;
+        if idx == NIL {
+            return None;
+        }
+        let e = self.slab[idx];
+        self.unlink(idx);
+        self.map.remove(&e.pblk);
+        self.free.push(idx);
+        if e.dirty {
+            self.dirty_count -= 1;
+            self.stats.dirty_evictions += 1;
+        } else {
+            self.stats.clean_evictions += 1;
+        }
+        Some(Eviction { pblk: e.pblk, dirty: e.dirty })
+    }
+
+    /// Mark a resident page dirty; returns `false` if it is not resident.
+    pub fn mark_dirty(&mut self, pblk: u64) -> bool {
+        match self.map.get(&pblk).copied() {
+            Some(idx) => {
+                if !self.slab[idx].dirty {
+                    self.slab[idx].dirty = true;
+                    self.dirty_count += 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Collect up to `limit` dirty pages (oldest first) and mark them clean;
+    /// the caller is responsible for issuing the disk writes.
+    pub fn drain_dirty(&mut self, limit: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut idx = self.tail;
+        while idx != NIL && out.len() < limit {
+            if self.slab[idx].dirty {
+                self.slab[idx].dirty = false;
+                self.dirty_count -= 1;
+                out.push(self.slab[idx].pblk);
+            }
+            idx = self.slab[idx].prev;
+        }
+        out
+    }
+
+    /// LRU-order iterator (oldest first), for tests and diagnostics.
+    pub fn lru_order(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.tail;
+        while idx != NIL {
+            out.push(self.slab[idx].pblk);
+            idx = self.slab[idx].prev;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut pc = PageCache::new(4);
+        assert!(!pc.lookup(1));
+        pc.insert(1, false);
+        assert!(pc.lookup(1));
+        assert_eq!(pc.stats().hits, 1);
+        assert_eq!(pc.stats().misses, 1);
+    }
+
+    #[test]
+    fn evicts_lru_when_full() {
+        let mut pc = PageCache::new(3);
+        pc.insert(1, false);
+        pc.insert(2, false);
+        pc.insert(3, false);
+        // Touch 1 so 2 becomes LRU.
+        assert!(pc.lookup(1));
+        let ev = pc.insert(4, false).expect("must evict");
+        assert_eq!(ev, Eviction { pblk: 2, dirty: false });
+        assert!(pc.contains(1) && pc.contains(3) && pc.contains(4));
+        assert_eq!(pc.len(), 3);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut pc = PageCache::new(2);
+        pc.insert(1, true);
+        pc.insert(2, false);
+        let ev = pc.insert(3, false).unwrap();
+        assert_eq!(ev, Eviction { pblk: 1, dirty: true });
+        assert_eq!(pc.stats().dirty_evictions, 1);
+        assert_eq!(pc.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn reinsert_promotes_and_merges_dirty() {
+        let mut pc = PageCache::new(2);
+        pc.insert(1, false);
+        pc.insert(2, false);
+        assert!(pc.insert(1, true).is_none(), "re-insert must not evict");
+        assert_eq!(pc.dirty_pages(), 1);
+        // 2 is now LRU.
+        assert_eq!(pc.lru_order(), vec![2, 1]);
+    }
+
+    #[test]
+    fn mark_dirty_only_resident() {
+        let mut pc = PageCache::new(2);
+        pc.insert(7, false);
+        assert!(pc.mark_dirty(7));
+        assert!(pc.mark_dirty(7), "idempotent");
+        assert_eq!(pc.dirty_pages(), 1);
+        assert!(!pc.mark_dirty(8));
+    }
+
+    #[test]
+    fn drain_dirty_oldest_first_and_cleans() {
+        let mut pc = PageCache::new(4);
+        pc.insert(1, true);
+        pc.insert(2, false);
+        pc.insert(3, true);
+        pc.insert(4, true);
+        let drained = pc.drain_dirty(2);
+        assert_eq!(drained, vec![1, 3], "oldest dirty first");
+        assert_eq!(pc.dirty_pages(), 1);
+        let rest = pc.drain_dirty(10);
+        assert_eq!(rest, vec![4]);
+        assert_eq!(pc.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn lru_order_tracks_access_pattern() {
+        let mut pc = PageCache::new(3);
+        pc.insert(1, false);
+        pc.insert(2, false);
+        pc.insert(3, false);
+        pc.lookup(2);
+        pc.lookup(1);
+        assert_eq!(pc.lru_order(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn slab_slots_recycled() {
+        let mut pc = PageCache::new(2);
+        for i in 0..100 {
+            pc.insert(i, i % 2 == 0);
+        }
+        assert_eq!(pc.len(), 2);
+        assert!(pc.contains(98) && pc.contains(99));
+        assert_eq!(pc.stats().insertions, 100);
+        assert_eq!(
+            pc.stats().clean_evictions + pc.stats().dirty_evictions,
+            98,
+            "every displaced page reported exactly once"
+        );
+    }
+
+    #[test]
+    fn stress_against_reference_model() {
+        use std::collections::VecDeque;
+        let mut pc = PageCache::new(8);
+        let mut model: VecDeque<u64> = VecDeque::new(); // front = MRU
+        let mut x: u64 = 0x12345;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pblk = (x >> 33) % 24;
+            let hit = pc.lookup(pblk);
+            let model_hit = model.contains(&pblk);
+            assert_eq!(hit, model_hit, "hit status diverged for {}", pblk);
+            if model_hit {
+                let pos = model.iter().position(|&p| p == pblk).unwrap();
+                model.remove(pos);
+                model.push_front(pblk);
+            } else {
+                pc.insert(pblk, false);
+                if model.len() == 8 {
+                    model.pop_back();
+                }
+                model.push_front(pblk);
+            }
+            assert_eq!(pc.lru_order().last(), model.front(), "MRU diverged");
+        }
+    }
+}

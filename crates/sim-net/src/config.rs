@@ -1,0 +1,141 @@
+//! Network configuration and timing math.
+
+use sim_core::Dur;
+
+/// Which fabric topology connects the nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricKind {
+    /// Shared-medium Ethernet hub: every frame occupies the single medium
+    /// (half-duplex). This is the paper's platform (Linksys EtherFast hub).
+    Hub,
+    /// Store-and-forward switch: per-node full-duplex uplink/downlink.
+    /// Provided as an ablation of the platform assumption.
+    Switch,
+}
+
+/// Parameters of the cluster interconnect.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    pub kind: FabricKind,
+    /// Link (and hub medium) bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Maximum user payload carried per Ethernet frame (MTU minus IP/TCP
+    /// headers — 1460 for standard Ethernet).
+    pub frame_payload: u32,
+    /// Per-frame wire overhead in bytes: preamble+SFD (8), Ethernet header
+    /// (14), IP (20), TCP (20), FCS (4), inter-frame gap (12).
+    pub frame_overhead: u32,
+    /// One-way propagation + hub/switch forwarding latency.
+    pub prop_delay: Dur,
+    /// Extra per-frame latency inside a switch (store-and-forward); ignored
+    /// in hub mode.
+    pub switch_latency: Dur,
+    /// Effective loopback bandwidth for node-local traffic (bytes/sec); the
+    /// kernel loopback path is a memcpy, far faster than the wire.
+    pub loopback_bytes_per_sec: u64,
+    /// Fixed per-message loopback latency.
+    pub loopback_latency: Dur,
+}
+
+impl NetConfig {
+    /// The paper's platform: 100 Mbps Ethernet through a 16-port hub.
+    pub fn hub_100mbps() -> NetConfig {
+        NetConfig {
+            kind: FabricKind::Hub,
+            bandwidth_bps: 100_000_000,
+            frame_payload: 1460,
+            frame_overhead: 78,
+            prop_delay: Dur::micros(5),
+            switch_latency: Dur::micros(10),
+            loopback_bytes_per_sec: 400_000_000,
+            loopback_latency: Dur::micros(15),
+        }
+    }
+
+    /// Switched variant of the same link speed (ablation).
+    pub fn switch_100mbps() -> NetConfig {
+        NetConfig { kind: FabricKind::Switch, ..NetConfig::hub_100mbps() }
+    }
+
+    /// Wire time of a frame carrying `data` payload bytes.
+    pub fn frame_time(&self, data: u32) -> Dur {
+        Dur::transfer((data + self.frame_overhead) as u64, self.bandwidth_bps)
+    }
+
+    /// Number of frames needed for a message of `bytes` payload.
+    pub fn frames_for(&self, bytes: u32) -> u32 {
+        if bytes == 0 {
+            1 // empty messages (pure control) still cost one frame
+        } else {
+            bytes.div_ceil(self.frame_payload)
+        }
+    }
+
+    /// Total wire time if the message were sent back-to-back with no
+    /// contention (used for sanity checks and analytic baselines).
+    pub fn message_wire_time(&self, bytes: u32) -> Dur {
+        let full = bytes / self.frame_payload;
+        let tail = bytes % self.frame_payload;
+        let mut t = self.frame_time(self.frame_payload) * full as u64;
+        if tail > 0 || bytes == 0 {
+            t += self.frame_time(tail);
+        }
+        t
+    }
+
+    /// Loopback transfer time for node-local messages.
+    pub fn loopback_time(&self, bytes: u32) -> Dur {
+        self.loopback_latency
+            + Dur::from_secs_f64(bytes as f64 / self.loopback_bytes_per_sec as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_math() {
+        let cfg = NetConfig::hub_100mbps();
+        assert_eq!(cfg.frames_for(0), 1);
+        assert_eq!(cfg.frames_for(1), 1);
+        assert_eq!(cfg.frames_for(1460), 1);
+        assert_eq!(cfg.frames_for(1461), 2);
+        assert_eq!(cfg.frames_for(4096), 3);
+    }
+
+    #[test]
+    fn frame_time_scales_with_payload() {
+        let cfg = NetConfig::hub_100mbps();
+        // 1460+78 bytes at 100 Mbps = 123.04 us
+        let t = cfg.frame_time(1460);
+        assert_eq!(t, Dur::nanos(123_040));
+        assert!(cfg.frame_time(100) < t);
+    }
+
+    #[test]
+    fn message_wire_time_sums_frames() {
+        let cfg = NetConfig::hub_100mbps();
+        let one = cfg.frame_time(1460);
+        assert_eq!(cfg.message_wire_time(1460), one);
+        assert_eq!(cfg.message_wire_time(2920), one * 2);
+        let t = cfg.message_wire_time(1461);
+        assert_eq!(t, one + cfg.frame_time(1));
+    }
+
+    #[test]
+    fn effective_bandwidth_near_nominal() {
+        let cfg = NetConfig::hub_100mbps();
+        // 1 MB of payload: effective rate should be ~95% of 100 Mbps
+        // (frame overhead).
+        let t = cfg.message_wire_time(1 << 20).as_secs_f64();
+        let mbps = (1u64 << 20) as f64 * 8.0 / t / 1e6;
+        assert!((90.0..100.0).contains(&mbps), "effective rate {} Mbps", mbps);
+    }
+
+    #[test]
+    fn loopback_much_faster_than_wire() {
+        let cfg = NetConfig::hub_100mbps();
+        assert!(cfg.loopback_time(1 << 20) < cfg.message_wire_time(1 << 20) / 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-node inbound demultiplexer.
+//!
+//! Every node runs one [`NodeNet`] actor: the fabric delivers all of the
+//! node's inbound messages to it, and it forwards each message to the actor
+//! registered for the destination port. This is the "kernel network stack"
+//! of a node, and — crucially for the paper — the place where a cache
+//! module *transparently inserts itself*: it re-registers the client
+//! library's reply port to point at itself, and the client library is none
+//! the wiser (§3.2 of the paper: interception is invisible to PVFS).
+
+use crate::message::{Deliver, NodeId, Port};
+use sim_core::{Actor, ActorId, Ctx, Dur, Msg};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Inbound port router for one node.
+pub struct NodeNet {
+    node: NodeId,
+    routes: HashMap<u16, ActorId>,
+    /// Messages whose port had no registration (a protocol bug if > 0).
+    pub dropped: u64,
+}
+
+impl NodeNet {
+    pub fn new(node: NodeId) -> NodeNet {
+        NodeNet { node, routes: HashMap::new(), dropped: 0 }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Register (or override) the handler for a port. Overriding is the
+    /// interception mechanism: installing a cache module rebinds the
+    /// client's ports to the module.
+    pub fn bind(&mut self, port: Port, handler: ActorId) {
+        self.routes.insert(port.0, handler);
+    }
+
+    pub fn handler_for(&self, port: Port) -> Option<ActorId> {
+        self.routes.get(&port.0).copied()
+    }
+}
+
+impl Actor for NodeNet {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.cast::<Deliver>() {
+            Ok(d) => {
+                let m = d.0;
+                debug_assert_eq!(
+                    m.dst, self.node,
+                    "message for {:?} delivered to node {:?}",
+                    m.dst, self.node
+                );
+                match self.routes.get(&m.dst_port.0) {
+                    Some(&target) => ctx.schedule_in(Dur::ZERO, target, Deliver(m)),
+                    None => {
+                        debug_assert!(false, "no handler for port {:?} on {:?}", m.dst_port, m.dst);
+                        self.dropped += 1;
+                    }
+                }
+            }
+            Err(other) => panic!("NodeNet received unexpected message: {:?}", other),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("net-{}", self.node)
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::NetMessage;
+    use sim_core::Engine;
+
+    struct Probe {
+        hits: u64,
+    }
+    impl Actor for Probe {
+        fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
+            if msg.is::<Deliver>() {
+                self.hits += 1;
+            }
+        }
+        fn as_any(&self) -> Option<&dyn Any> {
+            Some(self)
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+            Some(self)
+        }
+    }
+
+    fn deliver(dst_port: u16) -> Deliver {
+        Deliver(NetMessage::new((NodeId(9), Port(1)), (NodeId(0), Port(dst_port)), 8, 0, ()))
+    }
+
+    #[test]
+    fn routes_by_destination_port() {
+        let mut eng = Engine::new(0);
+        let a = eng.add_actor(Box::new(Probe { hits: 0 }));
+        let b = eng.add_actor(Box::new(Probe { hits: 0 }));
+        let mut net = NodeNet::new(NodeId(0));
+        net.bind(Port(10), a);
+        net.bind(Port(20), b);
+        let net_id = eng.add_actor(Box::new(net));
+        eng.post(Dur::ZERO, net_id, deliver(10));
+        eng.post(Dur::ZERO, net_id, deliver(10));
+        eng.post(Dur::ZERO, net_id, deliver(20));
+        eng.run();
+        assert_eq!(eng.actor_as::<Probe>(a).unwrap().hits, 2);
+        assert_eq!(eng.actor_as::<Probe>(b).unwrap().hits, 1);
+    }
+
+    #[test]
+    fn rebinding_a_port_intercepts_traffic() {
+        let mut eng = Engine::new(0);
+        let original = eng.add_actor(Box::new(Probe { hits: 0 }));
+        let interceptor = eng.add_actor(Box::new(Probe { hits: 0 }));
+        let mut net = NodeNet::new(NodeId(0));
+        net.bind(Port(10), original);
+        net.bind(Port(10), interceptor); // cache module takes over the port
+        assert_eq!(net.handler_for(Port(10)), Some(interceptor));
+        let net_id = eng.add_actor(Box::new(net));
+        eng.post(Dur::ZERO, net_id, deliver(10));
+        eng.run();
+        assert_eq!(eng.actor_as::<Probe>(original).unwrap().hits, 0);
+        assert_eq!(eng.actor_as::<Probe>(interceptor).unwrap().hits, 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn unknown_port_counts_drop() {
+        let mut eng = Engine::new(0);
+        let net_id = eng.add_actor(Box::new(NodeNet::new(NodeId(0))));
+        eng.post(Dur::ZERO, net_id, deliver(99));
+        eng.run();
+        assert_eq!(eng.actor_as::<NodeNet>(net_id).unwrap().dropped, 1);
+    }
+}

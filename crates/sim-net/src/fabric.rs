@@ -1,0 +1,355 @@
+//! The cluster interconnect actor.
+//!
+//! Models a frame-granular network: each NIC transmits one Ethernet frame at
+//! a time, contending for the shared medium (hub mode) or for its uplink and
+//! the destination's downlink (switch mode). Frame-level arbitration is what
+//! makes concurrent streams share bandwidth fairly — a 1 MB transfer does
+//! not lock out a competing 4 KB request for its whole duration, exactly as
+//! on the paper's real Ethernet.
+//!
+//! Messages are delivered whole (store-and-forward at the receiver, which is
+//! what a TCP receive buffer gives user code) once their last frame arrives.
+
+use crate::config::{FabricKind, NetConfig};
+use crate::message::{Deliver, NetMessage, Xmit};
+use sim_core::{Actor, ActorId, Ctx, Dur, FifoResource, Msg, SimTime};
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Counters the fabric maintains; snapshot them after a run with
+/// [`Fabric::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    pub messages: u64,
+    pub loopback_messages: u64,
+    pub frames: u64,
+    pub payload_bytes: u64,
+    pub wire_bytes: u64,
+}
+
+struct Outbound {
+    msg: NetMessage,
+    /// Payload bytes not yet put on the wire. Control messages with zero
+    /// payload are normalized to one byte so they still cost one frame.
+    remaining: u32,
+    /// Bytes carried by the frame currently on the wire.
+    in_flight: u32,
+    /// When the most recent frame fully arrives at the destination.
+    last_arrival: SimTime,
+}
+
+/// Fabric-internal event: the NIC of `node` finished putting a frame on the
+/// wire and may start the next one.
+struct FrameDone {
+    node: usize,
+}
+
+/// The interconnect. One instance per simulated cluster.
+pub struct Fabric {
+    cfg: NetConfig,
+    /// Hub mode: the single shared medium.
+    medium: FifoResource,
+    /// Switch mode: per-node transmit links.
+    uplinks: Vec<FifoResource>,
+    /// Switch mode: per-node receive links.
+    downlinks: Vec<FifoResource>,
+    /// Per-node outbound queues (NIC transmit rings).
+    nics: Vec<VecDeque<Outbound>>,
+    /// Per-node delivery endpoints (normally the node's `NodeNet`).
+    endpoints: Vec<ActorId>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Build a fabric for `endpoints.len()` nodes; `endpoints[i]` receives
+    /// [`Deliver`] events for node `i`.
+    pub fn new(cfg: NetConfig, endpoints: Vec<ActorId>) -> Fabric {
+        let n = endpoints.len();
+        Fabric {
+            medium: FifoResource::new("hub-medium"),
+            uplinks: (0..n).map(|i| FifoResource::new(format!("uplink-{i}"))).collect(),
+            downlinks: (0..n).map(|i| FifoResource::new(format!("downlink-{i}"))).collect(),
+            nics: (0..n).map(|_| VecDeque::new()).collect(),
+            endpoints,
+            cfg,
+            stats: FabricStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Utilization of the shared medium over `[0, now]` (hub mode).
+    pub fn medium_utilization(&self, now: SimTime) -> f64 {
+        self.medium.utilization(now)
+    }
+
+    fn start_frame(&mut self, ctx: &mut Ctx<'_>, node: usize) {
+        let now = ctx.now();
+        let ob = self.nics[node].front_mut().expect("start_frame on empty NIC queue");
+        let data = ob.remaining.min(self.cfg.frame_payload);
+        ob.in_flight = data;
+        let ft = self.cfg.frame_time(data);
+        self.stats.frames += 1;
+        self.stats.wire_bytes += (data + self.cfg.frame_overhead) as u64;
+
+        let (nic_free, arrival) = match self.cfg.kind {
+            FabricKind::Hub => {
+                // Half-duplex shared medium: the frame owns the hub for its
+                // whole wire time; sender and receiver finish together.
+                let done = self.medium.reserve(now, ft);
+                (done, done)
+            }
+            FabricKind::Switch => {
+                // Full-duplex: transmit on the uplink, then store-and-forward
+                // across the switch onto the destination downlink.
+                let up = self.uplinks[node].reserve(now, ft);
+                let dn_start = up + self.cfg.switch_latency;
+                let arrival = self.downlinks[ob.msg.dst.index()].reserve(dn_start, ft);
+                (up, arrival)
+            }
+        };
+        ob.last_arrival = arrival;
+        ctx.schedule_self(nic_free.since(now), FrameDone { node });
+    }
+
+    fn frame_done(&mut self, ctx: &mut Ctx<'_>, node: usize) {
+        let now = ctx.now();
+        let finished = {
+            let ob = self.nics[node].front_mut().expect("FrameDone with empty NIC queue");
+            ob.remaining -= ob.in_flight;
+            ob.in_flight = 0;
+            ob.remaining == 0
+        };
+        if finished {
+            let ob = self.nics[node].pop_front().expect("queue changed under us");
+            let deliver_at = ob.last_arrival + self.cfg.prop_delay;
+            let target = self.endpoints[ob.msg.dst.index()];
+            ctx.schedule_in(deliver_at.since(now), target, Deliver(ob.msg));
+        }
+        if !self.nics[node].is_empty() {
+            self.start_frame(ctx, node);
+        }
+    }
+}
+
+impl Actor for Fabric {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.cast::<Xmit>() {
+            Ok(x) => {
+                let m = x.0;
+                self.stats.messages += 1;
+                self.stats.payload_bytes += m.wire_bytes as u64;
+                if m.src == m.dst {
+                    // Node-local traffic short-circuits the wire entirely.
+                    self.stats.loopback_messages += 1;
+                    let delay = self.cfg.loopback_time(m.wire_bytes);
+                    let target = self.endpoints[m.dst.index()];
+                    ctx.schedule_in(delay, target, Deliver(m));
+                    return;
+                }
+                let node = m.src.index();
+                self.nics[node].push_back(Outbound {
+                    remaining: m.wire_bytes.max(1),
+                    in_flight: 0,
+                    last_arrival: SimTime::ZERO,
+                    msg: m,
+                });
+                if self.nics[node].len() == 1 {
+                    self.start_frame(ctx, node);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.cast::<FrameDone>() {
+            Ok(fd) => self.frame_done(ctx, fd.node),
+            Err(other) => panic!("fabric received unexpected message: {:?}", other),
+        }
+    }
+
+    fn name(&self) -> String {
+        "fabric".into()
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
+    }
+}
+
+/// Convenience: total one-way latency of an uncontended `bytes`-byte message
+/// (used by tests and analytic sanity checks).
+pub fn uncontended_latency(cfg: &NetConfig, bytes: u32) -> Dur {
+    cfg.message_wire_time(bytes) + cfg.prop_delay
+        + match cfg.kind {
+            FabricKind::Hub => Dur::ZERO,
+            // Store-and-forward adds one switch hop plus the retransmission
+            // of the final frame on the downlink.
+            FabricKind::Switch => {
+                cfg.switch_latency + cfg.frame_time(bytes % cfg.frame_payload.max(1))
+            }
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{NodeId, Port};
+    use sim_core::Engine;
+
+    /// Collects deliveries with their arrival times.
+    struct Sink {
+        got: Vec<(u64, SimTime)>,
+    }
+
+    impl Actor for Sink {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            if let Ok(d) = msg.cast::<Deliver>() {
+                self.got.push((d.0.tag, ctx.now()));
+            }
+        }
+        fn as_any(&self) -> Option<&dyn Any> {
+            Some(self)
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+            Some(self)
+        }
+    }
+
+    fn build(cfg: NetConfig, nodes: usize) -> (Engine, ActorId, Vec<ActorId>) {
+        let mut eng = Engine::new(1);
+        let sinks: Vec<ActorId> =
+            (0..nodes).map(|_| eng.add_actor(Box::new(Sink { got: vec![] }))).collect();
+        let fabric = eng.add_actor(Box::new(Fabric::new(cfg, sinks.clone())));
+        (eng, fabric, sinks)
+    }
+
+    fn msg(src: u16, dst: u16, bytes: u32, tag: u64) -> NetMessage {
+        NetMessage::new((NodeId(src), Port(1)), (NodeId(dst), Port(2)), bytes, tag, ())
+    }
+
+    #[test]
+    fn single_message_latency_matches_analytic() {
+        let cfg = NetConfig::hub_100mbps();
+        let expect = uncontended_latency(&cfg, 4096);
+        let (mut eng, fabric, sinks) = build(cfg, 2);
+        eng.post(Dur::ZERO, fabric, Xmit(msg(0, 1, 4096, 1)));
+        eng.run();
+        let sink = eng.actor_as::<Sink>(sinks[1]).unwrap();
+        assert_eq!(sink.got.len(), 1);
+        assert_eq!(sink.got[0].1, SimTime::ZERO + expect);
+    }
+
+    #[test]
+    fn hub_serializes_concurrent_senders() {
+        let cfg = NetConfig::hub_100mbps();
+        let wire_each = cfg.message_wire_time(14600); // 10 frames
+        let (mut eng, fabric, sinks) = build(cfg, 3);
+        eng.post(Dur::ZERO, fabric, Xmit(msg(0, 2, 14600, 1)));
+        eng.post(Dur::ZERO, fabric, Xmit(msg(1, 2, 14600, 2)));
+        eng.run();
+        let sink = eng.actor_as::<Sink>(sinks[2]).unwrap();
+        assert_eq!(sink.got.len(), 2);
+        let last = sink.got.iter().map(|g| g.1).max().unwrap();
+        // Both streams share one medium: total completion ~ sum of wire
+        // times (within a propagation delay).
+        let lower = SimTime::ZERO + wire_each * 2;
+        assert!(last >= lower, "last {:?} earlier than serialized bound {:?}", last, lower);
+    }
+
+    #[test]
+    fn switch_parallelizes_disjoint_pairs() {
+        let cfg = NetConfig::switch_100mbps();
+        let wire_each = cfg.message_wire_time(14600);
+        let (mut eng, fabric, sinks) = build(cfg, 4);
+        eng.post(Dur::ZERO, fabric, Xmit(msg(0, 2, 14600, 1)));
+        eng.post(Dur::ZERO, fabric, Xmit(msg(1, 3, 14600, 2)));
+        eng.run();
+        let t2 = eng.actor_as::<Sink>(sinks[2]).unwrap().got[0].1;
+        let t3 = eng.actor_as::<Sink>(sinks[3]).unwrap().got[0].1;
+        // Disjoint src/dst pairs must not serialize: both finish in about
+        // one message wire time, far less than two.
+        let upper = SimTime::ZERO + wire_each + wire_each / 2;
+        assert!(t2 < upper, "t2 {:?} vs upper {:?}", t2, upper);
+        assert!(t3 < upper, "t3 {:?} vs upper {:?}", t3, upper);
+    }
+
+    #[test]
+    fn frames_interleave_between_active_senders() {
+        // A long message and a short message start together on a hub; the
+        // short one must finish long before the long one completes.
+        let cfg = NetConfig::hub_100mbps();
+        let long_wire = cfg.message_wire_time(1 << 20);
+        let (mut eng, fabric, sinks) = build(cfg, 3);
+        eng.post(Dur::ZERO, fabric, Xmit(msg(0, 2, 1 << 20, 1)));
+        eng.post(Dur::ZERO, fabric, Xmit(msg(1, 2, 4096, 2)));
+        eng.run();
+        let sink = eng.actor_as::<Sink>(sinks[2]).unwrap();
+        let short_done = sink.got.iter().find(|g| g.0 == 2).unwrap().1;
+        assert!(
+            short_done.since(SimTime::ZERO) < long_wire / 10,
+            "short message starved: {:?} vs long wire {:?}",
+            short_done,
+            long_wire
+        );
+    }
+
+    #[test]
+    fn loopback_bypasses_the_medium() {
+        let cfg = NetConfig::hub_100mbps();
+        let lb = cfg.loopback_time(1 << 20);
+        let (mut eng, fabric, sinks) = build(cfg, 2);
+        eng.post(Dur::ZERO, fabric, Xmit(msg(0, 0, 1 << 20, 1)));
+        eng.run();
+        let sink = eng.actor_as::<Sink>(sinks[0]).unwrap();
+        assert_eq!(sink.got[0].1, SimTime::ZERO + lb);
+        let f = eng.actor_as::<Fabric>(fabric).unwrap();
+        assert_eq!(f.stats().loopback_messages, 1);
+        assert_eq!(f.stats().frames, 0, "loopback must not consume wire frames");
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_pair() {
+        let cfg = NetConfig::hub_100mbps();
+        let (mut eng, fabric, sinks) = build(cfg, 2);
+        for tag in 0..20 {
+            eng.post(Dur::ZERO, fabric, Xmit(msg(0, 1, 1000, tag)));
+        }
+        eng.run();
+        let sink = eng.actor_as::<Sink>(sinks[1]).unwrap();
+        let tags: Vec<u64> = sink.got.iter().map(|g| g.0).collect();
+        assert_eq!(tags, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let cfg = NetConfig::hub_100mbps();
+        let (mut eng, fabric, _sinks) = build(cfg, 2);
+        eng.post(Dur::ZERO, fabric, Xmit(msg(0, 1, 3000, 1)));
+        eng.post(Dur::ZERO, fabric, Xmit(msg(1, 0, 0, 2)));
+        eng.run();
+        let f = eng.actor_as::<Fabric>(fabric).unwrap();
+        assert_eq!(f.stats().messages, 2);
+        assert_eq!(f.stats().payload_bytes, 3000);
+        assert_eq!(f.stats().frames, 3 + 1, "3 frames for 3000B, 1 for control");
+        assert!(f.medium_utilization(eng.now()) > 0.0);
+    }
+
+    #[test]
+    fn zero_byte_control_message_still_delivered() {
+        let cfg = NetConfig::hub_100mbps();
+        let (mut eng, fabric, sinks) = build(cfg, 2);
+        eng.post(Dur::ZERO, fabric, Xmit(msg(0, 1, 0, 9)));
+        eng.run();
+        assert_eq!(eng.actor_as::<Sink>(sinks[1]).unwrap().got.len(), 1);
+    }
+}

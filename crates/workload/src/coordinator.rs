@@ -1,0 +1,123 @@
+//! Run coordinator: kicks processes off, collects their results, stops the
+//! simulation when every process finished.
+
+use crate::process::{ProcDone, ProcResult};
+use sim_core::{Actor, Ctx, Msg, SimTime};
+use std::any::Any;
+
+/// Collects [`ProcResult`]s; stops the engine when all arrived.
+pub struct Coordinator {
+    expected: usize,
+    results: Vec<ProcResult>,
+    all_done_at: Option<SimTime>,
+}
+
+impl Coordinator {
+    pub fn new(expected: usize) -> Coordinator {
+        assert!(expected > 0, "coordinator with nothing to wait for");
+        Coordinator { expected, results: Vec::with_capacity(expected), all_done_at: None }
+    }
+
+    pub fn results(&self) -> &[ProcResult] {
+        &self.results
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.results.len() == self.expected
+    }
+
+    /// Simulated instant the last process finished.
+    pub fn all_done_at(&self) -> Option<SimTime> {
+        self.all_done_at
+    }
+
+    /// Wall-clock span of one instance: first process start to last finish.
+    pub fn instance_makespan(&self, instance: u32) -> Option<(SimTime, SimTime)> {
+        let procs: Vec<&ProcResult> =
+            self.results.iter().filter(|r| r.instance == instance).collect();
+        if procs.is_empty() {
+            return None;
+        }
+        let start = procs.iter().map(|r| r.started).min().unwrap();
+        let end = procs.iter().map(|r| r.finished).max().unwrap();
+        Some((start, end))
+    }
+}
+
+impl Actor for Coordinator {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.cast::<ProcDone>() {
+            Ok(d) => {
+                self.results.push(d.0);
+                if self.is_complete() {
+                    self.all_done_at = Some(ctx.now());
+                    ctx.stop();
+                }
+            }
+            Err(m) => panic!("coordinator received unexpected message: {:?}", m),
+        }
+    }
+
+    fn name(&self) -> String {
+        "coordinator".into()
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{Dur, Engine, Tally};
+    use sim_net::NodeId;
+
+    fn result(instance: u32, start_ms: u64, end_ms: u64) -> ProcResult {
+        ProcResult {
+            instance,
+            proc_index: 0,
+            node: NodeId(0),
+            read_latency: Tally::new(),
+            write_latency: Tally::new(),
+            requests: 1,
+            bytes: 1,
+            started: SimTime::ZERO + Dur::millis(start_ms),
+            finished: SimTime::ZERO + Dur::millis(end_ms),
+            verify_failures: 0,
+        }
+    }
+
+    #[test]
+    fn stops_engine_when_all_report() {
+        let mut eng = Engine::new(0);
+        let c = eng.add_actor(Box::new(Coordinator::new(2)));
+        eng.post(Dur::millis(1), c, ProcDone(result(0, 0, 1)));
+        eng.post(Dur::millis(5), c, ProcDone(result(1, 0, 5)));
+        eng.post(Dur::millis(9), c, ProcDone(result(9, 0, 9))); // never dispatched
+        let report = eng.run();
+        assert_eq!(report.stop, sim_core::StopReason::Stopped);
+        let coord = eng.actor_as::<Coordinator>(c).unwrap();
+        assert!(coord.is_complete());
+        assert_eq!(coord.all_done_at(), Some(SimTime::ZERO + Dur::millis(5)));
+    }
+
+    #[test]
+    fn makespan_spans_instance_processes() {
+        let mut eng = Engine::new(0);
+        let c = eng.add_actor(Box::new(Coordinator::new(3)));
+        eng.post(Dur::ZERO, c, ProcDone(result(0, 2, 10)));
+        eng.post(Dur::ZERO, c, ProcDone(result(0, 1, 7)));
+        eng.post(Dur::ZERO, c, ProcDone(result(1, 0, 20)));
+        eng.run();
+        let coord = eng.actor_as::<Coordinator>(c).unwrap();
+        let (s, e) = coord.instance_makespan(0).unwrap();
+        assert_eq!(s, SimTime::ZERO + Dur::millis(1));
+        assert_eq!(e, SimTime::ZERO + Dur::millis(10));
+        assert!(coord.instance_makespan(7).is_none());
+    }
+}

@@ -1,0 +1,22 @@
+//! # workload — the paper's micro-benchmark (§4.1)
+//!
+//! "A customizable micro-benchmark which generates different access
+//! patterns depending upon the command line values": file size, request
+//! size `d`, parallelism `p`, read/write mode, iteration count, degree of
+//! locality `l`, and degree of inter-application data sharing `s`.
+//!
+//! * [`spec`] — the instance specification ([`AppSpec`]) and knobs.
+//! * [`stream`] — per-process access streams implementing `l` and the
+//!   data-parallel partitioning.
+//! * [`process`] — the application-process actor (libpvfs linked in).
+//! * [`coordinator`] — run controller collecting per-process results.
+
+pub mod coordinator;
+pub mod process;
+pub mod spec;
+pub mod stream;
+
+pub use coordinator::Coordinator;
+pub use process::{AppProcess, Kickoff, ProcDone, ProcPlan, ProcResult};
+pub use spec::{default_file_size, AppSpec, Mode};
+pub use stream::{partition_of, AccessStream};

@@ -1,0 +1,225 @@
+//! The application-process actor: one OS process of a micro-benchmark
+//! instance, with libpvfs linked in.
+
+use crate::spec::Mode;
+use crate::stream::AccessStream;
+use pvfs::{Completion, Fid, PvfsClient};
+use sim_core::{Actor, ActorId, Ctx, DetRng, Dur, Msg, SimTime, Tally};
+use sim_net::{Deliver, NodeId};
+use std::any::Any;
+
+/// Bootstrap message posted by the harness.
+pub struct Kickoff;
+
+/// Internal: issue the next request.
+struct IssueNext;
+
+/// Final per-process measurement, reported to the coordinator.
+#[derive(Debug, Clone)]
+pub struct ProcResult {
+    pub instance: u32,
+    pub proc_index: u32,
+    pub node: NodeId,
+    /// Per-request latency in nanoseconds.
+    pub read_latency: Tally,
+    pub write_latency: Tally,
+    pub requests: u64,
+    pub bytes: u64,
+    pub started: SimTime,
+    pub finished: SimTime,
+    pub verify_failures: u64,
+}
+
+/// Sent to the coordinator when the process completes its request budget.
+pub struct ProcDone(pub ProcResult);
+
+/// Execution plan for one process (derived from the instance `AppSpec` by
+/// the cluster builder).
+pub struct ProcPlan {
+    pub instance: u32,
+    pub proc_index: u32,
+    pub shared_file: String,
+    pub private_file: String,
+    pub n_requests: u64,
+    pub d_proc: u32,
+    pub mode: Mode,
+    pub locality: f64,
+    pub sharing: f64,
+    /// This process's partition of each file.
+    pub partition: (u64, u64),
+    /// Locality window sizing (see [`AccessStream`]).
+    pub window_bytes: u64,
+    pub start_delay: Dur,
+}
+
+enum Phase {
+    Idle,
+    Opening,
+    Running,
+    Done,
+}
+
+/// The process actor.
+pub struct AppProcess {
+    client: PvfsClient,
+    plan: ProcPlan,
+    rng: DetRng,
+    coordinator: ActorId,
+    phase: Phase,
+    shared: Option<(Fid, AccessStream)>,
+    private: Option<(Fid, AccessStream)>,
+    issued: u64,
+    result: ProcResult,
+}
+
+impl AppProcess {
+    pub fn new(
+        client: PvfsClient,
+        plan: ProcPlan,
+        rng: DetRng,
+        coordinator: ActorId,
+    ) -> AppProcess {
+        let node = client.config().node;
+        let result = ProcResult {
+            instance: plan.instance,
+            proc_index: plan.proc_index,
+            node,
+            read_latency: Tally::new(),
+            write_latency: Tally::new(),
+            requests: 0,
+            bytes: 0,
+            started: SimTime::ZERO,
+            finished: SimTime::ZERO,
+            verify_failures: 0,
+        };
+        AppProcess { client, plan, rng, coordinator, phase: Phase::Idle, shared: None, private: None, issued: 0, result }
+    }
+
+    pub fn result(&self) -> &ProcResult {
+        &self.result
+    }
+
+    pub fn client(&self) -> &PvfsClient {
+        &self.client
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_>) {
+        let use_shared = {
+            let s = self.plan.sharing;
+            self.rng.chance(s)
+        };
+        let l = self.plan.locality;
+        let (fid, offset, len) = {
+            let slot = if use_shared { self.shared.as_mut() } else { self.private.as_mut() };
+            let (fid, stream) = slot.expect("file not opened before issue");
+            let off = stream.next(l, &mut self.rng);
+            (*fid, off, stream.req_len())
+        };
+        match self.plan.mode {
+            Mode::Read => {
+                self.client.read(ctx, fid, offset, len);
+            }
+            Mode::Write => {
+                self.client.write(ctx, fid, offset, len, false);
+            }
+            Mode::SyncWrite => {
+                self.client.write(ctx, fid, offset, len, true);
+            }
+        }
+    }
+
+    fn on_completion(&mut self, ctx: &mut Ctx<'_>, c: Completion) {
+        match c {
+            Completion::Meta { handle, at, .. } => {
+                // Match open completions by file name convention: the
+                // shared file is opened first, then the private file.
+                let stream = AccessStream::new(
+                    self.plan.partition,
+                    self.plan.d_proc,
+                    self.plan.window_bytes,
+                );
+                if self.shared.is_none() {
+                    self.shared = Some((handle.fid, stream));
+                    let name = self.plan.private_file.clone();
+                    self.client.open(ctx, &name);
+                } else {
+                    self.private = Some((handle.fid, stream));
+                    self.phase = Phase::Running;
+                    self.result.started = at;
+                    self.issue_next(ctx);
+                }
+            }
+            Completion::MetaErr { reason, .. } => {
+                panic!("process {}/{} open failed: {}", self.plan.instance, self.plan.proc_index, reason)
+            }
+            Completion::Read { bytes, latency, at, .. } => {
+                self.result.read_latency.record(latency.as_nanos() as f64);
+                self.finish_request(ctx, bytes, at);
+            }
+            Completion::Write { bytes, latency, at, .. } => {
+                self.result.write_latency.record(latency.as_nanos() as f64);
+                self.finish_request(ctx, bytes, at);
+            }
+        }
+    }
+
+    fn finish_request(&mut self, ctx: &mut Ctx<'_>, bytes: u64, at: SimTime) {
+        self.issued += 1;
+        self.result.requests += 1;
+        self.result.bytes += bytes;
+        if self.issued >= self.plan.n_requests {
+            self.phase = Phase::Done;
+            self.result.finished = at;
+            self.result.verify_failures = self.client.stats().verify_failures;
+            let done = ProcDone(self.result.clone());
+            ctx.schedule_in(at.since(ctx.now()), self.coordinator, done);
+        } else {
+            // Resume when the completing request's CPU work is done.
+            ctx.schedule_self(at.since(ctx.now()), IssueNext);
+        }
+    }
+}
+
+impl Actor for AppProcess {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.cast::<Kickoff>() {
+            Ok(_) => {
+                debug_assert!(matches!(self.phase, Phase::Idle));
+                self.phase = Phase::Opening;
+                let name = self.plan.shared_file.clone();
+                self.client.open(ctx, &name);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.cast::<IssueNext>() {
+            Ok(_) => {
+                if matches!(self.phase, Phase::Running) {
+                    self.issue_next(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.cast::<Deliver>() {
+            Ok(d) => {
+                if let Some(c) = self.client.on_deliver(ctx, d.0) {
+                    self.on_completion(ctx, c);
+                }
+            }
+            Err(m) => panic!("app process received unexpected message: {:?}", m),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("app{}-p{}", self.plan.instance, self.plan.proc_index)
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
+    }
+}

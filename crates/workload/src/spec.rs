@@ -1,0 +1,148 @@
+//! Workload specification — the paper's micro-benchmark knobs (§4.1).
+
+use sim_core::Dur;
+use sim_net::NodeId;
+
+/// Read or write benchmark (the paper runs one or the other per experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Read,
+    Write,
+    /// Paper extension: coherent writes through the sync-write path.
+    SyncWrite,
+}
+
+/// One application instance of the micro-benchmark.
+///
+/// An *application-level* request moves `request_size` (`d`) bytes; each of
+/// the instance's `nodes.len()` (`p`) processes moves its `d/p` share from
+/// its own partition of the file — "each processor/node in an application
+/// accesses a distinct portion of the file (completely data parallel)".
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Instance label (also names its private file).
+    pub name: String,
+    /// Nodes running this instance's processes (`p` = `nodes.len()`).
+    pub nodes: Vec<NodeId>,
+    /// Total bytes the application moves over the run (kept constant across
+    /// a `d` sweep, as in Figures 6-8).
+    pub total_bytes: u64,
+    /// Application-level request size `d`.
+    pub request_size: u32,
+    pub mode: Mode,
+    /// Degree of locality `l` ∈ [0, 1].
+    pub locality: f64,
+    /// Degree of inter-application sharing `s` ∈ [0, 1]: fraction of
+    /// requests that go to the shared file instead of the private file.
+    pub sharing: f64,
+    /// Name of the file shared across instances.
+    pub shared_file: String,
+    /// Logical size of each file.
+    pub file_size: u64,
+    /// Start offset (instances normally start together).
+    pub start_delay: Dur,
+    /// Floor on the request count (latency-per-request experiments need
+    /// enough iterations that cold-start misses wash out).
+    pub min_requests: u64,
+}
+
+impl AppSpec {
+    pub fn p(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Per-process share of one application request.
+    pub fn d_proc(&self) -> u32 {
+        (self.request_size / self.p()).max(1)
+    }
+
+    /// Application-level request count (= per-process request count).
+    pub fn n_requests(&self) -> u64 {
+        (self.total_bytes / self.request_size as u64).max(self.min_requests).max(1)
+    }
+
+    pub fn private_file(&self) -> String {
+        format!("{}-private", self.name)
+    }
+
+    /// Sanity-check the spec.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("no nodes".into());
+        }
+        if self.request_size == 0 {
+            return Err("zero request size".into());
+        }
+        if !(0.0..=1.0).contains(&self.locality) {
+            return Err(format!("locality {} out of range", self.locality));
+        }
+        if !(0.0..=1.0).contains(&self.sharing) {
+            return Err(format!("sharing {} out of range", self.sharing));
+        }
+        let (_, len) = crate::stream::partition_of(self.file_size, self.p() - 1, self.p());
+        if len < self.d_proc() as u64 {
+            return Err("file too small for per-process partitions".into());
+        }
+        Ok(())
+    }
+}
+
+/// Default micro-benchmark sizing: file large enough that partitions fit
+/// every `d` in the sweep; totals sized to the paper's second-scale runs.
+pub fn default_file_size() -> u64 {
+    16 << 20 // 16 MB per file
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> AppSpec {
+        AppSpec {
+            name: "app0".into(),
+            nodes: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            total_bytes: 6 << 20,
+            request_size: 65536,
+            mode: Mode::Read,
+            locality: 0.5,
+            sharing: 0.25,
+            shared_file: "shared".into(),
+            file_size: default_file_size(),
+            start_delay: Dur::ZERO,
+            min_requests: 1,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = spec();
+        assert_eq!(s.p(), 4);
+        assert_eq!(s.d_proc(), 16384);
+        assert_eq!(s.n_requests(), (6 << 20) / 65536);
+        assert_eq!(s.private_file(), "app0-private");
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_knobs() {
+        let mut s = spec();
+        s.locality = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.request_size = 0;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.nodes.clear();
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.file_size = 1000;
+        assert!(s.validate().is_err(), "partitions smaller than d/p");
+    }
+
+    #[test]
+    fn tiny_request_sizes_clamp_d_proc() {
+        let mut s = spec();
+        s.request_size = 2; // d < p
+        assert_eq!(s.d_proc(), 1);
+    }
+}

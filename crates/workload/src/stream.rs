@@ -1,0 +1,161 @@
+//! Access-stream generation: the `l` (locality) knob of the paper's
+//! micro-benchmark.
+//!
+//! Each process owns a distinct partition of each file (completely
+//! data-parallel, §4.1). Fresh accesses walk the partition sequentially in
+//! `d/p`-byte steps (wrapping); with probability `l` the next access
+//! instead *re-references* an offset from a recent window sized to stay
+//! cache-resident — "a pre-speciﬁed cache hit ratio in I/O accesses".
+
+use sim_core::DetRng;
+use std::collections::VecDeque;
+
+/// Per-(process, file) offset generator.
+#[derive(Debug, Clone)]
+pub struct AccessStream {
+    partition_start: u64,
+    partition_len: u64,
+    req_len: u32,
+    cursor: u64,
+    window: VecDeque<u64>,
+    window_cap: usize,
+}
+
+impl AccessStream {
+    /// `partition`: this process's `(start, len)` slice of the file.
+    /// `req_len`: bytes moved per access (`d / p`).
+    /// `window_bytes`: how much recently-touched data counts as "local"
+    /// (sized below the per-process share of the node cache).
+    pub fn new(partition: (u64, u64), req_len: u32, window_bytes: u64) -> AccessStream {
+        assert!(req_len > 0, "zero request length");
+        assert!(partition.1 >= req_len as u64, "partition smaller than one request");
+        let window_cap = (window_bytes / req_len as u64).max(1) as usize;
+        AccessStream {
+            partition_start: partition.0,
+            partition_len: partition.1,
+            req_len,
+            cursor: 0,
+            window: VecDeque::with_capacity(window_cap),
+            window_cap,
+        }
+    }
+
+    /// Next access offset: re-reference with probability `locality`, else a
+    /// fresh sequential step.
+    pub fn next(&mut self, locality: f64, rng: &mut DetRng) -> u64 {
+        if !self.window.is_empty() && rng.chance(locality) {
+            let i = rng.below(self.window.len() as u64) as usize;
+            return self.window[i];
+        }
+        let off = self.partition_start + self.cursor;
+        self.cursor += self.req_len as u64;
+        if self.cursor + self.req_len as u64 > self.partition_len {
+            self.cursor = 0; // wrap to keep every request inside the slice
+        }
+        if self.window.len() == self.window_cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(off);
+        off
+    }
+
+    pub fn req_len(&self) -> u32 {
+        self.req_len
+    }
+}
+
+/// The `(start, len)` partition of process `k` of `p` over a file of
+/// `file_size` bytes.
+pub fn partition_of(file_size: u64, k: u32, p: u32) -> (u64, u64) {
+    assert!(p > 0 && k < p);
+    let base = file_size / p as u64;
+    let start = base * k as u64;
+    let len = if k == p - 1 { file_size - start } else { base };
+    (start, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_tile_the_file() {
+        for p in 1..6u32 {
+            let size = 6_000_001u64;
+            let mut covered = 0;
+            for k in 0..p {
+                let (start, len) = partition_of(size, k, p);
+                assert_eq!(start, covered);
+                covered += len;
+            }
+            assert_eq!(covered, size);
+        }
+    }
+
+    #[test]
+    fn zero_locality_is_purely_sequential() {
+        let mut s = AccessStream::new((1000, 10_000), 500, 2_000);
+        let mut rng = DetRng::stream(1, 1);
+        let offs: Vec<u64> = (0..5).map(|_| s.next(0.0, &mut rng)).collect();
+        assert_eq!(offs, vec![1000, 1500, 2000, 2500, 3000]);
+    }
+
+    #[test]
+    fn full_locality_rereferences_window() {
+        let mut s = AccessStream::new((0, 100_000), 1000, 4_000);
+        let mut rng = DetRng::stream(2, 2);
+        let first = s.next(1.0, &mut rng); // window empty: fresh
+        assert_eq!(first, 0);
+        for _ in 0..100 {
+            let o = s.next(1.0, &mut rng);
+            assert_eq!(o, 0, "with l=1 only the single windowed offset repeats");
+        }
+    }
+
+    #[test]
+    fn intermediate_locality_mixes() {
+        // Partition large enough that the cursor never wraps (wrapping
+        // makes fresh offsets repeat and would undercount them here).
+        let mut s = AccessStream::new((0, 100_000_000), 1000, 8_000);
+        let mut rng = DetRng::stream(3, 3);
+        let mut fresh = 0;
+        let mut seen = std::collections::HashSet::new();
+        let n = 10_000;
+        for _ in 0..n {
+            let o = s.next(0.5, &mut rng);
+            if seen.insert(o) {
+                fresh += 1;
+            }
+        }
+        let frac = fresh as f64 / n as f64;
+        assert!(
+            (0.4..0.6).contains(&frac),
+            "fresh fraction {} should be near 1 - l = 0.5",
+            frac
+        );
+    }
+
+    #[test]
+    fn wraps_within_partition() {
+        let mut s = AccessStream::new((100, 3_000), 1000, 1_000);
+        let mut rng = DetRng::stream(4, 4);
+        for _ in 0..10 {
+            let o = s.next(0.0, &mut rng);
+            assert!(
+                (100..100 + 3_000).contains(&o) && o + 1000 <= 100 + 3000,
+                "offset {} escapes the partition",
+                o
+            );
+        }
+    }
+
+    #[test]
+    fn window_bounded() {
+        let mut s = AccessStream::new((0, 1_000_000), 1000, 3_000);
+        let mut rng = DetRng::stream(5, 5);
+        for _ in 0..100 {
+            s.next(0.0, &mut rng);
+        }
+        assert!(s.window.len() <= 3);
+    }
+}

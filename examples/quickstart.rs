@@ -1,0 +1,49 @@
+//! Quickstart: build the paper's 6-node cluster, run one I/O-intensive
+//! application with and without the kernel cache module, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use clusterio::cluster::{run_experiment, ClusterSpec};
+use clusterio::kcache::CacheConfig;
+use clusterio::sim_core::Dur;
+use clusterio::sim_net::NodeId;
+use clusterio::workload::{AppSpec, Mode};
+
+fn main() {
+    let app = AppSpec {
+        name: "quickstart".into(),
+        // p = 4 processes, one per node.
+        nodes: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+        total_bytes: 4 << 20,
+        request_size: 64 << 10,
+        mode: Mode::Read,
+        locality: 0.8, // most requests re-reference recently-read data
+        sharing: 0.0,
+        shared_file: "shared".into(),
+        file_size: 16 << 20,
+        start_delay: Dur::ZERO,
+        min_requests: 1,
+    };
+
+    println!("workload: {} MB in {} KB requests, p=4, locality=0.8\n",
+        app.total_bytes >> 20, app.request_size >> 10);
+
+    for (label, cache) in
+        [("original PVFS (no caching)", None), ("with kernel cache module", Some(CacheConfig::paper()))]
+    {
+        let spec = ClusterSpec::paper(cache);
+        let r = run_experiment(&spec, &[app.clone()]);
+        assert!(r.completed, "run did not complete");
+        assert_eq!(r.total_verify_failures(), 0, "data corruption detected");
+        println!("{label}:");
+        println!("  completion time      : {:.4} s", r.mean_makespan_s());
+        println!("  per-request latency  : {:.3} ms", r.mean_read_latency_s() * 1e3);
+        println!("  network payload bytes: {}", r.fabric.payload_bytes);
+        if let Some(hit) = r.hit_ratio() {
+            println!("  cache hit ratio      : {:.1}%", hit * 100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! # clusterio — reproduction of "Kernel-Level Caching for Optimizing I/O
+//! by Exploiting Inter-Application Data Sharing" (CLUSTER 2002)
+//!
+//! This umbrella crate re-exports the whole system:
+//!
+//! * [`kcache`] — the paper's contribution: the per-node shared kernel
+//!   cache module (buffer manager, flusher, harvester, socket-FSM
+//!   interception, sync-write coherence).
+//! * [`pvfs`] — the PVFS substrate (mgr, iods, libpvfs client).
+//! * [`sim_core`] / [`sim_net`] / [`sim_disk`] — the deterministic
+//!   discrete-event cluster simulator underneath.
+//! * [`workload`] — the paper's parameterized micro-benchmark.
+//! * [`cluster`] — cluster assembly, experiment runner, figure drivers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use clusterio::cluster::{run_experiment, ClusterSpec};
+//! use clusterio::kcache::CacheConfig;
+//! use clusterio::workload::{AppSpec, Mode};
+//! use clusterio::sim_net::NodeId;
+//! use clusterio::sim_core::Dur;
+//!
+//! // One 4-process application instance, 50% locality, on the paper's
+//! // 6-node cluster with the 1.2 MB per-node cache module installed.
+//! let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+//! let apps = vec![AppSpec {
+//!     name: "quick".into(),
+//!     nodes: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+//!     total_bytes: 1 << 20,
+//!     request_size: 64 << 10,
+//!     mode: Mode::Read,
+//!     locality: 0.5,
+//!     sharing: 0.0,
+//!     shared_file: "shared".into(),
+//!     file_size: 8 << 20,
+//!     start_delay: Dur::ZERO,
+//!     min_requests: 1,
+//! }];
+//! let result = run_experiment(&spec, &apps);
+//! assert!(result.completed);
+//! assert_eq!(result.total_verify_failures(), 0);
+//! ```
+
+pub use cluster_harness as cluster;
+pub use kcache;
+pub use pvfs;
+pub use sim_core;
+pub use sim_disk;
+pub use sim_net;
+pub use workload;

@@ -1,0 +1,242 @@
+//! End-to-end integration tests across the whole stack: workload →
+//! libpvfs → cache module → fabric → iod → page cache → disk, and back.
+
+use cluster_harness::{run_experiment, ClusterSpec};
+use kcache::CacheConfig;
+use sim_core::Dur;
+use sim_net::NodeId;
+use workload::{AppSpec, Mode};
+
+fn app(
+    name: &str,
+    nodes: &[u16],
+    total: u64,
+    d: u32,
+    mode: Mode,
+    l: f64,
+    s: f64,
+) -> AppSpec {
+    AppSpec {
+        name: name.into(),
+        nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+        total_bytes: total,
+        request_size: d,
+        mode,
+        locality: l,
+        sharing: s,
+        shared_file: "shared".into(),
+        file_size: 8 << 20,
+        start_delay: Dur::ZERO,
+        min_requests: 1,
+    }
+}
+
+#[test]
+fn single_instance_reads_complete_with_verified_data() {
+    for caching in [false, true] {
+        let spec = ClusterSpec::paper(caching.then(CacheConfig::paper));
+        let apps = vec![app("a", &[0, 1, 2, 3], 1 << 20, 64 << 10, Mode::Read, 0.5, 0.0)];
+        let r = run_experiment(&spec, &apps);
+        assert!(r.completed, "caching={caching} did not finish");
+        assert_eq!(r.total_verify_failures(), 0, "caching={caching} corrupted data");
+        assert_eq!(r.instances[0].requests, 16 * 4, "16 app requests x 4 processes");
+        assert!(r.instances[0].makespan_s > 0.0);
+    }
+}
+
+#[test]
+fn caching_version_hits_with_locality() {
+    let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+    let apps = vec![app("a", &[0, 1], 1 << 20, 32 << 10, Mode::Read, 1.0, 0.0)];
+    let r = run_experiment(&spec, &apps);
+    assert!(r.completed);
+    let hit = r.hit_ratio().expect("caching run must report hit ratio");
+    assert!(hit > 0.8, "l=1 should be nearly all hits, got {hit}");
+    let m = r.module.as_ref().unwrap();
+    assert!(m.fake_read_acks > 0, "full hits must fake acknowledgments");
+}
+
+#[test]
+fn zero_locality_misses() {
+    let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+    // Partitions far larger than the cache: fresh blocks never revisit.
+    let apps = vec![app("a", &[0, 1], 2 << 20, 64 << 10, Mode::Read, 0.0, 0.0)];
+    let r = run_experiment(&spec, &apps);
+    let hit = r.hit_ratio().unwrap_or(0.0);
+    assert!(hit < 0.1, "l=0 single instance should mostly miss, got {hit}");
+}
+
+#[test]
+fn inter_application_sharing_produces_cross_hits() {
+    let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+    let apps = vec![
+        app("a", &[0, 1], 1 << 20, 64 << 10, Mode::Read, 0.0, 1.0),
+        app("b", &[0, 1], 1 << 20, 64 << 10, Mode::Read, 0.0, 1.0),
+    ];
+    let r = run_experiment(&spec, &apps);
+    assert!(r.completed);
+    assert_eq!(r.total_verify_failures(), 0);
+    let m = r.module.as_ref().unwrap();
+    // With two synchronized instances over one shared file, roughly half
+    // the blocks should be served by the other instance's fetches (hits or
+    // pending-block waits).
+    let cross = r.cache.as_ref().unwrap().hits + m.dedup_blocks;
+    assert!(
+        cross as f64 >= 0.25 * m.blocks_fetched as f64,
+        "expected substantial cross-application reuse: hits+dedup={cross}, fetched={}",
+        m.blocks_fetched
+    );
+}
+
+#[test]
+fn write_behind_then_read_back_round_trips() {
+    // Writes go through the cache (write-behind + flusher); a second
+    // instance then reads the same file and must see pattern bytes.
+    let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+    let apps = vec![
+        app("w", &[0, 1], 512 << 10, 64 << 10, Mode::Write, 0.0, 1.0),
+        AppSpec {
+            start_delay: Dur::secs(3), // after the writer and its flusher
+            ..app("r", &[2, 3], 512 << 10, 64 << 10, Mode::Read, 0.0, 1.0)
+        },
+    ];
+    let r = run_experiment(&spec, &apps);
+    assert!(r.completed);
+    assert_eq!(r.total_verify_failures(), 0, "reader saw non-pattern bytes");
+    let m = r.module.as_ref().unwrap();
+    assert!(m.flush_msgs > 0, "writer's flusher must have pushed dirty blocks");
+}
+
+#[test]
+fn sync_writes_complete_under_full_sharing() {
+    let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+    let apps = vec![
+        app("a", &[0, 1], 256 << 10, 32 << 10, Mode::SyncWrite, 0.3, 1.0),
+        app("b", &[2, 3], 256 << 10, 32 << 10, Mode::SyncWrite, 0.3, 1.0),
+    ];
+    let r = run_experiment(&spec, &apps);
+    assert!(r.completed);
+    let m = r.module.as_ref().unwrap();
+    assert!(m.sync_writes > 0);
+    assert!(r.iod.sync_writes > 0, "sync writes must reach the iods");
+}
+
+#[test]
+fn multiprogramming_two_instances_per_node() {
+    // Two instances time-sharing the same nodes: both must finish, and the
+    // cache stats must reflect both.
+    let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+    let apps = vec![
+        app("a", &[0, 1, 2], 1 << 20, 128 << 10, Mode::Read, 0.5, 0.5),
+        app("b", &[0, 1, 2], 1 << 20, 128 << 10, Mode::Read, 0.5, 0.5),
+    ];
+    let r = run_experiment(&spec, &apps);
+    assert!(r.completed);
+    assert_eq!(r.instances.len(), 2);
+    for i in &r.instances {
+        assert!(i.makespan_s > 0.0);
+        assert_eq!(i.verify_failures, 0);
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let mk = || {
+        let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+        let apps = vec![
+            app("a", &[0, 1, 2, 3], 1 << 20, 64 << 10, Mode::Read, 0.5, 0.5),
+            app("b", &[0, 1, 2, 3], 1 << 20, 64 << 10, Mode::Write, 0.5, 0.5),
+        ];
+        run_experiment(&spec, &apps)
+    };
+    let r1 = mk();
+    let r2 = mk();
+    assert_eq!(r1.events, r2.events, "event counts differ between identical runs");
+    assert_eq!(r1.sim_end, r2.sim_end, "end times differ between identical runs");
+    for (a, b) in r1.instances.iter().zip(r2.instances.iter()) {
+        assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits(), "makespans differ");
+        assert_eq!(a.read_latency_s.to_bits(), b.read_latency_s.to_bits());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mk = |seed| {
+        let mut spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+        spec.seed = seed;
+        let apps = vec![app("a", &[0, 1], 1 << 20, 64 << 10, Mode::Read, 0.5, 0.5)];
+        run_experiment(&spec, &apps)
+    };
+    let r1 = mk(1);
+    let r2 = mk(2);
+    assert!(
+        r1.sim_end != r2.sim_end || r1.events != r2.events,
+        "different seeds should perturb the run"
+    );
+}
+
+#[test]
+fn no_caching_run_reports_no_cache_stats() {
+    let spec = ClusterSpec::paper(None);
+    let apps = vec![app("a", &[0, 1], 256 << 10, 64 << 10, Mode::Read, 0.0, 0.0)];
+    let r = run_experiment(&spec, &apps);
+    assert!(r.completed);
+    assert!(r.cache.is_none());
+    assert!(r.module.is_none());
+    assert!(r.hit_ratio().is_none());
+}
+
+#[test]
+fn network_traffic_shrinks_with_caching_at_high_locality() {
+    let run = |cache| {
+        let spec = ClusterSpec::paper(cache);
+        let apps = vec![app("a", &[0, 1], 2 << 20, 64 << 10, Mode::Read, 1.0, 0.0)];
+        run_experiment(&spec, &apps)
+    };
+    let cached = run(Some(CacheConfig::paper()));
+    let plain = run(None);
+    assert!(
+        cached.fabric.payload_bytes < plain.fabric.payload_bytes / 2,
+        "l=1 caching should cut network bytes by far more than half: {} vs {}",
+        cached.fabric.payload_bytes,
+        plain.fabric.payload_bytes
+    );
+}
+
+#[test]
+fn single_process_single_node_works() {
+    let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+    let apps = vec![app("solo", &[5], 256 << 10, 16 << 10, Mode::Read, 0.5, 0.0)];
+    let r = run_experiment(&spec, &apps);
+    assert!(r.completed);
+    assert_eq!(r.instances[0].requests, 16);
+}
+
+#[test]
+fn tiny_and_unaligned_request_sizes() {
+    // Sub-block and non-power-of-two request sizes must round-trip
+    // correctly through block-granular caching.
+    for d in [1000u32, 3000, 5000, 12_345] {
+        let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+        let apps = vec![app("a", &[0, 1], 128 << 10, d, Mode::Read, 0.5, 0.0)];
+        let r = run_experiment(&spec, &apps);
+        assert!(r.completed, "d={d} stalled");
+        assert_eq!(r.total_verify_failures(), 0, "d={d} corrupted data");
+    }
+}
+
+#[test]
+fn write_workload_flushes_all_dirty_eventually() {
+    // Write more than the cache can hold so the flusher/harvester must run
+    // *during* the workload (a small write burst can finish before the
+    // first flusher tick).
+    let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
+    let apps = vec![app("w", &[0, 1], 4 << 20, 64 << 10, Mode::Write, 0.0, 0.0)];
+    let r = run_experiment(&spec, &apps);
+    assert!(r.completed);
+    let m = r.module.as_ref().unwrap();
+    assert!(m.fake_write_acks > 0, "write-behind must fake some acks");
+    assert!(r.iod.flush_reqs > 0, "flusher must reach the iods");
+    let c = r.cache.as_ref().unwrap();
+    assert!(c.flush_blocks > 0, "dirty blocks must have been taken for flushing");
+}

@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) on the core data structures and
+//! cross-crate invariants.
+
+use kcache::{blocks_of_range, span_in_block, BlockKey, BufferManager, EvictPolicy, Span};
+use proptest::prelude::*;
+use pvfs::{split_ranges, tiles_exactly, ByteRange, Fid, StripeSpec};
+use sim_disk::{BlockFs, PageCache};
+use sim_net::NodeId;
+
+proptest! {
+    /// Striping: any byte range splits into per-iod lists that tile the
+    /// range exactly, with every piece on its owning iod.
+    #[test]
+    fn striping_tiles_exactly(
+        unit_pow in 12u32..18, // 4 KB .. 128 KB stripe units
+        n_iods in 1u32..9,
+        offset in 0u64..(1 << 30),
+        len in 1u32..(4 << 20),
+    ) {
+        let spec = StripeSpec { unit: 1 << unit_pow, n_iods, base: 0 };
+        let r = ByteRange::new(offset, len);
+        let split = split_ranges(&spec, r);
+        prop_assert!(tiles_exactly(&spec, r, &split));
+        // Each piece stays within one stripe unit.
+        for rs in &split {
+            for p in rs {
+                prop_assert!(p.len as u64 <= spec.unit as u64);
+            }
+        }
+    }
+
+    /// Block arithmetic: the per-block spans of a range reassemble to
+    /// exactly the range's length.
+    #[test]
+    fn block_spans_cover_range(offset in 0u64..(1 << 24), len in 1u32..(1 << 20)) {
+        let total: u64 = blocks_of_range(offset, len)
+            .map(|b| span_in_block(b, offset, len).len() as u64)
+            .sum();
+        prop_assert_eq!(total, len as u64);
+        // First span starts at the in-block offset; last ends at the
+        // in-block end.
+        let first = blocks_of_range(offset, len).next().unwrap();
+        prop_assert_eq!(span_in_block(first, offset, len).start as u64, offset % 4096);
+    }
+
+    /// Buffer manager conservation: after any operation sequence, frames
+    /// are exactly partitioned between the free list and the hash table,
+    /// and resident keys are unique.
+    #[test]
+    fn buffer_manager_conserves_frames(ops in proptest::collection::vec((0u8..5, 0u64..64), 1..300)) {
+        let m = BufferManager::new(16, EvictPolicy::default());
+        let buf = vec![7u8; 4096];
+        let mut out = vec![0u8; 4096];
+        let mut inflight: Vec<kcache::FlushItem> = Vec::new();
+        for (op, blk) in ops {
+            let key = BlockKey::new(Fid(1), blk);
+            match op {
+                0 => { let _ = m.try_read(key, Span::FULL, &mut out); }
+                1 => { let _ = m.insert_clean(key, NodeId(0), Span::FULL, &buf); }
+                2 => { let _ = m.write(key, NodeId(0), Span::FULL, &buf); }
+                3 => { inflight.extend(m.take_dirty(4)); }
+                _ => {
+                    // Complete any outstanding flushes, then invalidate.
+                    for it in inflight.drain(..) {
+                        m.flush_complete(it.key, it.span);
+                    }
+                    let _ = m.invalidate([key]);
+                }
+            }
+            let keys = m.resident_keys();
+            let mut uniq = keys.clone();
+            uniq.dedup();
+            prop_assert_eq!(keys.len(), uniq.len(), "duplicate resident keys");
+            prop_assert_eq!(keys.len() + m.free_frames(), 16, "frames not conserved");
+        }
+    }
+
+    /// Reads through the buffer manager always return the bytes most
+    /// recently written for the covered span.
+    #[test]
+    fn buffer_manager_read_your_writes(
+        writes in proptest::collection::vec((0u64..8, 0u32..5), 1..40),
+    ) {
+        let m = BufferManager::new(32, EvictPolicy::default());
+        // Model: per block, the last written fill value.
+        let mut model: std::collections::HashMap<u64, u8> = Default::default();
+        for (i, (blk, _)) in writes.iter().enumerate() {
+            let fill = (i % 251) as u8;
+            let data = vec![fill; 4096];
+            if m.write(BlockKey::new(Fid(1), *blk), NodeId(0), Span::FULL, &data)
+                == kcache::WriteOutcome::Absorbed
+            {
+                model.insert(*blk, fill);
+            }
+            // Verify all modelled blocks still read back correctly.
+            for (b, f) in &model {
+                let mut out = vec![0u8; 4096];
+                if m.try_read(BlockKey::new(Fid(1), *b), Span::FULL, &mut out) {
+                    prop_assert!(out.iter().all(|x| x == f), "stale bytes for block {}", b);
+                }
+            }
+        }
+    }
+
+    /// File system: random writes followed by reads return exactly the
+    /// written bytes (sparse holes read as zeros).
+    #[test]
+    fn blockfs_write_read_round_trip(
+        writes in proptest::collection::vec((0u64..(1 << 16), 1usize..5000, 0u8..255), 1..20),
+    ) {
+        let mut fs = BlockFs::new(4096);
+        let ino = fs.create("f").unwrap();
+        let mut model = vec![None::<u8>; 1 << 17];
+        for (off, len, fill) in writes {
+            let data = vec![fill; len];
+            fs.write(ino, off, &data).unwrap();
+            for i in 0..len {
+                model[off as usize + i] = Some(fill);
+            }
+        }
+        let size = fs.size(ino).unwrap() as usize;
+        let mut out = vec![0xAAu8; size];
+        let r = fs.read(ino, 0, &mut out).unwrap();
+        prop_assert_eq!(r.bytes, size);
+        for i in 0..size {
+            let expect = model[i].unwrap_or(0);
+            prop_assert_eq!(out[i], expect, "byte {} mismatch", i);
+        }
+    }
+
+    /// Page cache never exceeds capacity and eviction reports are exact.
+    #[test]
+    fn pagecache_capacity_invariant(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..500)) {
+        let mut pc = PageCache::new(8);
+        for (pblk, dirty) in ops {
+            if !pc.lookup(pblk) {
+                pc.insert(pblk, dirty);
+            }
+            prop_assert!(pc.len() <= 8);
+        }
+        let s = pc.stats();
+        prop_assert_eq!(
+            s.insertions,
+            (s.clean_evictions + s.dirty_evictions) + pc.len() as u64
+        );
+    }
+
+    /// Span algebra: merge of mergeable spans covers both inputs.
+    #[test]
+    fn span_merge_covers_inputs(a in 0u32..4096, b in 0u32..4096, c in 0u32..4096, d in 0u32..4096) {
+        let s1 = Span::new(a.min(b), a.max(b));
+        let s2 = Span::new(c.min(d), c.max(d));
+        if s1.mergeable(s2) {
+            let m = s1.merge(s2);
+            prop_assert!(m.covers(s1) && m.covers(s2));
+            prop_assert!(m.len() <= s1.len() + s2.len() + (4096 - 0), "merge is bounded");
+        }
+    }
+}
