@@ -3,8 +3,8 @@
 //! bench log doubles as an ablation report.
 
 use cluster_harness::ablations::{
-    ablation_cache_size, ablation_clean_first, ablation_fabric, ablation_harvester,
-    ablation_lru, ablation_sync_write, ablation_write_policy,
+    ablation_cache_size, ablation_clean_first, ablation_fabric, ablation_harvester, ablation_lru,
+    ablation_sync_write, ablation_write_policy,
 };
 use cluster_harness::figures::Grid;
 use criterion::{criterion_group, criterion_main, Criterion};

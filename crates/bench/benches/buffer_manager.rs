@@ -97,10 +97,10 @@ fn bench_concurrent(c: &mut Criterion) {
             b.iter_batched(
                 || Arc::new(filled_manager(EvictPolicy::default(), 1024)),
                 |m| {
-                    crossbeam::scope(|s| {
+                    std::thread::scope(|s| {
                         for t in 0..threads {
                             let m = Arc::clone(&m);
-                            s.spawn(move |_| {
+                            s.spawn(move || {
                                 let mut out = vec![0u8; 4096];
                                 for i in 0..2000u64 {
                                     let k = key((i * 13 + t as u64 * 97) % 1024);
@@ -108,8 +108,7 @@ fn bench_concurrent(c: &mut Criterion) {
                                 }
                             });
                         }
-                    })
-                    .unwrap();
+                    });
                 },
                 BatchSize::SmallInput,
             )

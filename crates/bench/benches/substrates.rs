@@ -68,15 +68,8 @@ fn bench_fabric(c: &mut Criterion) {
             || {
                 let mut eng = Engine::new(0);
                 let sinks: Vec<_> = (0..2).map(|_| eng.add_actor(Box::new(Sink))).collect();
-                let fabric =
-                    eng.add_actor(Box::new(Fabric::new(NetConfig::hub_100mbps(), sinks)));
-                let m = NetMessage::new(
-                    (NodeId(0), Port(1)),
-                    (NodeId(1), Port(2)),
-                    1 << 20,
-                    0,
-                    (),
-                );
+                let fabric = eng.add_actor(Box::new(Fabric::new(NetConfig::hub_100mbps(), sinks)));
+                let m = NetMessage::new((NodeId(0), Port(1)), (NodeId(1), Port(2)), 1 << 20, 0, ());
                 eng.post(Dur::ZERO, fabric, Xmit(m));
                 eng
             },
@@ -91,7 +84,9 @@ fn bench_disk(c: &mut Criterion) {
     use sim_disk::{Disk, DiskGeometry, DiskOp, DiskRequest, DiskSched};
     let mut g = c.benchmark_group("disk");
     g.throughput(Throughput::Elements(256));
-    for (name, sched) in [("fifo_256_random", DiskSched::Fifo), ("clook_256_random", DiskSched::CLook)] {
+    for (name, sched) in
+        [("fifo_256_random", DiskSched::Fifo), ("clook_256_random", DiskSched::CLook)]
+    {
         g.bench_function(name, |b| {
             b.iter_batched(
                 || {

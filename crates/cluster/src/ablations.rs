@@ -198,11 +198,7 @@ pub fn ablation_harvester(grid: &Grid) -> FigureData {
     for &d in &grid.d_values {
         let apps = vec![app(grid, d, 4, Mode::Write, 0.3, 0.0, "app0")];
         for (lo, hi) in marks {
-            let cfg = CacheConfig {
-                low_watermark: lo,
-                high_watermark: hi,
-                ..CacheConfig::paper()
-            };
+            let cfg = CacheConfig { low_watermark: lo, high_watermark: hi, ..CacheConfig::paper() };
             configs.push((Some(cfg), apps.clone(), None));
         }
     }

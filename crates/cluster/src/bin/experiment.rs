@@ -77,10 +77,9 @@ fn main() {
         eprintln!("usage: experiment <config.json>");
         std::process::exit(2);
     });
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let cfg: Config = serde_json::from_str(&text)
-        .unwrap_or_else(|e| panic!("bad config {path}: {e}"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let cfg: Config =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad config {path}: {e}"));
 
     let mut spec = ClusterSpec::paper(cfg.cluster.caching.then(|| CacheConfig {
         capacity_blocks: cfg.cluster.cache_blocks,

@@ -4,8 +4,8 @@
 
 use kcache::{CacheConfig, CacheModule};
 use pvfs::{
-    ByteRange, ClientConfig, CostModel, FileHandle, Iod, Mgr, PvfsClient, PvfsConfig,
-    StripePolicy, CACHE_PORT, CLIENT_PORT_BASE, IOD_FLUSH_PORT, IOD_PORT, MGR_PORT,
+    ByteRange, ClientConfig, CostModel, FileHandle, Iod, Mgr, PvfsClient, PvfsConfig, StripePolicy,
+    CACHE_PORT, CLIENT_PORT_BASE, IOD_FLUSH_PORT, IOD_PORT, MGR_PORT,
 };
 use sim_core::{ActorId, DetRng, Dur, Engine, FifoResource, SharedResource};
 use sim_disk::{DiskGeometry, DiskSched};
@@ -215,8 +215,7 @@ pub fn build(spec: &ClusterSpec, apps: &[AppSpec]) -> Cluster {
                 start_delay: a.start_delay,
             };
             let rng = DetRng::stream(spec.seed, (inst as u64) << 16 | k as u64);
-            let proc_id =
-                eng.add_actor(Box::new(AppProcess::new(client, plan, rng, coordinator)));
+            let proc_id = eng.add_actor(Box::new(AppProcess::new(client, plan, rng, coordinator)));
             processes.push(proc_id);
         }
     }
@@ -240,8 +239,8 @@ pub fn build(spec: &ClusterSpec, apps: &[AppSpec]) -> Cluster {
         for (inst, a) in apps.iter().enumerate() {
             for (k, &node) in a.nodes.iter().enumerate() {
                 let port = Port(CLIENT_PORT_BASE + port_counter);
-                let proc_id = processes
-                    [apps[..inst].iter().map(|x| x.nodes.len()).sum::<usize>() + k];
+                let proc_id =
+                    processes[apps[..inst].iter().map(|x| x.nodes.len()).sum::<usize>() + k];
                 port_counter += 1;
                 match modules[node.index()] {
                     Some(m) => {
@@ -251,13 +250,12 @@ pub fn build(spec: &ClusterSpec, apps: &[AppSpec]) -> Cluster {
                 }
             }
         }
-        for i in 0..n {
+        for (i, &net_id) in net_ids.iter().enumerate() {
             let mut nn = NodeNet::new(NodeId(i as u16));
-            for (node, port, target) in bindings.iter().filter(|(b, _, _)| *b == i) {
-                let _ = node;
+            for (_, port, target) in bindings.iter().filter(|(b, _, _)| *b == i) {
                 nn.bind(*port, *target);
             }
-            eng.install(net_ids[i], Box::new(nn));
+            eng.install(net_id, Box::new(nn));
         }
     }
 
@@ -270,8 +268,7 @@ pub fn build(spec: &ClusterSpec, apps: &[AppSpec]) -> Cluster {
                 let proc_id = processes[port_counter as usize];
                 port_counter += 1;
                 if let Some(m) = modules[node.index()] {
-                    let module =
-                        eng.actor_as_mut::<CacheModule>(m).expect("module downcast");
+                    let module = eng.actor_as_mut::<CacheModule>(m).expect("module downcast");
                     module.register_client(port, proc_id);
                 }
             }

@@ -94,24 +94,15 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     let horizon = SimTime::ZERO + default_horizon();
     let report = cluster.engine.run_until(horizon);
     let completed = report.stop == StopReason::Stopped;
-    debug_assert!(
-        completed,
-        "experiment did not complete before horizon: {:?}",
-        report.stop
-    );
+    debug_assert!(completed, "experiment did not complete before horizon: {:?}", report.stop);
 
-    let coord = cluster
-        .engine
-        .actor_as::<Coordinator>(cluster.coordinator)
-        .expect("coordinator downcast");
+    let coord =
+        cluster.engine.actor_as::<Coordinator>(cluster.coordinator).expect("coordinator downcast");
     let mut instances = Vec::new();
     for (i, a) in apps.iter().enumerate() {
-        let procs: Vec<_> =
-            coord.results().iter().filter(|r| r.instance == i as u32).collect();
-        let makespan = coord
-            .instance_makespan(i as u32)
-            .map(|(s, e)| e.since(s).as_secs_f64())
-            .unwrap_or(0.0);
+        let procs: Vec<_> = coord.results().iter().filter(|r| r.instance == i as u32).collect();
+        let makespan =
+            coord.instance_makespan(i as u32).map(|(s, e)| e.since(s).as_secs_f64()).unwrap_or(0.0);
         let mut read = sim_core::Tally::new();
         let mut write = sim_core::Tally::new();
         let mut requests = 0;

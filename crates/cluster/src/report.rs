@@ -55,7 +55,7 @@ impl FigureData {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "### {} — {}", self.id, self.title);
-        let _ = writeln!(out, "");
+        let _ = writeln!(out);
         let _ = write!(out, "| {} |", self.x_label);
         for s in &self.series {
             let _ = write!(out, " {} |", s);
@@ -97,9 +97,9 @@ impl FigureData {
 
 fn format_x(x: f64) -> String {
     let v = x as u64;
-    if v >= 1 << 20 && v % (1 << 20) == 0 {
+    if v >= 1 << 20 && v.is_multiple_of(1 << 20) {
         format!("{}M", v >> 20)
-    } else if v >= 1024 && v % 1024 == 0 {
+    } else if v >= 1024 && v.is_multiple_of(1024) {
         format!("{}K", v >> 10)
     } else {
         format!("{}", v)
@@ -129,13 +129,8 @@ mod tests {
     use super::*;
 
     fn fig() -> FigureData {
-        let mut f = FigureData::new(
-            "t1",
-            "test figure",
-            "size",
-            "seconds",
-            vec!["a".into(), "b".into()],
-        );
+        let mut f =
+            FigureData::new("t1", "test figure", "size", "seconds", vec!["a".into(), "b".into()]);
         f.push(1024.0, vec![0.5, 0.25]);
         f.push(1048576.0, vec![1.5, 1.25]);
         f

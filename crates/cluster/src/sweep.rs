@@ -2,7 +2,7 @@
 //!
 //! Every experiment point is an independent deterministic simulation, so a
 //! sweep is embarrassingly parallel: points are distributed over host
-//! threads (crossbeam scoped) and results are returned in input order —
+//! threads (std scoped threads) and results are returned in input order —
 //! determinism is preserved regardless of thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -22,13 +22,14 @@ where
     }
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
     if threads <= 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
     let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::scope(|s| {
+    // A worker panic propagates when the scope joins its threads.
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -37,13 +38,8 @@ where
                 out.lock().unwrap()[i] = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
-    out.into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|o| o.expect("sweep point not computed"))
-        .collect()
+    });
+    out.into_inner().unwrap().into_iter().map(|o| o.expect("sweep point not computed")).collect()
 }
 
 #[cfg(test)]

@@ -76,9 +76,7 @@ impl Span {
 
     /// Can the two spans merge into one contiguous span (overlap or touch)?
     pub fn mergeable(&self, other: Span) -> bool {
-        self.is_empty()
-            || other.is_empty()
-            || (self.start <= other.end && other.start <= self.end)
+        self.is_empty() || other.is_empty() || (self.start <= other.end && other.start <= self.end)
     }
 
     /// Union of two mergeable spans.

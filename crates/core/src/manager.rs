@@ -139,7 +139,13 @@ const NIL: u32 = u32::MAX;
 
 impl LruList {
     fn new(n: usize) -> LruList {
-        LruList { prev: vec![NIL; n], next: vec![NIL; n], head: NIL, tail: NIL, linked: vec![false; n] }
+        LruList {
+            prev: vec![NIL; n],
+            next: vec![NIL; n],
+            head: NIL,
+            tail: NIL,
+            linked: vec![false; n],
+        }
     }
 
     fn unlink(&mut self, i: u32) {
@@ -309,9 +315,7 @@ impl BufferManager {
                 Some(&(_, idx)) => {
                     let f = self.frames[idx as usize].lock();
                     if f.key == Some(key) && f.valid.covers(span) {
-                        out.copy_from_slice(
-                            &f.data[span.start as usize..span.end as usize],
-                        );
+                        out.copy_from_slice(&f.data[span.start as usize..span.end as usize]);
                         idx
                     } else {
                         self.stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -363,11 +367,8 @@ impl BufferManager {
 
     /// Evict one block and return its (now unlinked) frame.
     fn evict_one(&self, allow_dirty: bool) -> Option<(u32, Option<FlushItem>)> {
-        let candidates: Vec<u32> = if self.policy.exact {
-            self.lru.lock().lru_order()
-        } else {
-            Vec::new()
-        };
+        let candidates: Vec<u32> =
+            if self.policy.exact { self.lru.lock().lru_order() } else { Vec::new() };
         // Pass 0: clean victims only (if clean_first). Pass 1: anything
         // (subject to allow_dirty).
         let passes: &[bool] = if self.policy.clean_first { &[true, false] } else { &[false] };
@@ -384,7 +385,12 @@ impl BufferManager {
         None
     }
 
-    fn try_evict_idx(&self, idx: u32, clean_only: bool, allow_dirty: bool) -> Option<(u32, Option<FlushItem>)> {
+    fn try_evict_idx(
+        &self,
+        idx: u32,
+        clean_only: bool,
+        allow_dirty: bool,
+    ) -> Option<(u32, Option<FlushItem>)> {
         // Read the key briefly, then retake in bucket → frame order.
         let key = {
             let f = self.frames[idx as usize].lock();
@@ -444,7 +450,11 @@ impl BufferManager {
         Some((idx, flush))
     }
 
-    fn evict_scan_clock(&self, clean_only: bool, allow_dirty: bool) -> Option<(u32, Option<FlushItem>)> {
+    fn evict_scan_clock(
+        &self,
+        clean_only: bool,
+        allow_dirty: bool,
+    ) -> Option<(u32, Option<FlushItem>)> {
         // Two sweeps: the first clears reference bits (second chance), the
         // second takes the first unreferenced candidate.
         let mut hand = self.clock_hand.lock();
@@ -887,18 +897,18 @@ mod tests {
     fn disjoint_subblock_write_passes_through() {
         let m = mgr(4);
         assert_eq!(
-            m.write(key(0), NodeId(0), Span::new(0, 100), &vec![1u8; 100]),
+            m.write(key(0), NodeId(0), Span::new(0, 100), &[1u8; 100]),
             WriteOutcome::Absorbed
         );
         // Gap between 100 and 2000: absorbing would leave unknowable bytes
         // inside the flush hull.
         assert_eq!(
-            m.write(key(0), NodeId(0), Span::new(2000, 2100), &vec![2u8; 100]),
+            m.write(key(0), NodeId(0), Span::new(2000, 2100), &[2u8; 100]),
             WriteOutcome::PassThrough
         );
         // Contiguous extension is fine.
         assert_eq!(
-            m.write(key(0), NodeId(0), Span::new(100, 200), &vec![3u8; 100]),
+            m.write(key(0), NodeId(0), Span::new(100, 200), &[3u8; 100]),
             WriteOutcome::Absorbed
         );
     }
@@ -930,7 +940,7 @@ mod tests {
         assert_eq!(first.len(), 1);
         // Re-dirty during the flight: queued, but not re-taken until the
         // outstanding flush is acknowledged.
-        m.write(key(0), NodeId(0), Span::new(0, 10), &vec![2u8; 10]);
+        m.write(key(0), NodeId(0), Span::new(0, 10), &[2u8; 10]);
         assert!(m.take_dirty(10).is_empty(), "flight still outstanding");
         m.flush_complete(first[0].key, first[0].span);
         let items = m.take_dirty(10);
@@ -1033,13 +1043,13 @@ mod tests {
         use std::sync::Arc;
         let m = Arc::new(BufferManager::new(64, EvictPolicy::default()));
         let threads = 8;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..threads {
                 let m = Arc::clone(&m);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut buf = vec![0u8; 4096];
                     for i in 0..2000u64 {
-                        let k = BlockKey::new(Fid(t as u64 % 3), (i * 7 + t) % 200);
+                        let k = BlockKey::new(Fid(t % 3), (i * 7 + t) % 200);
                         match i % 4 {
                             0 => {
                                 let _ = m.try_read(k, Span::FULL, &mut buf);
@@ -1061,8 +1071,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         // Conservation: every frame is either free or reachable via a bucket.
         let resident = m.resident_keys().len();
         assert_eq!(resident + m.free_frames(), 64, "frames leaked or duplicated");

@@ -158,7 +158,7 @@ impl CacheModule {
     }
 
     /// Deliver a synthesized message to a local client process.
-    fn to_client(&mut self, ctx: &mut Ctx<'_>, at: SimTime, port: Port, payload: impl Any) {
+    fn send_to_client(&mut self, ctx: &mut Ctx<'_>, at: SimTime, port: Port, payload: impl Any) {
         let Some(&client) = self.clients.get(&port.0) else {
             debug_assert!(false, "no client registered on {:?}", port);
             return;
@@ -169,7 +169,7 @@ impl CacheModule {
     }
 
     /// Put a (possibly rewritten) message on the wire.
-    fn to_net(&mut self, ctx: &mut Ctx<'_>, at: SimTime, m: NetMessage) {
+    fn send_to_net(&mut self, ctx: &mut Ctx<'_>, at: SimTime, m: NetMessage) {
         ctx.schedule_in(at.since(ctx.now()), self.fabric, Xmit(m));
     }
 
@@ -197,7 +197,10 @@ impl CacheModule {
         if urgent {
             self.stats.urgent_flush_blocks += items.len() as u64;
         }
-        let mut groups: HashMap<(NodeId, Fid), Vec<(FlushEntry, BlockKey, Span)>> = HashMap::new();
+        // Per (iod, fid) batch: the wire entry plus the cache coordinates
+        // needed to mark the flush complete when the ack returns.
+        type FlushBatch = Vec<(FlushEntry, BlockKey, Span)>;
+        let mut groups: HashMap<(NodeId, Fid), FlushBatch> = HashMap::new();
         for it in items {
             groups.entry((it.home, it.key.fid)).or_default().push((
                 FlushEntry { blk: it.key.blk, offset: it.span.start, data: Bytes::from(it.data) },
@@ -213,10 +216,8 @@ impl CacheModule {
             at = self.charge(at, cpu);
             self.flush_seq += 1;
             if resident {
-                self.inflight_flushes.insert(
-                    self.flush_seq,
-                    entries.iter().map(|(_, k, sp)| (*k, *sp)).collect(),
-                );
+                self.inflight_flushes
+                    .insert(self.flush_seq, entries.iter().map(|(_, k, sp)| (*k, *sp)).collect());
             }
             let f = FlushBlocks {
                 req_id: self.flush_seq,
@@ -226,14 +227,9 @@ impl CacheModule {
             };
             self.tag += 1;
             let wire = f.wire_bytes();
-            let m = NetMessage::new(
-                (self.node, CACHE_PORT),
-                (home, IOD_FLUSH_PORT),
-                wire,
-                self.tag,
-                f,
-            );
-            self.to_net(ctx, at, m);
+            let m =
+                NetMessage::new((self.node, CACHE_PORT), (home, IOD_FLUSH_PORT), wire, self.tag, f);
+            self.send_to_net(ctx, at, m);
             self.stats.flush_msgs += 1;
         }
     }
@@ -298,8 +294,7 @@ impl CacheModule {
                 while i < to_fetch.len() {
                     let start = to_fetch[i];
                     let mut n = 1u64;
-                    while i + (n as usize) < to_fetch.len()
-                        && to_fetch[i + n as usize] == start + n
+                    while i + (n as usize) < to_fetch.len() && to_fetch[i + n as usize] == start + n
                     {
                         n += 1;
                     }
@@ -336,9 +331,9 @@ impl CacheModule {
             self.stats.fake_read_acks += 1;
             let total: u64 = rr.ranges.iter().map(|r| r.len as u64).sum();
             self.stats.bytes_served += total;
-            self.to_client(ctx, t, client_port, ReadAck { req_id: rr.req_id, bytes: total });
+            self.send_to_client(ctx, t, client_port, ReadAck { req_id: rr.req_id, bytes: total });
             for (range, buf) in served {
-                self.to_client(
+                self.send_to_client(
                     ctx,
                     t,
                     client_port,
@@ -355,7 +350,7 @@ impl CacheModule {
         // Serve the fully-cached ranges now.
         for (range, buf) in served {
             self.stats.bytes_served += range.len as u64;
-            self.to_client(
+            self.send_to_client(
                 ctx,
                 t,
                 client_port,
@@ -386,7 +381,7 @@ impl CacheModule {
             // nothing to send, but the client still expects this iod's ack.
             self.stats.fake_read_acks += 1;
             let total: u64 = rr.ranges.iter().map(|r| r.len as u64).sum();
-            self.to_client(ctx, t, client_port, ReadAck { req_id: rr.req_id, bytes: total });
+            self.send_to_client(ctx, t, client_port, ReadAck { req_id: rr.req_id, bytes: total });
             return;
         }
         let reduced = ReadReq {
@@ -403,7 +398,7 @@ impl CacheModule {
         net.wire_bytes = wire;
         net.payload = Box::new(reduced);
         let _ = iod_node;
-        self.to_net(ctx, t, net);
+        self.send_to_net(ctx, t, net);
     }
 
     fn intercept_write(&mut self, ctx: &mut Ctx<'_>, mut net: NetMessage, wr: WriteReq) {
@@ -424,8 +419,8 @@ impl CacheModule {
                 for blk in blocks_of_range(part.range.offset, part.range.len) {
                     blocks += 1;
                     let span = span_in_block(blk, part.range.offset, part.range.len);
-                    let lo = (blk * CACHE_BLOCK_SIZE as u64 + span.start as u64
-                        - part.range.offset) as usize;
+                    let lo = (blk * CACHE_BLOCK_SIZE as u64 + span.start as u64 - part.range.offset)
+                        as usize;
                     let hi = lo + span.len() as usize;
                     self.cache.update_if_present(
                         BlockKey::new(wr.fid, blk),
@@ -441,12 +436,15 @@ impl CacheModule {
             );
             self.stats.bytes_passthrough += total_bytes;
             net.payload = Box::new(wr);
-            self.to_net(ctx, t, net);
+            self.send_to_net(ctx, t, net);
             return;
         }
 
-        let nblocks: u64 =
-            wr.parts.iter().map(|p| blocks_of_range(p.range.offset, p.range.len).count() as u64).sum();
+        let nblocks: u64 = wr
+            .parts
+            .iter()
+            .map(|p| blocks_of_range(p.range.offset, p.range.len).count() as u64)
+            .sum();
         let mut t = self.charge(
             now,
             self.costs.cache_call_overhead
@@ -506,7 +504,7 @@ impl CacheModule {
         if passthrough.is_empty() {
             // Fully absorbed: fake the write ack (write-behind).
             self.stats.fake_write_acks += 1;
-            self.to_client(
+            self.send_to_client(
                 ctx,
                 t,
                 client_port,
@@ -526,7 +524,7 @@ impl CacheModule {
             t = self.charge(t, self.costs.cache_call_overhead);
             net.wire_bytes = reduced.wire_bytes();
             net.payload = Box::new(reduced);
-            self.to_net(ctx, t, net);
+            self.send_to_net(ctx, t, net);
         }
     }
 
@@ -611,7 +609,7 @@ impl CacheModule {
         }
         if !completed.is_empty() {
             for (client_port, req_id, fid, range, buf) in completed {
-                self.to_client(
+                self.send_to_client(
                     ctx,
                     t,
                     client_port,
@@ -636,8 +634,7 @@ impl CacheModule {
                             )
                             + self.costs.send_overhead,
                     );
-                    self.cache
-                        .invalidate(inv.blocks.iter().map(|b| BlockKey::new(inv.fid, *b)));
+                    self.cache.invalidate(inv.blocks.iter().map(|b| BlockKey::new(inv.fid, *b)));
                     self.tag += 1;
                     let ack = InvalidateAck { req_id: inv.req_id };
                     let m = NetMessage::new(
@@ -648,7 +645,7 @@ impl CacheModule {
                         ack,
                     );
                     let _ = meta;
-                    self.to_net(ctx, t, m);
+                    self.send_to_net(ctx, t, m);
                     return;
                 }
                 Err(n) => n,
@@ -678,7 +675,7 @@ impl CacheModule {
             Ok((meta, ack)) => {
                 // Forward the (real) ack to the client (FSM transition).
                 let t = self.charge(ctx.now(), self.costs.cache_call_overhead);
-                self.to_client(ctx, t, meta.dst_port, *ack);
+                self.send_to_client(ctx, t, meta.dst_port, *ack);
                 return;
             }
             Err(n) => n,
@@ -686,7 +683,7 @@ impl CacheModule {
         let net = match net.cast::<WriteAck>() {
             Ok((meta, ack)) => {
                 let t = self.charge(ctx.now(), self.costs.cache_call_overhead);
-                self.to_client(ctx, t, meta.dst_port, *ack);
+                self.send_to_client(ctx, t, meta.dst_port, *ack);
                 return;
             }
             Err(n) => n,
@@ -772,7 +769,7 @@ impl Actor for CacheModule {
                 // Anything else (mgr traffic routed here by mistake, etc.)
                 // passes through untouched.
                 let now = ctx.now();
-                self.to_net(ctx, now, net);
+                self.send_to_net(ctx, now, net);
                 return;
             }
             Err(m) => m,

@@ -4,7 +4,6 @@
 //! invalidation handling — the mechanisms of §3.2, tested in isolation
 //! from the full cluster.
 
-
 use kcache::{CacheConfig, CacheModule};
 use pvfs::{
     pattern_bytes, ByteRange, CostModel, Fid, FlushAck, FlushBlocks, Invalidate, InvalidateAck,
@@ -74,13 +73,7 @@ impl Actor for ScriptedIod {
         if let Ok((_, f)) = d.cast::<FlushBlocks>() {
             let ack = FlushAck { req_id: f.req_id };
             self.tag += 1;
-            let m = NetMessage::new(
-                (NodeId(IOD), IOD_FLUSH_PORT),
-                f.reply_to,
-                64,
-                self.tag,
-                ack,
-            );
+            let m = NetMessage::new((NodeId(IOD), IOD_FLUSH_PORT), f.reply_to, 64, self.tag, ack);
             ctx.schedule_in(self.delay, self.fabric, Xmit(m));
             self.flushes.push(*f);
         }
@@ -199,7 +192,10 @@ fn write_req(req_id: u64, range: ByteRange, sync: bool) -> Xmit {
     let wr = WriteReq {
         req_id,
         fid: Fid(1),
-        parts: vec![WritePart { range, data: pattern_bytes(Fid(1), range.offset, range.len as usize) }],
+        parts: vec![WritePart {
+            range,
+            data: pattern_bytes(Fid(1), range.offset, range.len as usize),
+        }],
         reply_to: (NodeId(CLIENT), Port(CLIENT_PORT_BASE)),
         caching: true,
         sync,
@@ -358,7 +354,12 @@ fn invalidation_drops_blocks_and_acks_the_iod() {
     r.eng.run_until(SimTime::ZERO + Dur::millis(50));
     // The iod (conceptually, on behalf of another node's sync write) sends
     // an invalidation to the module's cache port.
-    let inv = Invalidate { req_id: 77, fid: Fid(1), blocks: vec![0, 1], reply_to: (NodeId(IOD), IOD_PORT) };
+    let inv = Invalidate {
+        req_id: 77,
+        fid: Fid(1),
+        blocks: vec![0, 1],
+        reply_to: (NodeId(IOD), IOD_PORT),
+    };
     let wire = inv.wire_bytes();
     let m = NetMessage::new((NodeId(IOD), IOD_PORT), (NodeId(CLIENT), CACHE_PORT), wire, 0, inv);
     // Deliver through the fabric like real traffic.
@@ -423,7 +424,8 @@ fn invalidate_ack_reaches_the_iod_port() {
     let mut n1 = sim_net::NodeNet::new(NodeId(1));
     n1.bind(IOD_PORT, catcher);
     eng.install(net1, Box::new(n1));
-    let inv = Invalidate { req_id: 9, fid: Fid(4), blocks: vec![3], reply_to: (NodeId(1), IOD_PORT) };
+    let inv =
+        Invalidate { req_id: 9, fid: Fid(4), blocks: vec![3], reply_to: (NodeId(1), IOD_PORT) };
     let wire = inv.wire_bytes();
     eng.post(
         Dur::ZERO,

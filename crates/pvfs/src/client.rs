@@ -12,13 +12,13 @@
 
 use crate::config::CostModel;
 use crate::protocol::{
-    pattern_bytes, ByteRange, FileHandle, Fid, MgrCall, MgrReply, MgrRequest, ReadAck, ReadData,
+    pattern_bytes, ByteRange, Fid, FileHandle, MgrCall, MgrReply, MgrRequest, ReadAck, ReadData,
     ReadReq, WriteAck, WritePart, WriteReq, MGR_PORT,
 };
 use crate::striping::split_ranges;
 use sim_core::{resource, ActorId, Ctx, Dur, SharedResource, SimTime, Tally};
-use sim_net::{NetMessage, NodeId, Port, Xmit};
 use sim_disk::BLOCK_SIZE;
+use sim_net::{NetMessage, NodeId, Port, Xmit};
 use std::collections::HashMap;
 
 /// Static wiring of a client instance.
@@ -197,8 +197,8 @@ impl PvfsClient {
         let t = resource::reserve(&self.cfg.cpu, now, cpu);
         let n_iods = involved.len() as u32;
         for (slot, ranges) in involved {
-            let iod_node =
-                self.cfg.iod_nodes[handle.stripe.global_iod(slot, self.cfg.iod_nodes.len() as u32) as usize];
+            let iod_node = self.cfg.iod_nodes
+                [handle.stripe.global_iod(slot, self.cfg.iod_nodes.len() as u32) as usize];
             let rr = ReadReq {
                 req_id,
                 fid,
@@ -258,8 +258,8 @@ impl PvfsClient {
         let t = resource::reserve(&self.cfg.cpu, now, cpu);
         let n_iods = involved.len() as u32;
         for (slot, ranges) in involved {
-            let iod_node =
-                self.cfg.iod_nodes[handle.stripe.global_iod(slot, self.cfg.iod_nodes.len() as u32) as usize];
+            let iod_node = self.cfg.iod_nodes
+                [handle.stripe.global_iod(slot, self.cfg.iod_nodes.len() as u32) as usize];
             let parts: Vec<WritePart> = ranges
                 .into_iter()
                 .map(|r| WritePart { range: r, data: pattern_bytes(fid, r.offset, r.len as usize) })
@@ -288,7 +288,12 @@ impl PvfsClient {
         self.stats.bytes_written += len as u64;
         self.pending.insert(
             req_id,
-            Pending::Write { issued: now, acks_remaining: n_iods, total_bytes: len as u64, ready_at: t },
+            Pending::Write {
+                issued: now,
+                acks_remaining: n_iods,
+                total_bytes: len as u64,
+                ready_at: t,
+            },
         );
         req_id
     }

@@ -14,8 +14,8 @@ use crate::protocol::{
 };
 use bytes::Bytes;
 use sim_core::{resource, Actor, ActorId, Ctx, Dur, Msg, SharedResource, SimTime};
-use sim_net::{Deliver, NetMessage, NodeId, Port, Xmit};
 use sim_disk::{BlockFs, DiskOp, DiskReply, DiskRequest, Ino, PageCache, BLOCK_SIZE};
+use sim_net::{Deliver, NetMessage, NodeId, Port, Xmit};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -124,10 +124,7 @@ impl Iod {
     /// First physical block backing a fid's local file, if any (test probe).
     pub fn fs_extent_probe(&self, fid: Fid) -> Option<u64> {
         let ino = *self.files.get(&fid)?;
-        self.fs
-            .extents_of(ino, 0, BLOCK_SIZE)
-            .ok()
-            .and_then(|e| e.first().map(|x| x.pblk))
+        self.fs.extents_of(ino, 0, BLOCK_SIZE).ok().and_then(|e| e.first().map(|x| x.pblk))
     }
 
     /// Pre-populate this iod's share of a file with deterministic pattern
@@ -154,17 +151,23 @@ impl Iod {
         match self.files.get(&fid) {
             Some(&ino) => ino,
             None => {
-                let ino = self
-                    .fs
-                    .open_or_create(&format!("fid{}", fid.0))
-                    .expect("iod namespace full");
+                let ino =
+                    self.fs.open_or_create(&format!("fid{}", fid.0)).expect("iod namespace full");
                 self.files.insert(fid, ino);
                 ino
             }
         }
     }
 
-    fn send(&mut self, ctx: &mut Ctx<'_>, at: SimTime, src_port: Port, dst: (NodeId, Port), wire: u32, payload: impl Any) {
+    fn send(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        at: SimTime,
+        src_port: Port,
+        dst: (NodeId, Port),
+        wire: u32,
+        payload: impl Any,
+    ) {
         self.tag += 1;
         let m = NetMessage::new((self.node, src_port), dst, wire, self.tag, payload);
         ctx.schedule_in(at.since(ctx.now()), self.fabric, Xmit(m));
@@ -291,24 +294,14 @@ impl Iod {
             // Bytes past EOF stay zero: the logical file is pre-sized by the
             // mgr, unwritten regions read as holes.
             let _ = got;
-            let rd = ReadData {
-                req_id: req.req_id,
-                fid: req.fid,
-                range: *r,
-                data: Bytes::from(buf),
-            };
+            let rd =
+                ReadData { req_id: req.req_id, fid: req.fid, range: *r, data: Bytes::from(buf) };
             let wire = rd.wire_bytes();
             self.send(ctx, t, IOD_PORT, req.reply_to, wire, rd);
         }
     }
 
-    fn apply_write(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        fid: Fid,
-        range: &ByteRange,
-        data: &Bytes,
-    ) {
+    fn apply_write(&mut self, ctx: &mut Ctx<'_>, fid: Fid, range: &ByteRange, data: &Bytes) {
         let ino = self.file_for(fid);
         debug_assert_eq!(data.len(), range.len as usize);
         let out = self.fs.write(ino, range.offset, data).expect("iod disk full");
@@ -605,8 +598,10 @@ mod tests {
     fn rig(n_clients: usize) -> Rig {
         let mut eng = Engine::new(7);
         let fabric_slot = eng.reserve_actor();
-        let disk = eng
-            .add_actor(Box::new(sim_disk::Disk::new(DiskGeometry::maxtor_20gb(), DiskSched::CLook)));
+        let disk = eng.add_actor(Box::new(sim_disk::Disk::new(
+            DiskGeometry::maxtor_20gb(),
+            DiskSched::CLook,
+        )));
         let iod = eng.add_actor(Box::new(Iod::new(
             NodeId(0),
             fabric_slot,
@@ -693,9 +688,7 @@ mod tests {
         let iod = r.eng.actor_as::<Iod>(r.iod).unwrap();
         assert!(iod.stats().disk_reads >= 1, "cold read must hit the disk");
         // Second identical read is now warm.
-        assert!(iod.page_cache().contains(
-            iod.fs_extent_probe(Fid(1)).expect("file exists")
-        ));
+        assert!(iod.page_cache().contains(iod.fs_extent_probe(Fid(1)).expect("file exists")));
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! A faithful model of the PVFS deployment the paper builds on:
 //!
 //! * [`mgr`] — the single metadata server (namespace, fids, striping).
-//! * [`iod`] — the per-node data server: local file system + OS page cache
-//!   + disk, a separate flush listener for cache-module write-back, and the
-//!   per-block coherence directory used by sync-writes.
+//! * [`iod`] — the per-node data server: local file system + OS page
+//!   cache + disk, a separate flush listener for cache-module
+//!   write-back, and the per-block coherence directory used by
+//!   sync-writes.
 //! * [`client`] — libpvfs: the in-process client library (striping,
 //!   per-iod request aggregation, the request/ack/data protocol), which
 //!   addresses an opaque socket layer so a cache module can interpose
@@ -29,9 +30,9 @@ pub use config::{CostModel, PvfsConfig};
 pub use iod::{Iod, IodStats};
 pub use mgr::{Mgr, MgrStats, StripePolicy};
 pub use protocol::{
-    pattern_byte, pattern_bytes, ByteRange, FileHandle, Fid, FlushAck, FlushBlocks, FlushEntry, Invalidate,
-    InvalidateAck, MgrCall, MgrReply, MgrRequest, ReadAck, ReadData, ReadReq, StripeSpec,
-    WriteAck, WritePart, WriteReq, CACHE_PORT, CLIENT_PORT_BASE, IOD_FLUSH_PORT, IOD_PORT,
-    MGR_PORT, MSG_HEADER_BYTES,
+    pattern_byte, pattern_bytes, ByteRange, Fid, FileHandle, FlushAck, FlushBlocks, FlushEntry,
+    Invalidate, InvalidateAck, MgrCall, MgrReply, MgrRequest, ReadAck, ReadData, ReadReq,
+    StripeSpec, WriteAck, WritePart, WriteReq, CACHE_PORT, CLIENT_PORT_BASE, IOD_FLUSH_PORT,
+    IOD_PORT, MGR_PORT, MSG_HEADER_BYTES,
 };
 pub use striping::{split_ranges, tiles_exactly};

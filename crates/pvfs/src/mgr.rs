@@ -6,9 +6,7 @@
 //! a real network round trip to this actor.
 
 use crate::config::CostModel;
-use crate::protocol::{
-    FileHandle, Fid, MgrCall, MgrReply, MgrRequest, StripeSpec, MGR_PORT,
-};
+use crate::protocol::{Fid, FileHandle, MgrCall, MgrReply, MgrRequest, StripeSpec, MGR_PORT};
 use sim_core::{resource, Actor, ActorId, Ctx, Msg, SharedResource};
 use sim_net::{Deliver, NetMessage, NodeId, Xmit};
 use std::any::Any;

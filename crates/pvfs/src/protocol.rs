@@ -86,8 +86,13 @@ pub struct StripeSpec {
 pub enum MgrRequest {
     /// Create a file with the given logical size (the micro-benchmark
     /// pre-sizes its files) striped per the mgr's policy.
-    Create { name: String, size: u64 },
-    Open { name: String },
+    Create {
+        name: String,
+        size: u64,
+    },
+    Open {
+        name: String,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -194,11 +199,7 @@ impl WriteReq {
 
     pub fn wire_bytes(&self) -> u32 {
         MSG_HEADER_BYTES
-            + self
-                .parts
-                .iter()
-                .map(|p| RANGE_ENCODING_BYTES + p.range.len)
-                .sum::<u32>()
+            + self.parts.iter().map(|p| RANGE_ENCODING_BYTES + p.range.len).sum::<u32>()
     }
 }
 
@@ -244,12 +245,7 @@ impl FlushBlocks {
     }
 
     pub fn wire_bytes(&self) -> u32 {
-        MSG_HEADER_BYTES
-            + self
-                .blocks
-                .iter()
-                .map(|e| 12 + e.data.len() as u32)
-                .sum::<u32>()
+        MSG_HEADER_BYTES + self.blocks.iter().map(|e| 12 + e.data.len() as u32).sum::<u32>()
     }
 }
 

@@ -147,8 +147,7 @@ mod tests {
     #[test]
     fn unaligned_offsets_and_sizes_tile() {
         let s = spec(65536, 5);
-        for (off, len) in [(1u64, 1u32), (65535, 2), (123_456, 777_777), (9_999, 65_536 * 7 + 13)]
-        {
+        for (off, len) in [(1u64, 1u32), (65535, 2), (123_456, 777_777), (9_999, 65_536 * 7 + 13)] {
             let r = ByteRange::new(off, len);
             let split = split_ranges(&s, r);
             assert!(tiles_exactly(&s, r, &split), "({}, {}) failed to tile", off, len);

@@ -3,8 +3,8 @@
 //! conditions, and latency accounting.
 
 use pvfs::{
-    ByteRange, ClientConfig, Completion, CostModel, FileHandle, Fid, MgrReply, PvfsClient,
-    ReadAck, ReadData, ReadReq, StripeSpec, WriteAck, WriteReq, CLIENT_PORT_BASE,
+    ByteRange, ClientConfig, Completion, CostModel, Fid, FileHandle, MgrReply, PvfsClient, ReadAck,
+    ReadData, ReadReq, StripeSpec, WriteAck, WriteReq, CLIENT_PORT_BASE,
 };
 use sim_core::{Actor, ActorId, Ctx, Dur, Engine, FifoResource, Msg};
 use sim_net::{Deliver, NetMessage, NodeId, Port, Xmit};
@@ -85,23 +85,14 @@ fn rig() -> Rig {
 }
 
 fn handle(fid: u64, size: u64, n_iods: u32) -> FileHandle {
-    FileHandle {
-        fid: Fid(fid),
-        size,
-        stripe: StripeSpec { unit: 65536, n_iods, base: 0 },
-    }
+    FileHandle { fid: Fid(fid), size, stripe: StripeSpec { unit: 65536, n_iods, base: 0 } }
 }
 
 /// Inject a handle as if the mgr replied to an open.
 fn install_handle(rig: &mut Rig, h: FileHandle) {
     let reply = MgrReply::Ok { req_id: 0, handle: h };
-    let m = NetMessage::new(
-        (NodeId(0), Port(3000)),
-        (NodeId(1), Port(CLIENT_PORT_BASE)),
-        64,
-        0,
-        reply,
-    );
+    let m =
+        NetMessage::new((NodeId(0), Port(3000)), (NodeId(1), Port(CLIENT_PORT_BASE)), 64, 0, reply);
     rig.eng.post(Dur::ZERO, rig.host, Deliver(m));
     rig.eng.run();
 }
@@ -110,8 +101,9 @@ fn install_handle(rig: &mut Rig, h: FileHandle) {
 /// turn (so a real `Ctx` is available): the client is moved into a shim
 /// actor for one turn and handed back to the host afterwards.
 fn with_client(rig: &mut Rig, f: impl FnOnce(&mut PvfsClient, &mut Ctx<'_>) + 'static) {
+    type ClientClosure = Box<dyn FnOnce(&mut PvfsClient, &mut Ctx<'_>)>;
     struct Shim {
-        f: Option<Box<dyn FnOnce(&mut PvfsClient, &mut Ctx<'_>)>>,
+        f: Option<ClientClosure>,
         client: Option<PvfsClient>,
         host: ActorId,
     }
@@ -142,7 +134,8 @@ fn with_client(rig: &mut Rig, f: impl FnOnce(&mut PvfsClient, &mut Ctx<'_>) + 's
         std::mem::replace(&mut h.client, placeholder)
     };
     let host = rig.host;
-    let shim = rig.eng.add_actor(Box::new(Shim { f: Some(Box::new(f)), client: Some(client), host }));
+    let shim =
+        rig.eng.add_actor(Box::new(Shim { f: Some(Box::new(f)), client: Some(client), host }));
     rig.eng.post(Dur::ZERO, shim, Go);
     rig.eng.run();
 }
@@ -161,11 +154,14 @@ fn open_completion_registers_handle() {
 fn mgr_error_reported() {
     let mut rig = rig();
     let reply = MgrReply::Err { req_id: 1, reason: "no such file".into() };
-    let m = NetMessage::new((NodeId(0), Port(3000)), (NodeId(1), Port(CLIENT_PORT_BASE)), 64, 0, reply);
+    let m =
+        NetMessage::new((NodeId(0), Port(3000)), (NodeId(1), Port(CLIENT_PORT_BASE)), 64, 0, reply);
     rig.eng.post(Dur::ZERO, rig.host, Deliver(m));
     rig.eng.run();
     let h = rig.eng.actor_as::<Host>(rig.host).unwrap();
-    assert!(matches!(&h.completions[0], Completion::MetaErr { reason, .. } if reason.contains("no such")));
+    assert!(
+        matches!(&h.completions[0], Completion::MetaErr { reason, .. } if reason.contains("no such"))
+    );
 }
 
 #[test]
@@ -217,9 +213,7 @@ fn read_completes_only_after_all_acks_and_all_bytes() {
         let tap = rig.eng.actor_as::<WireTap>(rig.tap).unwrap();
         tap.sent
             .iter()
-            .filter_map(|m| {
-                m.peek::<ReadReq>().map(|rr| (rr.req_id, m.dst, rr.ranges.clone()))
-            })
+            .filter_map(|m| m.peek::<ReadReq>().map(|rr| (rr.req_id, m.dst, rr.ranges.clone())))
             .collect()
     };
     assert_eq!(reqs.len(), 2);

@@ -1,0 +1,269 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the API surface the bench targets use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple measure-and-print loop instead of criterion's
+//! statistical machinery. Each benchmark runs `sample_size` samples
+//! after a warm-up bounded by `warm_up_time`, and reports the median
+//! per-iteration time (plus derived throughput when configured).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The shim always runs one
+/// setup per batch of one routine call; the variant only exists for
+/// source compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        run_bench(self, None, &name.into(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned(), throughput: None }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(self.criterion, self.throughput, &full, f);
+        self
+    }
+
+    /// Explicit end of the group; all reporting already happened.
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    /// Iterations to run in the next measured sample.
+    iters: u64,
+    /// Measured duration of the sample, filled by `iter*`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    throughput: Option<Throughput>,
+    name: &str,
+    mut f: F,
+) {
+    // Warm-up: also sizes the measured samples so each one is neither
+    // instantaneous nor unbounded.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_up_start = Instant::now();
+    loop {
+        f(&mut b);
+        if warm_up_start.elapsed() >= c.warm_up_time {
+            break;
+        }
+        b.iters = (b.iters * 2).min(1 << 20);
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let budget = c.measurement_time.as_secs_f64() / c.sample_size as f64;
+    let iters_per_sample = if per_iter > 0.0 { (budget / per_iter) as u64 } else { 1 << 10 };
+    b.iters = iters_per_sample.clamp(1, 1 << 24);
+
+    let mut samples: Vec<f64> = (0..c.sample_size)
+        .map(|_| {
+            f(&mut b);
+            b.elapsed.as_secs_f64() / b.iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+
+    let rate = |count: u64| {
+        if median > 0.0 {
+            count as f64 / median
+        } else {
+            f64::INFINITY
+        }
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!("{name}: {} ns/iter, {:.0} elem/s", format_ns(median), rate(n));
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+            println!("{name}: {} ns/iter, {:.0} B/s", format_ns(median), rate(n));
+        }
+        None => println!("{name}: {} ns/iter", format_ns(median)),
+    }
+}
+
+fn format_ns(seconds: f64) -> String {
+    let ns = seconds * 1e9;
+    if ns >= 1e6 {
+        format!("{:.1}M", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}k", ns / 1e3)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran > 0);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline shim for the `rand` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the *exact API subset* it consumes: the [`RngCore`] trait and
+//! its [`Error`] type. Generators themselves (e.g. `sim_core::DetRng`)
+//! live in the workspace and only implement this trait so downstream
+//! code can stay generic over an RNG.
+
+use std::fmt;
+
+/// Error type returned by [`RngCore::try_fill_bytes`].
+///
+/// The in-tree generators are infallible, so this is never constructed;
+/// it exists to keep trait signatures source-compatible with the real
+/// `rand` crate.
+#[derive(Debug)]
+pub struct Error {
+    _private: (),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait, mirroring `rand::RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

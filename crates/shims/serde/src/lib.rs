@@ -1,0 +1,307 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The real serde decouples data structures from data formats through a
+//! visitor-based `Serializer`/`Deserializer` pair. This workspace only
+//! ever serializes to and from JSON, so the shim collapses that design
+//! into a concrete intermediate tree ([`Value`]): `Serialize` lowers a
+//! type into a `Value`, `Deserialize` raises one back, and the
+//! `serde_json` shim renders/parses the tree. `#[derive(Serialize)]`,
+//! `#[derive(Deserialize)]`, struct-level and field-level
+//! `#[serde(default)]` are supported by the companion `serde_derive`
+//! proc-macro crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-shaped value tree, the pivot between types and formats.
+///
+/// Object keys keep insertion order so serialized output matches field
+/// declaration order, like real serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: what was expected vs. what the tree held.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+
+    pub fn expected(what: &str, got: &Value) -> Error {
+        Error::new(format!("expected {what}, got {}", got.kind()))
+    }
+
+    pub fn missing_field(name: &str) -> Error {
+        Error::new(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- Serialize impls for primitives and std containers ----
+
+macro_rules! ser_int {
+    ($($t:ty => $variant:ident as $as:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as $as)
+            }
+        }
+    )*};
+}
+
+ser_int! {
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---- Deserialize impls ----
+
+macro_rules! de_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let out = match *v {
+                    Value::U64(n) => <$t>::try_from(n).ok(),
+                    Value::I64(n) => <$t>::try_from(n).ok(),
+                    // Accept integral floats (JSON has one number type),
+                    // but only when the target value round-trips exactly —
+                    // `as` saturates, so a bare cast would quietly turn
+                    // 1e30 into MAX or -1.0 into 0.
+                    Value::F64(n) if n.fract() == 0.0 => {
+                        let cast = n as $t;
+                        if cast as f64 == n {
+                            Some(cast)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => return Err(Error::expected(stringify!($t), v)),
+                };
+                out.ok_or_else(|| {
+                    Error::new(format!("number out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, Error> {
+        match *v {
+            Value::F64(n) => Ok(n),
+            Value::I64(n) => Ok(n as f64),
+            Value::U64(n) => Ok(n as f64),
+            _ => Err(Error::expected("number", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, Error> {
+        f64::from_value(v).map(|n| n as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::expected("array", v)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trips() {
+        assert_eq!(u64::from_value(&Value::U64(7)).unwrap(), 7);
+        assert_eq!(i64::from_value(&Value::I64(-7)).unwrap(), -7);
+        assert_eq!(u8::from_value(&Value::F64(255.0)).unwrap(), 255);
+        assert_eq!(u16::from_value(&Value::I64(9)).unwrap(), 9);
+    }
+
+    #[test]
+    fn out_of_range_ints_error_not_wrap() {
+        // Sign wrap at the same width must be caught, not round-tripped.
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+        assert!(usize::from_value(&Value::I64(-1)).is_err());
+        assert!(i64::from_value(&Value::U64(u64::MAX)).is_err());
+        // Saturating float casts must be caught too.
+        assert!(u8::from_value(&Value::F64(1e30)).is_err());
+        assert!(u64::from_value(&Value::F64(-1.0)).is_err());
+        assert!(u8::from_value(&Value::U64(256)).is_err());
+        // Non-integral floats are a type error for integer targets.
+        assert!(u32::from_value(&Value::F64(1.5)).is_err());
+    }
+}

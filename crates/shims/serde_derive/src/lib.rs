@@ -1,0 +1,235 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! structs with named fields by walking the raw `proc_macro` token
+//! stream directly — the build environment has no crates.io access, so
+//! `syn`/`quote` are unavailable. Supported attribute surface:
+//!
+//! * struct-level `#[serde(default)]` — start from `Default::default()`
+//!   and overwrite fields present in the input;
+//! * field-level `#[serde(default)]` — substitute `Default::default()`
+//!   when the key is absent.
+//!
+//! Enums, tuple structs, and generic structs are rejected with a
+//! `compile_error!` naming the limitation, so a future use shows up as
+//! a clear build failure rather than silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+struct StructDef {
+    name: String,
+    struct_default: bool,
+    fields: Vec<Field>,
+}
+
+/// Scan one attribute body (the tokens inside `#[...]`) and report
+/// whether it is `serde(default)`.
+fn attr_is_serde_default(body: TokenStream) -> bool {
+    let mut toks = body.into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading attributes from `toks`, returning whether any was
+/// `#[serde(default)]`. Leaves `toks` positioned at the first
+/// non-attribute token (returned).
+fn skip_attrs(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        if let Some(TokenTree::Group(g)) = toks.next() {
+            if attr_is_serde_default(g.stream()) {
+                has_default = true;
+            }
+        }
+    }
+    has_default
+}
+
+fn parse_struct(input: TokenStream) -> Result<StructDef, String> {
+    let mut toks = input.into_iter().peekable();
+    let struct_default = skip_attrs(&mut toks);
+
+    // Visibility: `pub` possibly followed by `(...)`.
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+
+    match toks.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => {}
+        other => return Err(format!("only structs are supported, found {other:?}")),
+    }
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("generic struct `{name}` is not supported by the shim"));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!("unit struct `{name}` is not supported by the shim"));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple struct `{name}` is not supported by the shim"));
+            }
+            Some(_) => continue,
+            None => return Err(format!("struct `{name}` has no body")),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut ftoks = body.stream().into_iter().peekable();
+    loop {
+        let default = skip_attrs(&mut ftoks);
+        // Field visibility.
+        if matches!(ftoks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            ftoks.next();
+            if matches!(ftoks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                ftoks.next();
+            }
+        }
+        let fname = match ftoks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match ftoks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{fname}`, found {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for t in ftoks.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name: fname, default });
+    }
+
+    Ok(StructDef { name, struct_default, fields })
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(def) => def,
+        Err(e) => return error(&e),
+    };
+    let mut entries = String::new();
+    for f in &def.fields {
+        entries.push_str(&format!(
+            "({:?}.to_string(), ::serde::Serialize::to_value(&self.{})),",
+            f.name, f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(def) => def,
+        Err(e) => return error(&e),
+    };
+    let body = if def.struct_default {
+        // Start from Default and overwrite whatever keys are present.
+        let mut arms = String::new();
+        for f in &def.fields {
+            arms.push_str(&format!(
+                "{:?} => {{ out.{} = ::serde::Deserialize::from_value(val)?; }}\n",
+                f.name, f.name
+            ));
+        }
+        format!(
+            "let fields = v.as_object()\
+                 .ok_or_else(|| ::serde::Error::expected(\"object\", v))?;\n\
+             let mut out = <{name} as ::core::default::Default>::default();\n\
+             for (key, val) in fields {{\n\
+                 match key.as_str() {{\n\
+                     {arms}\
+                     _ => {{}}\n\
+                 }}\n\
+             }}\n\
+             ::core::result::Result::Ok(out)",
+            name = def.name,
+        )
+    } else {
+        let mut inits = String::new();
+        for f in &def.fields {
+            let missing = if f.default {
+                "::core::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::core::result::Result::Err(::serde::Error::missing_field({:?}))",
+                    f.name
+                )
+            };
+            inits.push_str(&format!(
+                "{fname}: match v.get({fname:?}) {{\n\
+                     ::core::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                     ::core::option::Option::None => {missing},\n\
+                 }},\n",
+                fname = f.name,
+            ));
+        }
+        format!(
+            "if v.as_object().is_none() {{\n\
+                 return ::core::result::Result::Err(::serde::Error::expected(\"object\", v));\n\
+             }}\n\
+             ::core::result::Result::Ok({name} {{ {inits} }})",
+            name = def.name,
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .unwrap()
+}

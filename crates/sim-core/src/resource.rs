@@ -77,10 +77,8 @@ impl FifoResource {
         }
         // busy_time counts reserved service even if it extends past `now`;
         // clamp to the horizon for a sane ratio.
-        let served = self
-            .busy_time
-            .as_nanos()
-            .saturating_sub(self.busy_until.since(now).as_nanos());
+        let served =
+            self.busy_time.as_nanos().saturating_sub(self.busy_until.since(now).as_nanos());
         served as f64 / now.nanos() as f64
     }
 

@@ -17,7 +17,11 @@ impl BlockAllocator {
     pub fn new(capacity_blocks: u64) -> BlockAllocator {
         assert!(capacity_blocks > 0);
         let words = capacity_blocks.div_ceil(64) as usize;
-        BlockAllocator { bitmap: vec![0; words], capacity: capacity_blocks, free_count: capacity_blocks }
+        BlockAllocator {
+            bitmap: vec![0; words],
+            capacity: capacity_blocks,
+            free_count: capacity_blocks,
+        }
     }
 
     pub fn capacity(&self) -> u64 {
@@ -194,8 +198,8 @@ mod tests {
         let mut a = BlockAllocator::new(16);
         a.allocate(1, 0).unwrap(); // block 0
         a.allocate(1, 5).unwrap(); // block 5
-        // Ask for more than any run from hint 0: runs are [1..5] (4) and
-        // [6..16) (10); 12 needs fragmentation into two extents.
+                                   // Ask for more than any run from hint 0: runs are [1..5] (4) and
+                                   // [6..16) (10); 12 needs fragmentation into two extents.
         let e = a.allocate(12, 0).unwrap();
         assert_eq!(e.len(), 2, "{:?}", e);
         assert_eq!(e[0], Extent { pblk: 1, blocks: 4 });

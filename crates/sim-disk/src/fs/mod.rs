@@ -137,17 +137,11 @@ impl BlockFs {
     }
 
     fn inode(&self, ino: Ino) -> Result<&Inode, FsError> {
-        self.inodes
-            .get(ino.0 as usize)
-            .and_then(|o| o.as_ref())
-            .ok_or(FsError::BadInode)
+        self.inodes.get(ino.0 as usize).and_then(|o| o.as_ref()).ok_or(FsError::BadInode)
     }
 
     fn inode_mut(&mut self, ino: Ino) -> Result<&mut Inode, FsError> {
-        self.inodes
-            .get_mut(ino.0 as usize)
-            .and_then(|o| o.as_mut())
-            .ok_or(FsError::BadInode)
+        self.inodes.get_mut(ino.0 as usize).and_then(|o| o.as_mut()).ok_or(FsError::BadInode)
     }
 
     /// Write `buf` at `offset`, allocating blocks (including for any hole
@@ -166,22 +160,12 @@ impl BlockFs {
             let inode = self.inode(ino)?;
             let mut needed = 0u64;
             for l in first_lblk..=last_lblk {
-                let missing = inode
-                    .blocks
-                    .get(l as usize)
-                    .map_or(true, |slot| slot.is_none());
+                let missing = inode.blocks.get(l as usize).is_none_or(|slot| slot.is_none());
                 if missing {
                     needed += 1;
                 }
             }
-            let hint = inode
-                .blocks
-                .iter()
-                .rev()
-                .flatten()
-                .next()
-                .map(|p| p + 1)
-                .unwrap_or(0);
+            let hint = inode.blocks.iter().rev().flatten().next().map(|p| p + 1).unwrap_or(0);
             (needed, hint)
         };
         let mut fresh: Vec<u64> = Vec::new();
@@ -218,10 +202,7 @@ impl BlockFs {
         let mut pos = offset;
         for (i, l) in (first_lblk..=last_lblk).enumerate() {
             let p = touched[i];
-            let block = self
-                .data
-                .entry(p)
-                .or_insert_with(|| Box::new([0u8; BLOCK_SIZE]));
+            let block = self.data.entry(p).or_insert_with(|| Box::new([0u8; BLOCK_SIZE]));
             let in_block = (pos % BLOCK_SIZE as u64) as usize;
             let n = (BLOCK_SIZE - in_block).min(buf.len() - written);
             block[in_block..in_block + n].copy_from_slice(&buf[written..written + n]);

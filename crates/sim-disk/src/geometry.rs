@@ -174,10 +174,6 @@ mod tests {
     fn avg_access_in_realistic_range() {
         let g = DiskGeometry::maxtor_20gb();
         let t = g.avg_access_time();
-        assert!(
-            (Dur::millis(8)..Dur::millis(20)).contains(&t),
-            "unrealistic average access {}",
-            t
-        );
+        assert!((Dur::millis(8)..Dur::millis(20)).contains(&t), "unrealistic average access {}", t);
     }
 }

@@ -189,7 +189,8 @@ impl Actor for Fabric {
 /// Convenience: total one-way latency of an uncontended `bytes`-byte message
 /// (used by tests and analytic sanity checks).
 pub fn uncontended_latency(cfg: &NetConfig, bytes: u32) -> Dur {
-    cfg.message_wire_time(bytes) + cfg.prop_delay
+    cfg.message_wire_time(bytes)
+        + cfg.prop_delay
         + match cfg.kind {
             FabricKind::Hub => Dur::ZERO,
             // Store-and-forward adds one switch hop plus the retransmission

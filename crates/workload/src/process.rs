@@ -92,7 +92,17 @@ impl AppProcess {
             finished: SimTime::ZERO,
             verify_failures: 0,
         };
-        AppProcess { client, plan, rng, coordinator, phase: Phase::Idle, shared: None, private: None, issued: 0, result }
+        AppProcess {
+            client,
+            plan,
+            rng,
+            coordinator,
+            phase: Phase::Idle,
+            shared: None,
+            private: None,
+            issued: 0,
+            result,
+        }
     }
 
     pub fn result(&self) -> &ProcResult {
@@ -150,7 +160,10 @@ impl AppProcess {
                 }
             }
             Completion::MetaErr { reason, .. } => {
-                panic!("process {}/{} open failed: {}", self.plan.instance, self.plan.proc_index, reason)
+                panic!(
+                    "process {}/{} open failed: {}",
+                    self.plan.instance, self.plan.proc_index, reason
+                )
             }
             Completion::Read { bytes, latency, at, .. } => {
                 self.result.read_latency.record(latency.as_nanos() as f64);

@@ -128,11 +128,7 @@ mod tests {
             }
         }
         let frac = fresh as f64 / n as f64;
-        assert!(
-            (0.4..0.6).contains(&frac),
-            "fresh fraction {} should be near 1 - l = 0.5",
-            frac
-        );
+        assert!((0.4..0.6).contains(&frac), "fresh fraction {} should be near 1 - l = 0.5", frac);
     }
 
     #[test]

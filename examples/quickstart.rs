@@ -27,14 +27,18 @@ fn main() {
         min_requests: 1,
     };
 
-    println!("workload: {} MB in {} KB requests, p=4, locality=0.8\n",
-        app.total_bytes >> 20, app.request_size >> 10);
+    println!(
+        "workload: {} MB in {} KB requests, p=4, locality=0.8\n",
+        app.total_bytes >> 20,
+        app.request_size >> 10
+    );
 
-    for (label, cache) in
-        [("original PVFS (no caching)", None), ("with kernel cache module", Some(CacheConfig::paper()))]
-    {
+    for (label, cache) in [
+        ("original PVFS (no caching)", None),
+        ("with kernel cache module", Some(CacheConfig::paper())),
+    ] {
         let spec = ClusterSpec::paper(cache);
-        let r = run_experiment(&spec, &[app.clone()]);
+        let r = run_experiment(&spec, std::slice::from_ref(&app));
         assert!(r.completed, "run did not complete");
         assert_eq!(r.total_verify_failures(), 0, "data corruption detected");
         println!("{label}:");

@@ -36,8 +36,10 @@ fn analysis_app(name: &str, sharing: f64) -> AppSpec {
 fn main() {
     println!("two analysis applications scanning one simulation output,");
     println!("time-shared on the same 4 nodes (256 KB requests, 4 MB each)\n");
-    println!("{:<22} {:>14} {:>14} {:>12} {:>12}",
-        "sharing of dataset", "no caching(s)", "caching(s)", "speedup", "hit+wait%");
+    println!(
+        "{:<22} {:>14} {:>14} {:>12} {:>12}",
+        "sharing of dataset", "no caching(s)", "caching(s)", "speedup", "hit+wait%"
+    );
     for sharing in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let apps = vec![analysis_app("viz", sharing), analysis_app("stats", sharing)];
 

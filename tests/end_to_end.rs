@@ -7,15 +7,7 @@ use sim_core::Dur;
 use sim_net::NodeId;
 use workload::{AppSpec, Mode};
 
-fn app(
-    name: &str,
-    nodes: &[u16],
-    total: u64,
-    d: u32,
-    mode: Mode,
-    l: f64,
-    s: f64,
-) -> AppSpec {
+fn app(name: &str, nodes: &[u16], total: u64, d: u32, mode: Mode, l: f64, s: f64) -> AppSpec {
     AppSpec {
         name: name.into(),
         nodes: nodes.iter().map(|&n| NodeId(n)).collect(),

@@ -15,13 +15,7 @@ fn fig4a_read_overhead_is_small() {
     let caching = f.column("caching").unwrap();
     let plain = f.column("no caching").unwrap();
     for (i, (&c, &p)) in caching.iter().zip(plain.iter()).enumerate() {
-        assert!(
-            c < p * 1.35,
-            "fig4a row {}: caching read overhead too large ({} vs {})",
-            i,
-            c,
-            p
-        );
+        assert!(c < p * 1.35, "fig4a row {}: caching read overhead too large ({} vs {})", i, c, p);
     }
 }
 

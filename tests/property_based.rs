@@ -153,7 +153,7 @@ proptest! {
         if s1.mergeable(s2) {
             let m = s1.merge(s2);
             prop_assert!(m.covers(s1) && m.covers(s2));
-            prop_assert!(m.len() <= s1.len() + s2.len() + (4096 - 0), "merge is bounded");
+            prop_assert!(m.len() <= s1.len() + s2.len() + 4096, "merge is bounded");
         }
     }
 }
