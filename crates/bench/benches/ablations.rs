@@ -4,7 +4,7 @@
 
 use cluster_harness::ablations::{
     ablation_cache_size, ablation_clean_first, ablation_fabric, ablation_harvester, ablation_lru,
-    ablation_sync_write, ablation_write_policy,
+    ablation_policy_comparison, ablation_sync_write, ablation_write_policy,
 };
 use cluster_harness::figures::Grid;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -38,6 +38,7 @@ ablation_bench!(bench_fabric, ablation_fabric);
 ablation_bench!(bench_sync_write, ablation_sync_write);
 ablation_bench!(bench_harvester, ablation_harvester);
 ablation_bench!(bench_cache_size, ablation_cache_size);
+ablation_bench!(bench_policy_comparison, ablation_policy_comparison);
 
 criterion_group! {
     name = benches;
@@ -46,6 +47,7 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(5));
     targets = bench_write_policy, bench_lru, bench_clean_first, bench_fabric,
-              bench_sync_write, bench_harvester, bench_cache_size
+              bench_sync_write, bench_harvester, bench_cache_size,
+              bench_policy_comparison
 }
 criterion_main!(benches);

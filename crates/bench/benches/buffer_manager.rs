@@ -4,7 +4,7 @@
 //! overhead at each read/write invocation".
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use kcache::{BlockKey, BufferManager, EvictPolicy, Span};
+use kcache::{BlockKey, BufferManager, EvictPolicy, PolicyKind, Span};
 use pvfs::Fid;
 use sim_net::NodeId;
 use std::sync::Arc;
@@ -22,15 +22,15 @@ fn filled_manager(policy: EvictPolicy, cap: usize) -> BufferManager {
     m
 }
 
-/// Hit path: the per-access bookkeeping cost the paper worries about.
+/// Hit path: the per-access bookkeeping cost the paper worries about,
+/// now measured across the whole policy family — this is the number that
+/// justifies clock over exact LRU, and prices LFU/2Q/ARC/sharing-aware.
 fn bench_hit_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("hit_path");
     g.throughput(Throughput::Elements(1));
-    for (name, policy) in [
-        ("clock_approx_lru", EvictPolicy { exact: false, clean_first: true }),
-        ("exact_lru", EvictPolicy { exact: true, clean_first: true }),
-    ] {
-        let m = filled_manager(policy, 300);
+    for kind in PolicyKind::ALL {
+        let name = kind.name();
+        let m = filled_manager(EvictPolicy::of(kind), 300);
         let mut out = vec![0u8; 4096];
         let mut i = 0u64;
         g.bench_function(name, |b| {
@@ -47,11 +47,9 @@ fn bench_hit_path(c: &mut Criterion) {
 fn bench_insert_evict(c: &mut Criterion) {
     let mut g = c.benchmark_group("insert_evict");
     g.throughput(Throughput::Elements(1));
-    for (name, policy) in [
-        ("clock_approx_lru", EvictPolicy { exact: false, clean_first: true }),
-        ("exact_lru", EvictPolicy { exact: true, clean_first: true }),
-    ] {
-        let m = filled_manager(policy, 300);
+    for kind in PolicyKind::ALL {
+        let name = kind.name();
+        let m = filled_manager(EvictPolicy::of(kind), 300);
         let buf = vec![0xCDu8; 4096];
         let mut next = 300u64;
         g.bench_function(name, |b| {

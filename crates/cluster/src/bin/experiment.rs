@@ -9,16 +9,21 @@
 //! ```json
 //! {
 //!   "cluster": { "nodes": 6, "caching": true, "seed": 42,
-//!                "cache_blocks": 300, "fabric": "hub" },
+//!                "cache_blocks": 300, "fabric": "hub",
+//!                "policy": "clock", "clean_first": true },
 //!   "apps": [
 //!     { "name": "a", "nodes": [0,1,2,3], "total_mb": 6, "request_kb": 64,
-//!       "mode": "read", "locality": 0.5, "sharing": 0.5 }
+//!       "mode": "read", "locality": 0.5, "sharing": 0.5, "hotspot": 0.0 }
 //!   ]
 //! }
 //! ```
+//!
+//! `policy` selects the replacement policy: `clock` (default),
+//! `exact-lru`, `lfu`, `2q`, `arc`, or `sharing-aware`. All new fields
+//! default so pre-existing configs parse unchanged.
 
-use cluster_harness::{run_experiment, ClusterSpec};
-use kcache::CacheConfig;
+use cluster_harness::{run_experiment, CacheEfficiency, ClusterSpec};
+use kcache::{CacheConfig, EvictPolicy, PolicyKind};
 use serde::Deserialize;
 use sim_core::Dur;
 use sim_net::{NetConfig, NodeId};
@@ -41,6 +46,10 @@ struct ClusterCfg {
     /// "hub" (the paper's platform) or "switch".
     fabric: String,
     file_mb: u64,
+    /// Replacement policy name (see `kcache::PolicyKind::parse`).
+    policy: String,
+    /// Prefer clean victims over dirty ones (the paper's choice).
+    clean_first: bool,
 }
 
 impl Default for ClusterCfg {
@@ -52,6 +61,8 @@ impl Default for ClusterCfg {
             cache_blocks: 300,
             fabric: "hub".into(),
             file_mb: 16,
+            policy: "clock".into(),
+            clean_first: true,
         }
     }
 }
@@ -68,6 +79,9 @@ struct AppCfg {
     locality: f64,
     #[serde(default)]
     sharing: f64,
+    /// Zipf skew of fresh accesses (0 = the paper's sequential walk).
+    #[serde(default)]
+    hotspot: f64,
     #[serde(default)]
     start_delay_ms: u64,
 }
@@ -81,10 +95,18 @@ fn main() {
     let cfg: Config =
         serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad config {path}: {e}"));
 
+    let kind = PolicyKind::parse(&cfg.cluster.policy).unwrap_or_else(|| {
+        panic!(
+            "unknown policy {:?} (use one of: {})",
+            cfg.cluster.policy,
+            PolicyKind::ALL.map(|k| k.name()).join(", ")
+        )
+    });
     let mut spec = ClusterSpec::paper(cfg.cluster.caching.then(|| CacheConfig {
         capacity_blocks: cfg.cluster.cache_blocks,
         low_watermark: (cfg.cluster.cache_blocks / 10).max(1),
         high_watermark: (cfg.cluster.cache_blocks / 4).max(2),
+        policy: EvictPolicy { kind, clean_first: cfg.cluster.clean_first },
         ..CacheConfig::paper()
     }));
     spec.n_nodes = cfg.cluster.nodes;
@@ -111,6 +133,7 @@ fn main() {
             },
             locality: a.locality,
             sharing: a.sharing,
+            hotspot: a.hotspot,
             shared_file: "shared".into(),
             file_size: cfg.cluster.file_mb << 20,
             start_delay: Dur::millis(a.start_delay_ms),
@@ -127,6 +150,12 @@ fn main() {
     println!("  \"verify_failures\": {},", r.total_verify_failures());
     if let Some(h) = r.hit_ratio() {
         println!("  \"cache_hit_ratio\": {:.4},", h);
+    }
+    if let Some(eff) = CacheEfficiency::from_run(&r) {
+        println!(
+            "  \"cache\": {},",
+            serde_json::to_string_pretty(&eff).expect("serialize cache efficiency")
+        );
     }
     println!("  \"network_payload_bytes\": {},", r.fabric.payload_bytes);
     println!("  \"medium_utilization\": {:.4},", r.medium_utilization);

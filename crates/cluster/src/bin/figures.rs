@@ -2,7 +2,8 @@
 //! line.
 //!
 //! ```text
-//! cargo run --release -p cluster-harness --bin figures -- [--fig 4|5|6|7|8|all|ablations] \
+//! cargo run --release -p cluster-harness --bin figures -- \
+//!     [--fig 4|5|6|7|8|all|ablations|policy] \
 //!     [--quick|--full|--smoke] [--out results/] [--seed N]
 //! ```
 
@@ -27,7 +28,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: figures [--fig 4|5|6|7|8|all|ablations] [--quick|--full|--smoke] [--out DIR] [--seed N]");
+                eprintln!("usage: figures [--fig 4|5|6|7|8|all|ablations|policy] [--quick|--full|--smoke] [--out DIR] [--seed N]");
                 std::process::exit(2);
             }
         }
@@ -41,6 +42,7 @@ fn main() {
         "7" => fig7(&grid),
         "8" => fig8(&grid),
         "ablations" => cluster_harness::ablations::all_ablations(&grid),
+        "policy" => vec![cluster_harness::ablations::ablation_policy_comparison(&grid)],
         "all" => {
             let mut f = all_figures(&grid);
             f.extend(cluster_harness::ablations::all_ablations(&grid));

@@ -22,6 +22,7 @@ fn main() {
             mode: Mode::Read,
             locality: 0.5,
             sharing: 0.0,
+            hotspot: 0.0,
             shared_file: "shared".into(),
             file_size: 8 << 20,
             start_delay: Dur::ZERO,

@@ -210,6 +210,7 @@ pub fn build(spec: &ClusterSpec, apps: &[AppSpec]) -> Cluster {
                 mode: a.mode,
                 locality: a.locality,
                 sharing: a.sharing,
+                hotspot: a.hotspot,
                 partition: partition_of(a.file_size, k as u32, a.p()),
                 window_bytes: window_bytes(apps, a.d_proc()),
                 start_delay: a.start_delay,
@@ -259,17 +260,19 @@ pub fn build(spec: &ClusterSpec, apps: &[AppSpec]) -> Cluster {
         }
     }
 
-    // Register client processes with their node's cache module.
+    // Register client processes with their node's cache module, tagged
+    // with their application instance so the policy subsystem can tell
+    // applications apart (the sharing-aware eviction signal).
     {
         let mut port_counter: u16 = 0;
-        for a in apps.iter() {
+        for (inst, a) in apps.iter().enumerate() {
             for &node in a.nodes.iter() {
                 let port = Port(CLIENT_PORT_BASE + port_counter);
                 let proc_id = processes[port_counter as usize];
                 port_counter += 1;
                 if let Some(m) = modules[node.index()] {
                     let module = eng.actor_as_mut::<CacheModule>(m).expect("module downcast");
-                    module.register_client(port, proc_id);
+                    module.register_client(port, proc_id, kcache::AppId(inst as u32));
                 }
             }
         }

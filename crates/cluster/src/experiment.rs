@@ -1,7 +1,7 @@
 //! Experiment execution and result extraction.
 
 use crate::builder::{build, Cluster, ClusterSpec};
-use kcache::{CacheModule, CacheStats, ModuleStats};
+use kcache::{CacheModule, CacheStats, ModuleStats, PolicyStats};
 use pvfs::{Iod, IodStats};
 use serde::Serialize;
 use sim_core::{Dur, SimTime, StopReason};
@@ -27,6 +27,10 @@ pub struct InstanceResult {
 pub struct ExperimentResult {
     pub instances: Vec<InstanceResult>,
     pub cache: Option<CacheStats>,
+    /// Name of the replacement policy in effect (caching runs only).
+    pub policy: Option<String>,
+    /// The policy subsystem's own event ledger, summed over all modules.
+    pub policy_stats: Option<PolicyStats>,
     pub module: Option<ModuleStats>,
     pub iod: IodStats,
     pub fabric: FabricStats,
@@ -129,10 +133,13 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     // Aggregate subsystem statistics.
     let mut cache_total: Option<CacheStats> = None;
     let mut module_total: Option<ModuleStats> = None;
+    let mut policy_total: Option<PolicyStats> = None;
     for m in cluster.modules.iter().flatten() {
         let module = cluster.engine.actor_as::<CacheModule>(*m).expect("module downcast");
         let cs = module.cache().stats();
+        let ps = module.cache().policy_stats();
         let ms = module.stats().clone();
+        policy_total.get_or_insert_with(PolicyStats::default).merge(&ps);
         let acc = cache_total.get_or_insert_with(CacheStats::default);
         acc.hits += cs.hits;
         acc.misses += cs.misses;
@@ -190,6 +197,8 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     ExperimentResult {
         instances,
         cache: cache_total,
+        policy: spec.cache.as_ref().map(|c| c.policy.kind.name().to_string()),
+        policy_stats: policy_total,
         module: module_total,
         iod: iod_total,
         fabric: fabric_stats,

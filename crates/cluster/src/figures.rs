@@ -117,6 +117,7 @@ fn single_app(grid: &Grid, d: u32, p: u32, mode: Mode, locality: f64) -> AppSpec
         mode,
         locality,
         sharing: 0.0,
+        hotspot: 0.0,
         shared_file: "shared".into(),
         file_size: grid.file_size,
         start_delay: Dur::ZERO,
@@ -142,6 +143,7 @@ fn two_apps(
         mode,
         locality,
         sharing,
+        hotspot: 0.0,
         shared_file: "shared".into(),
         file_size: grid.file_size,
         start_delay: Dur::ZERO,

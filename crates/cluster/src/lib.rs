@@ -22,5 +22,5 @@ pub mod sweep;
 pub use builder::{build, Cluster, ClusterSpec};
 pub use experiment::{run_experiment, ExperimentResult, InstanceResult};
 pub use figures::{all_figures, fig4, fig5, fig6, fig7, fig8, Grid};
-pub use report::{write_outputs, FigRow, FigureData};
+pub use report::{write_outputs, CacheEfficiency, FigRow, FigureData};
 pub use sweep::parallel_map;

@@ -1,8 +1,50 @@
-//! Figure data containers and rendering (markdown tables, CSV, JSON).
+//! Figure data containers and rendering (markdown tables, CSV, JSON), plus
+//! the per-run cache-efficiency summary experiment runs emit.
 
+use crate::experiment::ExperimentResult;
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// Cache-efficiency summary of one caching run: the replacement policy in
+/// effect and its hit/miss/eviction ledger, serialized into experiment
+/// JSON output so runs report cache behavior, not just makespan.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheEfficiency {
+    pub policy: String,
+    pub hit_ratio: f64,
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub evictions_clean: u64,
+    pub evictions_dirty: u64,
+    pub eviction_scans: u64,
+    pub writes_absorbed: u64,
+    pub writes_passthrough: u64,
+    pub invalidated: u64,
+}
+
+impl CacheEfficiency {
+    /// Extract the summary from a finished run (`None` for uncached runs).
+    pub fn from_run(r: &ExperimentResult) -> Option<CacheEfficiency> {
+        let cache = r.cache.as_ref()?;
+        let policy = r.policy.clone()?;
+        let ps = r.policy_stats.as_ref().copied().unwrap_or_default();
+        Some(CacheEfficiency {
+            policy,
+            hit_ratio: r.hit_ratio().unwrap_or(0.0),
+            hits: ps.hits,
+            misses: ps.misses,
+            inserts: ps.inserts,
+            evictions_clean: ps.evictions_clean,
+            evictions_dirty: ps.evictions_dirty,
+            eviction_scans: ps.scans,
+            writes_absorbed: cache.writes_absorbed,
+            writes_passthrough: cache.writes_passthrough,
+            invalidated: cache.invalidated,
+        })
+    }
+}
 
 /// One regenerated figure (or subplot): x values against named series.
 #[derive(Debug, Clone, Serialize)]

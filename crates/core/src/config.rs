@@ -9,7 +9,9 @@ pub struct CacheConfig {
     /// Cache capacity in 4 KB blocks. The paper uses 300 (1.2 MB),
     /// deliberately small relative to the data sets.
     pub capacity_blocks: usize,
-    /// Replacement policy (approximate LRU + clean-first by default).
+    /// Replacement policy: which `kcache-policy` ranking runs (clock, exact
+    /// LRU, LFU, 2Q, ARC, sharing-aware) plus the clean-first preference.
+    /// Approximate LRU (clock) + clean-first by default, as in the paper.
     pub policy: EvictPolicy,
     /// Harvester wake-up threshold: free list below this many frames.
     pub low_watermark: usize,

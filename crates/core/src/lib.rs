@@ -9,8 +9,9 @@
 //!
 //! * [`block`] — block identity and in-block spans (4 KB blocks, §3.2).
 //! * [`manager`] — the buffer manager: open-hash table with per-bucket
-//!   locks, free list, dirty list, clock-based approximate LRU with
-//!   clean-first eviction (plus an exact-LRU ablation), write-behind with
+//!   locks, free list, dirty list, pluggable replacement (the
+//!   `kcache-policy` crate: clock by default, exact LRU, LFU, 2Q, ARC,
+//!   sharing-aware) with clean-first eviction, write-behind with
 //!   saturation pass-through, invalidation. `Send + Sync`, exercised by
 //!   real threads in tests and benches.
 //! * [`module`] — the cache module actor: per-socket interception FSM
@@ -28,3 +29,8 @@ pub use block::{blocks_of_range, span_in_block, BlockKey, Span, CACHE_BLOCK_SIZE
 pub use config::CacheConfig;
 pub use manager::{BufferManager, CacheStats, EvictPolicy, FlushItem, WriteOutcome};
 pub use module::{CacheModule, ModuleStats};
+
+/// The replacement-policy subsystem, re-exported for consumers that select
+/// or inspect policies (configs, ablations, experiment binaries).
+pub use kcache_policy as policy;
+pub use kcache_policy::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};

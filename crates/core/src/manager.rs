@@ -5,38 +5,50 @@
 //! * fixed pool of 4 KB frames (default 300 ≙ the paper's 1.2 MB cache),
 //! * open-hashing hash table with **per-bucket locks**,
 //! * a free list and a dirty list,
-//! * replacement: **approximate LRU** (clock with reference bits) with
-//!   **preference for clean blocks over dirty ones**; an exact-LRU mode
-//!   exists as the ablation the paper argues against ("exact LRU can
-//!   result in a significant overhead at each read/write invocation"),
+//! * replacement: delegated to a pluggable [`ReplacementPolicy`]
+//!   (`kcache-policy`) — clock with reference bits (the paper's
+//!   approximate LRU) by default, exact LRU as the ablation the paper
+//!   argues against, plus LFU/2Q/ARC/sharing-aware alternatives — always
+//!   combined with the manager-owned **preference for clean blocks over
+//!   dirty ones**,
 //! * fine-grained locking throughout: the structure is `Send + Sync` and is
 //!   exercised by real multi-threaded stress tests, not only by the
 //!   single-threaded simulation.
 //!
-//! Lock ordering discipline: bucket → frame. The free list, dirty list,
-//! clock hand and LRU list locks are leaf locks — never held while
-//! acquiring a bucket or frame lock. Evictions read a candidate's key under
-//! its frame lock, release, then retake bucket → frame and revalidate.
+//! Lock ordering discipline: bucket → frame. The free list, dirty list and
+//! the policy state are leaf locks — never held while acquiring a bucket or
+//! frame lock. Evictions ask the policy for a candidate (policy lock only),
+//! release, then take bucket → frame and revalidate; the policy may thus
+//! offer a candidate that has since changed hands, and the manager simply
+//! asks for the next one.
 
 use crate::block::{BlockKey, Span, CACHE_BLOCK_SIZE};
+use kcache_policy::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
 use parking_lot::Mutex;
 use sim_net::NodeId;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Replacement policy knobs (§3.2 design choices).
+/// Replacement configuration (§3.2 design choices, now a policy *choice*
+/// plus the clean-first preference the manager enforces itself).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvictPolicy {
-    /// `false`: clock / second chance (the paper's approximate LRU).
-    /// `true`: exact LRU list updated on every access (the ablation).
-    pub exact: bool,
+    /// Which candidate-ranking policy runs inside the manager.
+    pub kind: PolicyKind,
     /// Prefer evicting clean blocks over dirty ones (the paper's choice).
     pub clean_first: bool,
 }
 
+impl EvictPolicy {
+    /// The named policy with the paper's clean-first preference.
+    pub fn of(kind: PolicyKind) -> EvictPolicy {
+        EvictPolicy { kind, clean_first: true }
+    }
+}
+
 impl Default for EvictPolicy {
     fn default() -> Self {
-        EvictPolicy { exact: false, clean_first: true }
+        EvictPolicy { kind: PolicyKind::Clock, clean_first: true }
     }
 }
 
@@ -126,86 +138,18 @@ struct AtomicStats {
     invalidated_dirty: AtomicU64,
 }
 
-/// Exact-LRU bookkeeping (ablation mode only).
-struct LruList {
-    prev: Vec<u32>,
-    next: Vec<u32>,
-    head: u32,
-    tail: u32,
-    linked: Vec<bool>,
-}
-
-const NIL: u32 = u32::MAX;
-
-impl LruList {
-    fn new(n: usize) -> LruList {
-        LruList {
-            prev: vec![NIL; n],
-            next: vec![NIL; n],
-            head: NIL,
-            tail: NIL,
-            linked: vec![false; n],
-        }
-    }
-
-    fn unlink(&mut self, i: u32) {
-        if !self.linked[i as usize] {
-            return;
-        }
-        let (p, n) = (self.prev[i as usize], self.next[i as usize]);
-        if p != NIL {
-            self.next[p as usize] = n;
-        } else {
-            self.head = n;
-        }
-        if n != NIL {
-            self.prev[n as usize] = p;
-        } else {
-            self.tail = p;
-        }
-        self.linked[i as usize] = false;
-    }
-
-    /// Move to MRU position.
-    fn touch(&mut self, i: u32) {
-        self.unlink(i);
-        self.prev[i as usize] = NIL;
-        self.next[i as usize] = self.head;
-        if self.head != NIL {
-            self.prev[self.head as usize] = i;
-        }
-        self.head = i;
-        if self.tail == NIL {
-            self.tail = i;
-        }
-        self.linked[i as usize] = true;
-    }
-
-    /// Frames from LRU to MRU.
-    fn lru_order(&self) -> Vec<u32> {
-        let mut out = Vec::new();
-        let mut i = self.tail;
-        while i != NIL {
-            out.push(i);
-            i = self.prev[i as usize];
-        }
-        out
-    }
-}
-
 /// The shared, finely-locked block cache.
 pub struct BufferManager {
     capacity: usize,
-    policy: EvictPolicy,
+    policy_cfg: EvictPolicy,
     low_watermark: usize,
     high_watermark: usize,
     frames: Vec<Mutex<Frame>>,
-    ref_bits: Vec<AtomicBool>,
     buckets: Vec<Mutex<Vec<(BlockKey, u32)>>>,
     free: Mutex<Vec<u32>>,
     dirty: Mutex<VecDeque<u32>>,
-    clock_hand: Mutex<usize>,
-    lru: Mutex<LruList>,
+    /// Leaf lock (see module docs): candidate ranking and recency state.
+    policy: Mutex<Box<dyn ReplacementPolicy>>,
     stats: AtomicStats,
 }
 
@@ -225,16 +169,14 @@ impl BufferManager {
         let n_buckets = (capacity / 4).next_power_of_two().max(16);
         BufferManager {
             capacity,
-            policy,
+            policy_cfg: policy,
             low_watermark,
             high_watermark,
             frames: (0..capacity).map(|_| Mutex::new(Frame::empty())).collect(),
-            ref_bits: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
             buckets: (0..n_buckets).map(|_| Mutex::new(Vec::new())).collect(),
             free: Mutex::new((0..capacity as u32).rev().collect()),
             dirty: Mutex::new(VecDeque::new()),
-            clock_hand: Mutex::new(0),
-            lru: Mutex::new(LruList::new(capacity)),
+            policy: Mutex::new(policy.kind.build(capacity)),
             stats: AtomicStats::default(),
         }
     }
@@ -256,7 +198,13 @@ impl BufferManager {
     }
 
     pub fn policy(&self) -> EvictPolicy {
-        self.policy
+        self.policy_cfg
+    }
+
+    /// The replacement policy's own event ledger (hits/misses/evictions as
+    /// the policy subsystem saw them).
+    pub fn policy_stats(&self) -> PolicyStats {
+        *self.policy.lock().stats()
     }
 
     pub fn stats(&self) -> CacheStats {
@@ -279,23 +227,45 @@ impl BufferManager {
         (key.hash() as usize) & (self.buckets.len() - 1)
     }
 
-    fn touch(&self, idx: u32) {
-        if self.policy.exact {
-            self.lru.lock().touch(idx);
-        } else {
-            self.ref_bits[idx as usize].store(true, Ordering::Relaxed);
-        }
+    /// Hit accounting + recency refresh.
+    fn record_hit(&self, idx: u32, key: BlockKey, app: AppId) {
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        let mut p = self.policy.lock();
+        p.stats_mut().hits += 1;
+        p.on_access(idx, key.hash(), app);
     }
 
-    /// Recency bookkeeping for a freshly inserted frame. Clock mode inserts
-    /// with the reference bit *clear* (the block earns its second chance by
-    /// being read); exact LRU links the frame at the MRU end.
-    fn note_insert(&self, idx: u32) {
-        if self.policy.exact {
-            self.lru.lock().touch(idx);
-        } else {
-            self.ref_bits[idx as usize].store(false, Ordering::Relaxed);
-        }
+    fn record_miss(&self) {
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.policy.lock().stats_mut().misses += 1;
+    }
+
+    /// Recency-only refresh (no hit accounting): sync-write refreshes and
+    /// secondary-waiter attribution.
+    fn note_touch(&self, idx: u32, key: BlockKey, app: AppId) {
+        self.policy.lock().on_access(idx, key.hash(), app);
+    }
+
+    /// Recency bookkeeping for a freshly inserted frame (clock inserts with
+    /// the reference bit clear — a block earns its second chance by being
+    /// read; LRU-style policies link at the MRU end; ghost-list policies
+    /// consult their history of `key`).
+    fn note_insert(&self, idx: u32, key: BlockKey, app: AppId) {
+        self.policy.lock().on_insert(idx, key.hash(), app);
+    }
+
+    /// Attribute an access to `app` without copying data — used by the
+    /// cache module when one fetch satisfies waiters from *several*
+    /// applications, so sharing-aware policies see every referent.
+    pub fn note_access(&self, key: BlockKey, app: AppId) {
+        let idx = {
+            let b = self.buckets[self.bucket_of(&key)].lock();
+            match b.iter().find(|(k, _)| *k == key) {
+                Some(&(_, idx)) => idx,
+                None => return,
+            }
+        };
+        self.note_touch(idx, key, app);
     }
 
     /// Look up `key` in the hash table (no data copy, no stats). Mostly for
@@ -305,9 +275,15 @@ impl BufferManager {
         b.iter().any(|(k, _)| *k == key)
     }
 
-    /// Try to serve `span` of `key` into `out` (`out.len() == span.len()`).
-    /// Counts a hit (and refreshes recency) or a miss.
+    /// [`BufferManager::try_read_by`] with an unattributed accessor.
     pub fn try_read(&self, key: BlockKey, span: Span, out: &mut [u8]) -> bool {
+        self.try_read_by(key, span, out, AppId::UNKNOWN)
+    }
+
+    /// Try to serve `span` of `key` into `out` (`out.len() == span.len()`)
+    /// on behalf of application `app`. Counts a hit (and refreshes
+    /// recency) or a miss.
+    pub fn try_read_by(&self, key: BlockKey, span: Span, out: &mut [u8], app: AppId) -> bool {
         debug_assert_eq!(out.len(), span.len() as usize);
         let idx = {
             let b = self.buckets[self.bucket_of(&key)].lock();
@@ -318,23 +294,26 @@ impl BufferManager {
                         out.copy_from_slice(&f.data[span.start as usize..span.end as usize]);
                         idx
                     } else {
-                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        drop(f);
+                        drop(b);
+                        self.record_miss();
                         return false;
                     }
                 }
                 None => {
-                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    drop(b);
+                    self.record_miss();
                     return false;
                 }
             }
         };
-        self.stats.hits.fetch_add(1, Ordering::Relaxed);
-        self.touch(idx);
+        self.record_hit(idx, key, app);
         true
     }
 
     /// Hit check without copying (used to plan request splitting). Counts
-    /// stats exactly like [`BufferManager::try_read`].
+    /// stats exactly like [`BufferManager::try_read`] but, like the seed
+    /// implementation, does not refresh recency.
     pub fn probe(&self, key: BlockKey, span: Span) -> bool {
         let b = self.buckets[self.bucket_of(&key)].lock();
         let hit = b.iter().any(|(k, idx)| {
@@ -346,8 +325,9 @@ impl BufferManager {
         drop(b);
         if hit {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.policy.lock().stats_mut().hits += 1;
         } else {
-            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            self.record_miss();
         }
         hit
     }
@@ -365,21 +345,27 @@ impl BufferManager {
         self.evict_one(allow_dirty_eviction)
     }
 
-    /// Evict one block and return its (now unlinked) frame.
+    /// Evict one block and return its (now unlinked) frame. Candidate
+    /// *ranking* comes from the policy; candidate *admissibility* (clean
+    /// pass, dirty allowance, in-flight flushes) stays here.
     fn evict_one(&self, allow_dirty: bool) -> Option<(u32, Option<FlushItem>)> {
-        let candidates: Vec<u32> =
-            if self.policy.exact { self.lru.lock().lru_order() } else { Vec::new() };
         // Pass 0: clean victims only (if clean_first). Pass 1: anything
         // (subject to allow_dirty).
-        let passes: &[bool] = if self.policy.clean_first { &[true, false] } else { &[false] };
+        let passes: &[bool] = if self.policy_cfg.clean_first { &[true, false] } else { &[false] };
         for &clean_only in passes {
-            let got = if self.policy.exact {
-                self.evict_scan_exact(&candidates, clean_only, allow_dirty)
-            } else {
-                self.evict_scan_clock(clean_only, allow_dirty)
-            };
-            if got.is_some() {
-                return got;
+            {
+                let mut p = self.policy.lock();
+                p.stats_mut().scans += 1;
+                p.begin_scan();
+            }
+            loop {
+                // Leaf lock only while asking; dropped before bucket/frame.
+                let Some(idx) = self.policy.lock().next_candidate() else {
+                    break;
+                };
+                if let Some(got) = self.try_evict_idx(idx, clean_only, allow_dirty) {
+                    return Some(got);
+                }
             }
         }
         None
@@ -444,56 +430,39 @@ impl BufferManager {
         f.in_dirty_list = false;
         drop(f);
         drop(bucket);
-        if self.policy.exact {
-            self.lru.lock().unlink(idx);
+        {
+            let mut p = self.policy.lock();
+            if flush.is_some() {
+                p.stats_mut().evictions_dirty += 1;
+            } else {
+                p.stats_mut().evictions_clean += 1;
+            }
+            p.on_remove(idx, key.hash());
         }
         Some((idx, flush))
     }
 
-    fn evict_scan_clock(
-        &self,
-        clean_only: bool,
-        allow_dirty: bool,
-    ) -> Option<(u32, Option<FlushItem>)> {
-        // Two sweeps: the first clears reference bits (second chance), the
-        // second takes the first unreferenced candidate.
-        let mut hand = self.clock_hand.lock();
-        for _ in 0..2 * self.capacity {
-            let idx = *hand as u32;
-            *hand = (*hand + 1) % self.capacity;
-            if self.ref_bits[idx as usize].swap(false, Ordering::Relaxed) {
-                continue; // had its second chance
-            }
-            if let Some(got) = self.try_evict_idx(idx, clean_only, allow_dirty) {
-                return Some(got);
-            }
-        }
-        None
-    }
-
-    fn evict_scan_exact(
-        &self,
-        candidates: &[u32],
-        clean_only: bool,
-        allow_dirty: bool,
-    ) -> Option<(u32, Option<FlushItem>)> {
-        for &idx in candidates {
-            if let Some(got) = self.try_evict_idx(idx, clean_only, allow_dirty) {
-                return Some(got);
-            }
-        }
-        None
-    }
-
-    /// Install fetched (clean) bytes for `key`. Fetches are whole blocks, so
-    /// `span` is normally [`Span::FULL`]. Returns a flush snapshot if a
-    /// dirty frame had to be evicted to make room.
+    /// [`BufferManager::insert_clean_by`] with an unattributed accessor.
     pub fn insert_clean(
         &self,
         key: BlockKey,
         home: NodeId,
         span: Span,
         bytes: &[u8],
+    ) -> Option<FlushItem> {
+        self.insert_clean_by(key, home, span, bytes, AppId::UNKNOWN)
+    }
+
+    /// Install fetched (clean) bytes for `key` on behalf of `app`. Fetches
+    /// are whole blocks, so `span` is normally [`Span::FULL`]. Returns a
+    /// flush snapshot if a dirty frame had to be evicted to make room.
+    pub fn insert_clean_by(
+        &self,
+        key: BlockKey,
+        home: NodeId,
+        span: Span,
+        bytes: &[u8],
+        app: AppId,
     ) -> Option<FlushItem> {
         debug_assert_eq!(bytes.len(), span.len() as usize);
         loop {
@@ -509,7 +478,7 @@ impl BufferManager {
                         }
                         drop(f);
                         drop(b);
-                        self.touch(idx);
+                        self.note_touch(idx, key, app);
                         return None;
                     }
                 }
@@ -540,14 +509,27 @@ impl BufferManager {
                 b.push((key, idx));
             }
             self.stats.insertions.fetch_add(1, Ordering::Relaxed);
-            self.note_insert(idx);
+            self.note_insert(idx, key, app);
             return flush;
         }
     }
 
-    /// Write-behind absorb of `span` of `key`. On success the block is
-    /// dirty in cache and the write can be acknowledged locally.
+    /// [`BufferManager::write_by`] with an unattributed accessor.
     pub fn write(&self, key: BlockKey, home: NodeId, span: Span, bytes: &[u8]) -> WriteOutcome {
+        self.write_by(key, home, span, bytes, AppId::UNKNOWN)
+    }
+
+    /// Write-behind absorb of `span` of `key` on behalf of `app`. On
+    /// success the block is dirty in cache and the write can be
+    /// acknowledged locally.
+    pub fn write_by(
+        &self,
+        key: BlockKey,
+        home: NodeId,
+        span: Span,
+        bytes: &[u8],
+        app: AppId,
+    ) -> WriteOutcome {
         debug_assert_eq!(bytes.len(), span.len() as usize);
         loop {
             {
@@ -576,7 +558,7 @@ impl BufferManager {
                         if need_dirty_link {
                             self.dirty.lock().push_back(idx);
                         }
-                        self.touch(idx);
+                        self.note_touch(idx, key, app);
                         self.stats.writes_absorbed.fetch_add(1, Ordering::Relaxed);
                         return WriteOutcome::Absorbed;
                     }
@@ -608,7 +590,7 @@ impl BufferManager {
             self.dirty.lock().push_back(idx);
             self.stats.insertions.fetch_add(1, Ordering::Relaxed);
             self.stats.writes_absorbed.fetch_add(1, Ordering::Relaxed);
-            self.note_insert(idx);
+            self.note_insert(idx, key, app);
             return WriteOutcome::Absorbed;
         }
     }
@@ -637,7 +619,7 @@ impl BufferManager {
             }
             idx
         };
-        self.touch(idx);
+        self.note_touch(idx, key, AppId::UNKNOWN);
         true
     }
 
@@ -648,6 +630,7 @@ impl BufferManager {
     /// merge into the frame and re-queue it for a follow-up flush.
     pub fn take_dirty(&self, max: usize) -> Vec<FlushItem> {
         let mut out = Vec::new();
+        let mut taken: Vec<u32> = Vec::new();
         let mut requeue: Vec<u32> = Vec::new();
         while out.len() < max {
             let idx = {
@@ -677,11 +660,19 @@ impl BufferManager {
             });
             f.flushing = true;
             f.in_dirty_list = false;
+            taken.push(idx);
         }
         if !requeue.is_empty() {
             let mut d = self.dirty.lock();
             for idx in requeue.into_iter().rev() {
                 d.push_front(idx);
+            }
+        }
+        if !taken.is_empty() {
+            // Pin in-flight frames so no policy offers them as candidates.
+            let mut p = self.policy.lock();
+            for idx in taken {
+                p.set_pinned(idx, true);
             }
         }
         self.stats.flush_blocks.fetch_add(out.len() as u64, Ordering::Relaxed);
@@ -693,20 +684,25 @@ impl BufferManager {
     /// the flight, in which case the merged span stays queued for the next
     /// flush round.
     pub fn flush_complete(&self, key: BlockKey, span: Span) {
-        let b = self.buckets[self.bucket_of(&key)].lock();
-        let Some(&(_, idx)) = b.iter().find(|(k, _)| *k == key) else {
-            return; // invalidated or evicted during the flight
+        let idx = {
+            let b = self.buckets[self.bucket_of(&key)].lock();
+            let Some(&(_, idx)) = b.iter().find(|(k, _)| *k == key) else {
+                return; // invalidated or evicted during the flight
+            };
+            let mut f = self.frames[idx as usize].lock();
+            if f.key != Some(key) {
+                return;
+            }
+            f.flushing = false;
+            if !f.in_dirty_list && f.dirty == span {
+                // No writes landed during the flight: clean.
+                f.dirty = Span::EMPTY;
+            }
+            // Otherwise the (merged) dirty span is already queued for
+            // re-flush.
+            idx
         };
-        let mut f = self.frames[idx as usize].lock();
-        if f.key != Some(key) {
-            return;
-        }
-        f.flushing = false;
-        if !f.in_dirty_list && f.dirty == span {
-            // No writes landed during the flight: clean.
-            f.dirty = Span::EMPTY;
-        }
-        // Otherwise the (merged) dirty span is already queued for re-flush.
+        self.policy.lock().set_pinned(idx, false);
     }
 
     /// Drop cached copies of the listed blocks (sync-write coherence).
@@ -730,11 +726,10 @@ impl BufferManager {
                 f.valid = Span::EMPTY;
                 f.dirty = Span::EMPTY;
                 f.in_dirty_list = false;
+                f.flushing = false;
                 idx
             };
-            if self.policy.exact {
-                self.lru.lock().unlink(idx);
-            }
+            self.policy.lock().on_remove(idx, key.hash());
             self.push_free(idx);
             dropped += 1;
         }
@@ -815,6 +810,9 @@ mod tests {
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
         assert_eq!(s.insertions, 1);
+        // The policy's own ledger tracks the same events.
+        let ps = m.policy_stats();
+        assert_eq!((ps.hits, ps.misses, ps.inserts), (1, 1, 1));
     }
 
     #[test]
@@ -852,6 +850,7 @@ mod tests {
         assert!(m.contains(key(1)), "dirty block must survive");
         assert_eq!(m.stats().evictions_clean, 1);
         assert_eq!(m.stats().evictions_dirty, 0);
+        assert_eq!(m.policy_stats().evictions_clean, 1);
     }
 
     #[test]
@@ -865,6 +864,7 @@ mod tests {
         assert_eq!(fl.span, Span::FULL);
         assert_eq!(fl.data.len(), CACHE_BLOCK_SIZE);
         assert_eq!(m.stats().evictions_dirty, 1);
+        assert_eq!(m.policy_stats().evictions_dirty, 1);
     }
 
     #[test]
@@ -967,6 +967,7 @@ mod tests {
         assert_eq!(m.free_frames(), 4);
         // The stale dirty-queue entry must not produce a flush.
         assert!(m.take_dirty(10).is_empty());
+        assert_eq!(m.policy_stats().removes, 2);
     }
 
     #[test]
@@ -987,7 +988,7 @@ mod tests {
 
     #[test]
     fn exact_lru_evicts_strictly_oldest() {
-        let m = BufferManager::new(3, EvictPolicy { exact: true, clean_first: true });
+        let m = BufferManager::new(3, EvictPolicy::of(PolicyKind::ExactLru));
         for i in 0..3 {
             m.insert_clean(key(i), NodeId(0), Span::FULL, &full_block(i as u8));
         }
@@ -996,6 +997,70 @@ mod tests {
         m.insert_clean(key(3), NodeId(0), Span::FULL, &full_block(3));
         assert!(!m.contains(key(1)));
         assert!(m.contains(key(0)) && m.contains(key(2)) && m.contains(key(3)));
+    }
+
+    #[test]
+    fn lfu_protects_frequent_blocks() {
+        let m = BufferManager::new(3, EvictPolicy::of(PolicyKind::Lfu));
+        for i in 0..3 {
+            m.insert_clean(key(i), NodeId(0), Span::FULL, &full_block(i as u8));
+        }
+        let mut buf = vec![0u8; 4096];
+        for _ in 0..5 {
+            assert!(m.try_read(key(0), Span::FULL, &mut buf));
+            assert!(m.try_read(key(2), Span::FULL, &mut buf));
+        }
+        assert!(m.try_read(key(1), Span::FULL, &mut buf)); // once: coldest
+        m.insert_clean(key(3), NodeId(0), Span::FULL, &full_block(3));
+        assert!(!m.contains(key(1)), "the least-frequently-used block is the LFU victim");
+        assert!(m.contains(key(0)) && m.contains(key(2)));
+    }
+
+    #[test]
+    fn sharing_aware_protects_multi_app_blocks() {
+        let m = BufferManager::new(3, EvictPolicy::of(PolicyKind::SharingAware));
+        let (a, b) = (AppId(0), AppId(1));
+        let mut buf = vec![0u8; 4096];
+        m.insert_clean_by(key(0), NodeId(0), Span::FULL, &full_block(0), a);
+        m.insert_clean_by(key(1), NodeId(0), Span::FULL, &full_block(1), a);
+        m.insert_clean_by(key(2), NodeId(0), Span::FULL, &full_block(2), a);
+        // Block 0 is referenced by both applications; 1 and 2 stay private
+        // and are both touched *after* 0.
+        assert!(m.try_read_by(key(0), Span::FULL, &mut buf, b));
+        assert!(m.try_read_by(key(1), Span::FULL, &mut buf, a));
+        assert!(m.try_read_by(key(2), Span::FULL, &mut buf, a));
+        m.insert_clean_by(key(3), NodeId(0), Span::FULL, &full_block(3), b);
+        assert!(m.contains(key(0)), "the shared block must be protected");
+        assert!(!m.contains(key(1)), "the oldest private block is the victim");
+    }
+
+    #[test]
+    fn all_policies_run_the_full_lifecycle() {
+        for kind in PolicyKind::ALL {
+            let m = BufferManager::new(4, EvictPolicy::of(kind));
+            let mut buf = vec![0u8; 4096];
+            for i in 0..16 {
+                if i % 3 == 0 {
+                    assert_eq!(
+                        m.write(key(i), NodeId(0), Span::FULL, &full_block(i as u8)),
+                        WriteOutcome::Absorbed,
+                        "{kind}: write {i}"
+                    );
+                } else {
+                    m.insert_clean(key(i), NodeId(0), Span::FULL, &full_block(i as u8));
+                }
+                let _ = m.try_read(key(i), Span::FULL, &mut buf);
+                if i % 5 == 4 {
+                    for it in m.take_dirty(4) {
+                        m.flush_complete(it.key, it.span);
+                    }
+                }
+            }
+            let _ = m.invalidate(m.resident_keys());
+            assert_eq!(m.free_frames(), 4, "{kind}: frames leaked");
+            let ps = m.policy_stats();
+            assert_eq!(ps.inserts, ps.removes, "{kind}: policy residency ledger unbalanced");
+        }
     }
 
     #[test]
@@ -1041,44 +1106,48 @@ mod tests {
     #[test]
     fn concurrent_stress_no_lost_frames() {
         use std::sync::Arc;
-        let m = Arc::new(BufferManager::new(64, EvictPolicy::default()));
-        let threads = 8;
-        std::thread::scope(|s| {
-            for t in 0..threads {
-                let m = Arc::clone(&m);
-                s.spawn(move || {
-                    let mut buf = vec![0u8; 4096];
-                    for i in 0..2000u64 {
-                        let k = BlockKey::new(Fid(t % 3), (i * 7 + t) % 200);
-                        match i % 4 {
-                            0 => {
-                                let _ = m.try_read(k, Span::FULL, &mut buf);
-                            }
-                            1 => {
-                                let _ = m.insert_clean(k, NodeId(0), Span::FULL, &buf);
-                            }
-                            2 => {
-                                let _ = m.write(k, NodeId(0), Span::FULL, &buf);
-                            }
-                            _ => {
-                                if i % 64 == 3 {
-                                    m.take_dirty(8);
-                                } else {
-                                    let _ = m.invalidate([k]);
+        for kind in PolicyKind::ALL {
+            let m = Arc::new(BufferManager::new(64, EvictPolicy::of(kind)));
+            let threads = 8;
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let m = Arc::clone(&m);
+                    s.spawn(move || {
+                        let mut buf = vec![0u8; 4096];
+                        for i in 0..2000u64 {
+                            let k = BlockKey::new(Fid(t % 3), (i * 7 + t) % 200);
+                            let app = AppId((t % 2) as u32);
+                            match i % 4 {
+                                0 => {
+                                    let _ = m.try_read_by(k, Span::FULL, &mut buf, app);
+                                }
+                                1 => {
+                                    let _ = m.insert_clean_by(k, NodeId(0), Span::FULL, &buf, app);
+                                }
+                                2 => {
+                                    let _ = m.write_by(k, NodeId(0), Span::FULL, &buf, app);
+                                }
+                                _ => {
+                                    if i % 64 == 3 {
+                                        m.take_dirty(8);
+                                    } else {
+                                        let _ = m.invalidate([k]);
+                                    }
                                 }
                             }
                         }
-                    }
-                });
-            }
-        });
-        // Conservation: every frame is either free or reachable via a bucket.
-        let resident = m.resident_keys().len();
-        assert_eq!(resident + m.free_frames(), 64, "frames leaked or duplicated");
-        // And all resident keys are unique.
-        let keys = m.resident_keys();
-        let mut dedup = keys.clone();
-        dedup.dedup();
-        assert_eq!(keys.len(), dedup.len());
+                    });
+                }
+            });
+            // Conservation: every frame is either free or reachable via a
+            // bucket.
+            let resident = m.resident_keys().len();
+            assert_eq!(resident + m.free_frames(), 64, "{kind}: frames leaked or duplicated");
+            // And all resident keys are unique.
+            let keys = m.resident_keys();
+            let mut dedup = keys.clone();
+            dedup.dedup();
+            assert_eq!(keys.len(), dedup.len(), "{kind}: duplicate resident keys");
+        }
     }
 }

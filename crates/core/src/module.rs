@@ -25,6 +25,7 @@ use crate::block::{blocks_of_range, span_in_block, BlockKey, Span, CACHE_BLOCK_S
 use crate::config::CacheConfig;
 use crate::manager::{BufferManager, FlushItem, WriteOutcome};
 use bytes::Bytes;
+use kcache_policy::AppId;
 use pvfs::{
     ByteRange, CostModel, Fid, FlushAck, FlushBlocks, FlushEntry, Invalidate, InvalidateAck,
     ReadAck, ReadData, ReadReq, WriteAck, WritePart, WriteReq, CACHE_PORT, IOD_FLUSH_PORT,
@@ -89,6 +90,10 @@ pub struct CacheModule {
     cache: Arc<BufferManager>,
     /// Client reply port → client actor (the processes on this node).
     clients: HashMap<u16, ActorId>,
+    /// Client reply port → owning application instance; lets the buffer
+    /// manager's policy attribute every access to an application, which is
+    /// what the sharing-aware policy ranks by.
+    client_apps: HashMap<u16, AppId>,
     pending: HashMap<(u16, u64), PendingFetch>,
     /// Blocks currently being fetched from an iod (the FSM's "transfers
     /// pending" state); requests for these blocks wait instead of
@@ -127,6 +132,7 @@ impl CacheModule {
             cfg,
             cache,
             clients: HashMap::new(),
+            client_apps: HashMap::new(),
             pending: HashMap::new(),
             fetching: std::collections::HashSet::new(),
             block_waiters: HashMap::new(),
@@ -140,9 +146,17 @@ impl CacheModule {
     }
 
     /// Register a client process living on this node (its reply port must
-    /// also be bound to this module in the node's `NodeNet`).
-    pub fn register_client(&mut self, port: Port, actor: ActorId) {
+    /// also be bound to this module in the node's `NodeNet`), together with
+    /// the application instance it belongs to.
+    pub fn register_client(&mut self, port: Port, actor: ActorId, app: AppId) {
         self.clients.insert(port.0, actor);
+        self.client_apps.insert(port.0, app);
+    }
+
+    /// Application owning a client reply port ([`AppId::UNKNOWN`] for
+    /// traffic from unregistered ports).
+    fn app_of(&self, port: Port) -> AppId {
+        self.client_apps.get(&port.0).copied().unwrap_or(AppId::UNKNOWN)
     }
 
     pub fn stats(&self) -> &ModuleStats {
@@ -243,6 +257,7 @@ impl CacheModule {
         let now = ctx.now();
         let iod_node = net.dst;
         let client_port = rr.reply_to.1;
+        let app = self.app_of(client_port);
         let total_blocks: u64 =
             rr.ranges.iter().map(|r| blocks_of_range(r.offset, r.len).count() as u64).sum();
         // FSM + hash lookups for every block of the request.
@@ -265,7 +280,7 @@ impl CacheModule {
                 let span = span_in_block(blk, r.offset, r.len);
                 let lo = (blk * CACHE_BLOCK_SIZE as u64 + span.start as u64 - r.offset) as usize;
                 let hi = lo + span.len() as usize;
-                if self.cache.try_read(BlockKey::new(rr.fid, blk), span, &mut buf[lo..hi]) {
+                if self.cache.try_read_by(BlockKey::new(rr.fid, blk), span, &mut buf[lo..hi], app) {
                     hit_blocks += 1;
                 } else {
                     missing.push(blk);
@@ -406,6 +421,7 @@ impl CacheModule {
         let now = ctx.now();
         let iod_node = net.dst;
         let client_port = wr.reply_to.1;
+        let app = self.app_of(client_port);
         let total_bytes = wr.total_bytes();
 
         if !self.cfg.write_behind || wr.sync {
@@ -464,11 +480,12 @@ impl CacheModule {
                 let abs_start = blk * CACHE_BLOCK_SIZE as u64 + span.start as u64;
                 let lo = (abs_start - part.range.offset) as usize;
                 let hi = lo + span.len() as usize;
-                let outcome = self.cache.write(
+                let outcome = self.cache.write_by(
                     BlockKey::new(wr.fid, blk),
                     iod_node,
                     span,
                     &part.data[lo..hi],
+                    app,
                 );
                 match outcome {
                     WriteOutcome::Absorbed => {
@@ -562,8 +579,27 @@ impl CacheModule {
             let span = span_in_block(blk, rd.range.offset, rd.range.len);
             let lo = (blk * CACHE_BLOCK_SIZE as u64 + span.start as u64 - rd.range.offset) as usize;
             let hi = lo + span.len() as usize;
-            if let Some(fl) = self.cache.insert_clean(key, home, span, &rd.data[lo..hi]) {
+            // Attribute the install to the first waiting application; every
+            // further application waiting on the same fetch is recorded as
+            // an extra referent — the inter-application sharing signal the
+            // sharing-aware policy ranks by.
+            let mut waiter_apps: Vec<AppId> = Vec::new();
+            if let Some(ws) = self.block_waiters.get(&key) {
+                for &(port, _) in ws {
+                    let a = self.app_of(Port(port));
+                    if !waiter_apps.contains(&a) {
+                        waiter_apps.push(a);
+                    }
+                }
+            }
+            let first_app = waiter_apps.first().copied().unwrap_or(AppId::UNKNOWN);
+            if let Some(fl) =
+                self.cache.insert_clean_by(key, home, span, &rd.data[lo..hi], first_app)
+            {
                 urgent.push(fl);
+            }
+            for &a in waiter_apps.iter().skip(1) {
+                self.cache.note_access(key, a);
             }
             self.maybe_schedule_harvest(ctx);
             self.fetching.remove(&key);

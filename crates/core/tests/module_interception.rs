@@ -151,7 +151,7 @@ fn rig_with(cfg: CacheConfig) -> Rig {
         cfg,
     );
     let client_port = Port(CLIENT_PORT_BASE);
-    module.register_client(client_port, client);
+    module.register_client(client_port, client, kcache::AppId(0));
     let module = eng.add_actor(Box::new(module));
     // Node 0: client port + cache port → module. Node 1: iod ports.
     let mut n0 = sim_net::NodeNet::new(NodeId(CLIENT));

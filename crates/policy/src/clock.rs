@@ -1,0 +1,118 @@
+//! Clock / second-chance — the paper's approximate LRU, extracted from the
+//! seed buffer manager without behavioral change.
+
+use crate::table::FrameTable;
+use crate::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
+
+/// Reference-bit clock. Hits set the frame's reference bit; inserts clear
+/// it (a block earns its second chance by being *re*-read). An eviction
+/// scan sweeps the hand over at most `2 * capacity` frames: the first
+/// encounter of a referenced frame consumes its bit, the first
+/// unreferenced evictable frame becomes the candidate. The hand persists
+/// across scans, exactly like the seed manager's `clock_hand`.
+pub struct Clock {
+    table: FrameTable,
+    refbit: Vec<bool>,
+    hand: usize,
+    /// Remaining steps in the current scan (armed by `begin_scan`).
+    budget: usize,
+}
+
+impl Clock {
+    pub fn new(capacity: usize) -> Clock {
+        Clock {
+            table: FrameTable::new(capacity),
+            refbit: vec![false; capacity],
+            hand: 0,
+            budget: 0,
+        }
+    }
+}
+
+impl ReplacementPolicy for Clock {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Clock
+    }
+
+    fn on_access(&mut self, frame: u32, _key: u64, _app: AppId) {
+        self.refbit[frame as usize] = true;
+    }
+
+    fn on_insert(&mut self, frame: u32, _key: u64, _app: AppId) {
+        self.table.insert(frame);
+        self.refbit[frame as usize] = false;
+    }
+
+    fn on_remove(&mut self, frame: u32, _key: u64) {
+        self.table.remove(frame);
+    }
+
+    fn set_pinned(&mut self, frame: u32, pinned: bool) {
+        self.table.set_pinned(frame, pinned);
+    }
+
+    fn begin_scan(&mut self) {
+        self.budget = 2 * self.table.capacity();
+    }
+
+    fn next_candidate(&mut self) -> Option<u32> {
+        while self.budget > 0 {
+            self.budget -= 1;
+            let idx = self.hand as u32;
+            self.hand = (self.hand + 1) % self.table.capacity();
+            // Consume the reference bit first (second chance), matching the
+            // seed's `swap(false)`-then-skip order.
+            if std::mem::take(&mut self.refbit[idx as usize]) {
+                continue;
+            }
+            if self.table.evictable(idx) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn stats(&self) -> &PolicyStats {
+        &self.table.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut PolicyStats {
+        &mut self.table.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreferenced_frame_is_victim() {
+        let mut c = Clock::new(4);
+        for f in 0..4 {
+            c.on_insert(f, f as u64, AppId::UNKNOWN);
+        }
+        for f in [0u32, 1, 3] {
+            c.on_access(f, f as u64, AppId::UNKNOWN);
+        }
+        c.begin_scan();
+        assert_eq!(c.next_candidate(), Some(2), "only frame 2 kept no reference bit");
+    }
+
+    #[test]
+    fn pinned_frames_are_skipped() {
+        let mut c = Clock::new(3);
+        for f in 0..3 {
+            c.on_insert(f, f as u64, AppId::UNKNOWN);
+        }
+        c.set_pinned(0, true);
+        c.begin_scan();
+        assert_eq!(c.next_candidate(), Some(1));
+    }
+
+    #[test]
+    fn scan_terminates_on_empty_pool() {
+        let mut c = Clock::new(8);
+        c.begin_scan();
+        assert_eq!(c.next_candidate(), None);
+    }
+}

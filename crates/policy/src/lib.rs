@@ -1,0 +1,232 @@
+//! # kcache-policy — pluggable cache-replacement policies
+//!
+//! The buffer manager's eviction decision, promoted from two hardcoded
+//! booleans into a real subsystem. A [`ReplacementPolicy`] tracks frame
+//! residency/recency metadata and, when the manager needs room, produces
+//! eviction candidates in preference order. The manager keeps authority
+//! over *whether* a candidate may actually be evicted (dirty state,
+//! in-flight flushes, clean-first passes are its business); the policy only
+//! ranks.
+//!
+//! Policies operate on **frame indices** (`u32`, dense `0..capacity`) and
+//! opaque **key fingerprints** (`u64`, the block key's hash) so the crate
+//! stays independent of the buffer manager's block types. The accessing
+//! application is identified by an [`AppId`] — this is what lets the
+//! [`SharingAware`] policy implement the paper's inter-application insight
+//! as an eviction preference: blocks referenced by more than one
+//! application are protected over single-owner blocks.
+//!
+//! Implementations:
+//!
+//! * [`Clock`] — second-chance / approximate LRU (the paper's default,
+//!   extracted verbatim from the seed manager),
+//! * [`ExactLru`] — exact LRU list updated on every access (the ablation
+//!   the paper argues against),
+//! * [`Lfu`] — least-frequently-used with LRU tie-break,
+//! * [`TwoQ`] — 2Q (A1in FIFO + A1out ghost + Am LRU),
+//! * [`Arc`] — adaptive replacement cache (T1/T2 with B1/B2 ghosts),
+//! * [`SharingAware`] — evict single-application blocks before blocks
+//!   shared across applications, LRU within each class.
+//!
+//! Concurrency contract: policy state is a **leaf lock** in the manager's
+//! lock order (bucket → frame → policy). The trait is `Send` (not `Sync`);
+//! the manager wraps the boxed policy in a `Mutex` and never holds that
+//! lock while acquiring a bucket or frame lock.
+
+pub mod arc;
+pub mod clock;
+pub mod lfu;
+pub mod lru;
+pub mod sharing;
+pub mod table;
+pub mod twoq;
+
+pub use arc::Arc;
+pub use clock::Clock;
+pub use lfu::Lfu;
+pub use lru::ExactLru;
+pub use sharing::SharingAware;
+pub use table::FrameTable;
+pub use twoq::TwoQ;
+
+/// Identity of the application instance performing an access.
+///
+/// The cache module learns it at client-registration time and threads it
+/// through every hit/insert so sharing-aware policies can count distinct
+/// referents per frame. Accesses whose origin is unknown (direct manager
+/// API use, tests) carry [`AppId::UNKNOWN`] and never count as sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppId(pub u32);
+
+impl AppId {
+    pub const UNKNOWN: AppId = AppId(u32::MAX);
+}
+
+/// Per-policy event counters (the subsystem's own ledger, independent of
+/// the buffer manager's atomic counters). Hits/misses/evictions are fed by
+/// the manager; inserts/removes are maintained by the policy's
+/// [`FrameTable`]; `scans` counts eviction scans started.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub removes: u64,
+    pub evictions_clean: u64,
+    pub evictions_dirty: u64,
+    pub scans: u64,
+}
+
+impl PolicyStats {
+    /// Field-wise accumulation — kept next to the struct so adding a
+    /// counter cannot silently drop it from aggregated ledgers.
+    pub fn merge(&mut self, other: &PolicyStats) {
+        let PolicyStats { hits, misses, inserts, removes, evictions_clean, evictions_dirty, scans } =
+            *other;
+        self.hits += hits;
+        self.misses += misses;
+        self.inserts += inserts;
+        self.removes += removes;
+        self.evictions_clean += evictions_clean;
+        self.evictions_dirty += evictions_dirty;
+        self.scans += scans;
+    }
+}
+
+/// A replacement policy: residency/recency bookkeeping plus ranked
+/// eviction candidates.
+///
+/// Invariants every implementation must uphold (property-tested in
+/// `tests/invariants.rs`):
+///
+/// * [`next_candidate`](ReplacementPolicy::next_candidate) only returns
+///   frames that are resident, unpinned, and `< capacity`;
+/// * the set of resident frames never exceeds `capacity`;
+/// * a scan terminates (`next_candidate` eventually returns `None`).
+pub trait ReplacementPolicy: Send {
+    /// Which [`PolicyKind`] built this policy.
+    fn kind(&self) -> PolicyKind;
+
+    /// A resident frame was hit by `app`; `key` is the block's fingerprint.
+    fn on_access(&mut self, frame: u32, key: u64, app: AppId);
+
+    /// A new block (fingerprint `key`) was installed into `frame`.
+    fn on_insert(&mut self, frame: u32, key: u64, app: AppId);
+
+    /// `frame` was vacated (eviction or invalidation); `key` identifies the
+    /// departing block so ghost-list policies can remember it.
+    fn on_remove(&mut self, frame: u32, key: u64);
+
+    /// `frame` is (un)pinned: pinned frames (e.g. dirty data in flight to
+    /// an iod) must not be offered as candidates.
+    fn set_pinned(&mut self, frame: u32, pinned: bool);
+
+    /// Start a fresh eviction scan. Candidate order is decided here (or
+    /// lazily in [`next_candidate`](ReplacementPolicy::next_candidate)).
+    fn begin_scan(&mut self);
+
+    /// Next eviction candidate in preference order, or `None` when the
+    /// scan is exhausted. The caller may reject a candidate (dirty during
+    /// a clean-only pass, raced away, …) and simply ask again.
+    fn next_candidate(&mut self) -> Option<u32>;
+
+    /// The policy's event counters.
+    fn stats(&self) -> &PolicyStats;
+    fn stats_mut(&mut self) -> &mut PolicyStats;
+}
+
+/// Selector for the built-in policies — what configs, JSON experiment
+/// specs, and ablations name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Second chance / approximate LRU (the paper's §3.2 choice).
+    Clock,
+    /// Exact LRU list updated on every access (the paper's ablation).
+    ExactLru,
+    /// Least frequently used, LRU tie-break.
+    Lfu,
+    /// 2Q: FIFO admission queue + ghost list + main LRU.
+    TwoQ,
+    /// Adaptive replacement cache.
+    Arc,
+    /// Protect blocks referenced by multiple applications.
+    SharingAware,
+}
+
+impl PolicyKind {
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::Clock,
+        PolicyKind::ExactLru,
+        PolicyKind::Lfu,
+        PolicyKind::TwoQ,
+        PolicyKind::Arc,
+        PolicyKind::SharingAware,
+    ];
+
+    /// Stable textual name (JSON configs, figure series labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Clock => "clock",
+            PolicyKind::ExactLru => "exact-lru",
+            PolicyKind::Lfu => "lfu",
+            PolicyKind::TwoQ => "2q",
+            PolicyKind::Arc => "arc",
+            PolicyKind::SharingAware => "sharing-aware",
+        }
+    }
+
+    /// Inverse of [`name`](PolicyKind::name), tolerant of common aliases.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s {
+            "clock" | "second-chance" => Some(PolicyKind::Clock),
+            "exact-lru" | "lru" => Some(PolicyKind::ExactLru),
+            "lfu" => Some(PolicyKind::Lfu),
+            "2q" | "twoq" => Some(PolicyKind::TwoQ),
+            "arc" => Some(PolicyKind::Arc),
+            "sharing-aware" | "sharing" => Some(PolicyKind::SharingAware),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the policy for a pool of `capacity` frames.
+    pub fn build(self, capacity: usize) -> Box<dyn ReplacementPolicy> {
+        assert!(capacity > 0, "policy over empty frame pool");
+        match self {
+            PolicyKind::Clock => Box::new(Clock::new(capacity)),
+            PolicyKind::ExactLru => Box::new(ExactLru::new(capacity)),
+            PolicyKind::Lfu => Box::new(Lfu::new(capacity)),
+            PolicyKind::TwoQ => Box::new(TwoQ::new(capacity)),
+            PolicyKind::Arc => Box::new(Arc::new(capacity)),
+            PolicyKind::SharingAware => Box::new(SharingAware::new(capacity)),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind), "{kind}");
+        }
+        assert_eq!(PolicyKind::parse("lru"), Some(PolicyKind::ExactLru));
+        assert_eq!(PolicyKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn build_produces_matching_kind() {
+        for kind in PolicyKind::ALL {
+            let p = kind.build(8);
+            assert_eq!(p.kind(), kind);
+            assert_eq!(*p.stats(), PolicyStats::default());
+        }
+    }
+}

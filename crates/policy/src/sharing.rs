@@ -1,0 +1,155 @@
+//! Sharing-aware eviction — the paper's inter-application insight turned
+//! into an eviction preference. The whole point of the kernel-level cache
+//! is that one application's fetch serves another application's future
+//! read (§2); a block that has demonstrably been referenced by multiple
+//! applications is worth more than a private one, so it is evicted last.
+
+use crate::table::FrameTable;
+use crate::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
+
+/// Per-frame referent set (a 64-bit app bitmask) plus a logical access
+/// clock. Eviction offers single-application frames first, LRU within the
+/// class, then shared frames, again LRU — so the policy degrades to exact
+/// LRU when no sharing exists and to "protect the shared hot set" when it
+/// does.
+pub struct SharingAware {
+    table: FrameTable,
+    /// Bit `app % 64` per distinct known referent. Unknown origins
+    /// contribute no bit at all: an unattributed touch (direct manager
+    /// API use, sync-write refreshes) must never make a block look
+    /// shared.
+    apps: Vec<u64>,
+    last: Vec<u64>,
+    tick: u64,
+    scan: Vec<u32>,
+    scan_pos: usize,
+}
+
+fn app_bit(app: AppId) -> u64 {
+    if app == AppId::UNKNOWN {
+        0
+    } else {
+        1 << (app.0 % 64)
+    }
+}
+
+impl SharingAware {
+    pub fn new(capacity: usize) -> SharingAware {
+        SharingAware {
+            table: FrameTable::new(capacity),
+            apps: vec![0; capacity],
+            last: vec![0; capacity],
+            tick: 0,
+            scan: Vec::new(),
+            scan_pos: 0,
+        }
+    }
+
+    /// Number of distinct *known* applications observed on `frame`
+    /// (tests; unattributed accesses count zero).
+    pub fn referents(&self, frame: u32) -> u32 {
+        self.apps[frame as usize].count_ones()
+    }
+
+    fn stamp(&mut self, frame: u32) {
+        self.tick += 1;
+        self.last[frame as usize] = self.tick;
+    }
+}
+
+impl ReplacementPolicy for SharingAware {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::SharingAware
+    }
+
+    fn on_access(&mut self, frame: u32, _key: u64, app: AppId) {
+        self.apps[frame as usize] |= app_bit(app);
+        self.stamp(frame);
+    }
+
+    fn on_insert(&mut self, frame: u32, _key: u64, app: AppId) {
+        self.table.insert(frame);
+        self.apps[frame as usize] = app_bit(app);
+        self.stamp(frame);
+    }
+
+    fn on_remove(&mut self, frame: u32, _key: u64) {
+        self.table.remove(frame);
+        self.apps[frame as usize] = 0;
+    }
+
+    fn set_pinned(&mut self, frame: u32, pinned: bool) {
+        self.table.set_pinned(frame, pinned);
+    }
+
+    fn begin_scan(&mut self) {
+        self.scan = self.table.resident_frames();
+        let (apps, last) = (&self.apps, &self.last);
+        // Unshared before shared, oldest before newest within each class.
+        self.scan.sort_by_key(|&f| (apps[f as usize].count_ones() > 1, last[f as usize]));
+        self.scan_pos = 0;
+    }
+
+    fn next_candidate(&mut self) -> Option<u32> {
+        while self.scan_pos < self.scan.len() {
+            let idx = self.scan[self.scan_pos];
+            self.scan_pos += 1;
+            if self.table.evictable(idx) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn stats(&self) -> &PolicyStats {
+        &self.table.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut PolicyStats {
+        &mut self.table.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_frames_outlive_private_ones() {
+        let mut s = SharingAware::new(3);
+        for f in 0..3 {
+            s.on_insert(f, f as u64, AppId(0));
+        }
+        s.on_access(1, 1, AppId(1)); // frame 1 now shared by apps 0 and 1
+        s.on_access(0, 0, AppId(0)); // refresh 0: still private
+        assert_eq!(s.referents(1), 2);
+        s.begin_scan();
+        assert_eq!(s.next_candidate(), Some(2), "oldest private frame first");
+        assert_eq!(s.next_candidate(), Some(0));
+        assert_eq!(s.next_candidate(), Some(1), "the shared frame goes last");
+    }
+
+    #[test]
+    fn unknown_accessors_never_fake_sharing() {
+        let mut s = SharingAware::new(2);
+        s.on_insert(0, 0, AppId::UNKNOWN);
+        s.on_access(0, 0, AppId::UNKNOWN);
+        s.on_access(0, 0, AppId::UNKNOWN);
+        assert_eq!(s.referents(0), 0, "unknown accesses contribute no referent");
+        // A privately-owned block refreshed by an unattributed touch (e.g.
+        // a sync-write propagation) must stay classified as private.
+        s.on_insert(1, 1, AppId(0));
+        s.on_access(1, 1, AppId::UNKNOWN);
+        assert_eq!(s.referents(1), 1, "unknown touch must not fake sharing on an owned block");
+    }
+
+    #[test]
+    fn reinsert_resets_referents() {
+        let mut s = SharingAware::new(2);
+        s.on_insert(0, 1, AppId(0));
+        s.on_access(0, 1, AppId(1));
+        s.on_remove(0, 1);
+        s.on_insert(0, 2, AppId(3));
+        assert_eq!(s.referents(0), 1, "new block must not inherit the old referent set");
+    }
+}

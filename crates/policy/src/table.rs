@@ -1,0 +1,105 @@
+//! Shared residency/pin bookkeeping every policy embeds.
+
+use crate::PolicyStats;
+
+/// Dense per-frame residency and pin flags plus the policy's stat
+/// counters. Policies layer their own metadata (reference bits, queues,
+/// frequencies, app sets) on top; the table is the single source of truth
+/// for "may this frame be offered as a candidate at all".
+#[derive(Debug, Clone)]
+pub struct FrameTable {
+    resident: Vec<bool>,
+    pinned: Vec<bool>,
+    n_resident: usize,
+    pub stats: PolicyStats,
+}
+
+impl FrameTable {
+    pub fn new(capacity: usize) -> FrameTable {
+        FrameTable {
+            resident: vec![false; capacity],
+            pinned: vec![false; capacity],
+            n_resident: 0,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.resident.len()
+    }
+
+    pub fn resident_count(&self) -> usize {
+        self.n_resident
+    }
+
+    pub fn is_resident(&self, frame: u32) -> bool {
+        self.resident.get(frame as usize).copied().unwrap_or(false)
+    }
+
+    pub fn is_pinned(&self, frame: u32) -> bool {
+        self.pinned.get(frame as usize).copied().unwrap_or(false)
+    }
+
+    /// A frame the policy may legitimately offer for eviction.
+    pub fn evictable(&self, frame: u32) -> bool {
+        self.is_resident(frame) && !self.is_pinned(frame)
+    }
+
+    /// Mark `frame` resident (idempotent; counts one insert per new
+    /// residency). Panics on out-of-pool frames — an out-of-range index is
+    /// a manager bug, not a policy decision.
+    pub fn insert(&mut self, frame: u32) {
+        let f = &mut self.resident[frame as usize];
+        if !*f {
+            *f = true;
+            self.n_resident += 1;
+            self.stats.inserts += 1;
+        }
+        debug_assert!(self.n_resident <= self.capacity());
+    }
+
+    /// Mark `frame` vacated; clears any pin (an invalidation may remove a
+    /// frame whose flush is still in flight).
+    pub fn remove(&mut self, frame: u32) {
+        let f = &mut self.resident[frame as usize];
+        if *f {
+            *f = false;
+            self.n_resident -= 1;
+            self.stats.removes += 1;
+        }
+        self.pinned[frame as usize] = false;
+    }
+
+    pub fn set_pinned(&mut self, frame: u32, pinned: bool) {
+        self.pinned[frame as usize] = pinned;
+    }
+
+    /// Frames currently resident, ascending (diagnostics/tests).
+    pub fn resident_frames(&self) -> Vec<u32> {
+        (0..self.capacity() as u32).filter(|&f| self.resident[f as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_counts() {
+        let mut t = FrameTable::new(4);
+        t.insert(1);
+        t.insert(1); // idempotent
+        t.insert(3);
+        assert_eq!(t.resident_count(), 2);
+        assert_eq!(t.stats.inserts, 2);
+        assert!(t.evictable(1) && !t.evictable(0));
+        t.set_pinned(1, true);
+        assert!(!t.evictable(1));
+        t.remove(1);
+        assert!(!t.is_resident(1) && !t.is_pinned(1), "remove clears the pin");
+        assert_eq!(t.stats.removes, 1);
+        t.remove(1); // idempotent
+        assert_eq!(t.stats.removes, 1);
+        assert_eq!(t.resident_frames(), vec![3]);
+    }
+}

@@ -1,0 +1,184 @@
+//! 2Q (Johnson & Shasha, VLDB '94) — a FIFO admission queue in front of
+//! the main LRU, with a ghost list promoting genuinely re-referenced
+//! blocks. Scan-resistant: a one-pass sweep drains through A1in without
+//! displacing the hot set in Am.
+
+use crate::table::FrameTable;
+use crate::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    None,
+    A1In,
+    Am,
+}
+
+/// Full 2Q: `A1in` (FIFO over newly admitted frames), `A1out` (ghost FIFO
+/// of fingerprints recently evicted from A1in), `Am` (LRU of proven-hot
+/// frames). A block whose fingerprint is found in A1out at insert time is
+/// admitted straight into Am. Eviction prefers A1in's front while A1in
+/// holds at least `kin` frames, then Am's LRU end.
+pub struct TwoQ {
+    table: FrameTable,
+    loc: Vec<Loc>,
+    a1in: VecDeque<u32>,
+    /// Front = LRU, back = MRU.
+    am: VecDeque<u32>,
+    a1out: VecDeque<u64>,
+    kin: usize,
+    kout: usize,
+    scan: Vec<u32>,
+    scan_pos: usize,
+}
+
+impl TwoQ {
+    pub fn new(capacity: usize) -> TwoQ {
+        TwoQ {
+            table: FrameTable::new(capacity),
+            loc: vec![Loc::None; capacity],
+            a1in: VecDeque::new(),
+            am: VecDeque::new(),
+            a1out: VecDeque::new(),
+            // The 2Q paper's rules of thumb: Kin ≈ 25%, Kout ≈ 50%.
+            kin: (capacity / 4).max(1),
+            kout: (capacity / 2).max(1),
+            scan: Vec::new(),
+            scan_pos: 0,
+        }
+    }
+
+    fn detach(&mut self, frame: u32) {
+        match self.loc[frame as usize] {
+            Loc::A1In => self.a1in.retain(|&f| f != frame),
+            Loc::Am => self.am.retain(|&f| f != frame),
+            Loc::None => {}
+        }
+        self.loc[frame as usize] = Loc::None;
+    }
+
+    fn remember_ghost(&mut self, key: u64) {
+        self.a1out.retain(|&k| k != key);
+        self.a1out.push_back(key);
+        while self.a1out.len() > self.kout {
+            self.a1out.pop_front();
+        }
+    }
+}
+
+impl ReplacementPolicy for TwoQ {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::TwoQ
+    }
+
+    fn on_access(&mut self, frame: u32, _key: u64, _app: AppId) {
+        match self.loc[frame as usize] {
+            // 2Q: hits inside the admission FIFO do not reorder it.
+            Loc::A1In => {}
+            Loc::Am => {
+                self.am.retain(|&f| f != frame);
+                self.am.push_back(frame);
+            }
+            Loc::None => {}
+        }
+    }
+
+    fn on_insert(&mut self, frame: u32, key: u64, _app: AppId) {
+        self.table.insert(frame);
+        self.detach(frame);
+        if let Some(pos) = self.a1out.iter().position(|&k| k == key) {
+            // Seen recently and re-requested: proven hot, straight to Am.
+            self.a1out.remove(pos);
+            self.am.push_back(frame);
+            self.loc[frame as usize] = Loc::Am;
+        } else {
+            self.a1in.push_back(frame);
+            self.loc[frame as usize] = Loc::A1In;
+        }
+    }
+
+    fn on_remove(&mut self, frame: u32, key: u64) {
+        if self.loc[frame as usize] == Loc::A1In {
+            // Only A1in departures enter the ghost list (Am blocks had
+            // their chance to prove heat; 2Q forgets them).
+            self.remember_ghost(key);
+        }
+        self.detach(frame);
+        self.table.remove(frame);
+    }
+
+    fn set_pinned(&mut self, frame: u32, pinned: bool) {
+        self.table.set_pinned(frame, pinned);
+    }
+
+    fn begin_scan(&mut self) {
+        self.scan.clear();
+        if self.a1in.len() >= self.kin {
+            self.scan.extend(self.a1in.iter());
+            self.scan.extend(self.am.iter());
+        } else {
+            self.scan.extend(self.am.iter());
+            self.scan.extend(self.a1in.iter());
+        }
+        self.scan_pos = 0;
+    }
+
+    fn next_candidate(&mut self) -> Option<u32> {
+        while self.scan_pos < self.scan.len() {
+            let idx = self.scan[self.scan_pos];
+            self.scan_pos += 1;
+            if self.table.evictable(idx) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn stats(&self) -> &PolicyStats {
+        &self.table.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut PolicyStats {
+        &mut self.table.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_fifo_drains_first() {
+        let mut q = TwoQ::new(4);
+        for f in 0..4 {
+            q.on_insert(f, 100 + f as u64, AppId::UNKNOWN);
+        }
+        // All four sit in A1in (>= kin = 1): FIFO order, oldest first.
+        q.begin_scan();
+        assert_eq!(q.next_candidate(), Some(0));
+    }
+
+    #[test]
+    fn ghost_hit_promotes_to_am() {
+        let mut q = TwoQ::new(2);
+        q.on_insert(0, 100, AppId::UNKNOWN);
+        q.on_remove(0, 100); // 100 now ghosted in A1out
+        q.on_insert(0, 100, AppId::UNKNOWN); // re-admitted: goes to Am
+        q.on_insert(1, 200, AppId::UNKNOWN); // fresh: A1in
+        q.begin_scan();
+        assert_eq!(q.next_candidate(), Some(1), "A1in drains before the proven-hot Am block");
+    }
+
+    #[test]
+    fn am_is_lru_ordered() {
+        let mut q = TwoQ::new(3);
+        for (f, k) in [(0u32, 10u64), (1, 11)] {
+            q.on_insert(f, k, AppId::UNKNOWN);
+            q.on_remove(f, k);
+            q.on_insert(f, k, AppId::UNKNOWN); // both promoted to Am
+        }
+        q.on_access(0, 10, AppId::UNKNOWN); // 1 is now Am's LRU
+        q.begin_scan();
+        assert_eq!(q.next_candidate(), Some(1));
+    }
+}

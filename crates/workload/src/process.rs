@@ -45,6 +45,8 @@ pub struct ProcPlan {
     pub mode: Mode,
     pub locality: f64,
     pub sharing: f64,
+    /// Zipf popularity skew of fresh accesses (0 = sequential walk).
+    pub hotspot: f64,
     /// This process's partition of each file.
     pub partition: (u64, u64),
     /// Locality window sizing (see [`AccessStream`]).
@@ -143,10 +145,11 @@ impl AppProcess {
             Completion::Meta { handle, at, .. } => {
                 // Match open completions by file name convention: the
                 // shared file is opened first, then the private file.
-                let stream = AccessStream::new(
+                let stream = AccessStream::with_hotspot(
                     self.plan.partition,
                     self.plan.d_proc,
                     self.plan.window_bytes,
+                    self.plan.hotspot,
                 );
                 if self.shared.is_none() {
                     self.shared = Some((handle.fid, stream));

@@ -35,6 +35,13 @@ pub struct AppSpec {
     /// Degree of inter-application sharing `s` ∈ [0, 1]: fraction of
     /// requests that go to the shared file instead of the private file.
     pub sharing: f64,
+    /// Popularity skew of *fresh* accesses. `0.0` (the default — old specs
+    /// parse and behave identically) keeps the paper's sequential partition
+    /// walk; `> 0.0` draws fresh offsets Zipf(θ = `hotspot`)-distributed
+    /// over the partition's request slots, concentrating traffic on a hot
+    /// set. This is what lets frequency-aware policies (LFU/ARC/2Q) and
+    /// the sharing-aware policy differentiate from plain clock.
+    pub hotspot: f64,
     /// Name of the file shared across instances.
     pub shared_file: String,
     /// Logical size of each file.
@@ -79,6 +86,9 @@ impl AppSpec {
         if !(0.0..=1.0).contains(&self.sharing) {
             return Err(format!("sharing {} out of range", self.sharing));
         }
+        if !(0.0..=4.0).contains(&self.hotspot) {
+            return Err(format!("hotspot {} out of range (0 = sequential, ≤ 4)", self.hotspot));
+        }
         let (_, len) = crate::stream::partition_of(self.file_size, self.p() - 1, self.p());
         if len < self.d_proc() as u64 {
             return Err("file too small for per-process partitions".into());
@@ -106,6 +116,7 @@ mod tests {
             mode: Mode::Read,
             locality: 0.5,
             sharing: 0.25,
+            hotspot: 0.0,
             shared_file: "shared".into(),
             file_size: default_file_size(),
             start_delay: Dur::ZERO,
@@ -137,6 +148,12 @@ mod tests {
         let mut s = spec();
         s.file_size = 1000;
         assert!(s.validate().is_err(), "partitions smaller than d/p");
+        let mut s = spec();
+        s.hotspot = -0.1;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.hotspot = 0.9;
+        assert!(s.validate().is_ok(), "skewed hotspot is a legal knob");
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Access-stream generation: the `l` (locality) knob of the paper's
-//! micro-benchmark.
+//! micro-benchmark, plus the `hotspot` popularity-skew extension.
 //!
 //! Each process owns a distinct partition of each file (completely
 //! data-parallel, §4.1). Fresh accesses walk the partition sequentially in
 //! `d/p`-byte steps (wrapping); with probability `l` the next access
 //! instead *re-references* an offset from a recent window sized to stay
 //! cache-resident — "a pre-speciﬁed cache hit ratio in I/O accesses".
+//! With `hotspot > 0`, fresh accesses are drawn Zipf(θ)-distributed over
+//! the partition's request slots instead of walking sequentially, so a hot
+//! subset of the partition dominates and frequency-aware replacement
+//! policies have something to exploit.
 
-use sim_core::DetRng;
+use sim_core::{DetRng, Zipf};
 use std::collections::VecDeque;
 
 /// Per-(process, file) offset generator.
@@ -19,6 +23,8 @@ pub struct AccessStream {
     cursor: u64,
     window: VecDeque<u64>,
     window_cap: usize,
+    /// `Some` when `hotspot > 0`: fresh slots are Zipf-sampled.
+    zipf: Option<Zipf>,
 }
 
 impl AccessStream {
@@ -27,9 +33,23 @@ impl AccessStream {
     /// `window_bytes`: how much recently-touched data counts as "local"
     /// (sized below the per-process share of the node cache).
     pub fn new(partition: (u64, u64), req_len: u32, window_bytes: u64) -> AccessStream {
+        Self::with_hotspot(partition, req_len, window_bytes, 0.0)
+    }
+
+    /// Like [`AccessStream::new`] with a Zipf popularity skew over fresh
+    /// accesses: `hotspot = 0` keeps the sequential walk, larger values
+    /// concentrate fresh traffic on low-ranked request slots.
+    pub fn with_hotspot(
+        partition: (u64, u64),
+        req_len: u32,
+        window_bytes: u64,
+        hotspot: f64,
+    ) -> AccessStream {
         assert!(req_len > 0, "zero request length");
         assert!(partition.1 >= req_len as u64, "partition smaller than one request");
+        assert!(hotspot >= 0.0, "negative hotspot skew");
         let window_cap = (window_bytes / req_len as u64).max(1) as usize;
+        let slots = (partition.1 / req_len as u64).max(1) as usize;
         AccessStream {
             partition_start: partition.0,
             partition_len: partition.1,
@@ -37,21 +57,28 @@ impl AccessStream {
             cursor: 0,
             window: VecDeque::with_capacity(window_cap),
             window_cap,
+            zipf: (hotspot > 0.0).then(|| Zipf::new(slots, hotspot)),
         }
     }
 
     /// Next access offset: re-reference with probability `locality`, else a
-    /// fresh sequential step.
+    /// fresh step (sequential, or Zipf-sampled under a hotspot skew).
     pub fn next(&mut self, locality: f64, rng: &mut DetRng) -> u64 {
         if !self.window.is_empty() && rng.chance(locality) {
             let i = rng.below(self.window.len() as u64) as usize;
             return self.window[i];
         }
-        let off = self.partition_start + self.cursor;
-        self.cursor += self.req_len as u64;
-        if self.cursor + self.req_len as u64 > self.partition_len {
-            self.cursor = 0; // wrap to keep every request inside the slice
-        }
+        let off = match &self.zipf {
+            Some(z) => self.partition_start + z.sample(rng) as u64 * self.req_len as u64,
+            None => {
+                let off = self.partition_start + self.cursor;
+                self.cursor += self.req_len as u64;
+                if self.cursor + self.req_len as u64 > self.partition_len {
+                    self.cursor = 0; // wrap to keep every request inside the slice
+                }
+                off
+            }
+        };
         if self.window.len() == self.window_cap {
             self.window.pop_front();
         }
@@ -142,6 +169,39 @@ mod tests {
                 "offset {} escapes the partition",
                 o
             );
+        }
+    }
+
+    #[test]
+    fn hotspot_skews_fresh_accesses() {
+        // 64 slots, strong skew: the most popular slot must dominate and
+        // every offset must stay slot-aligned inside the partition.
+        let mut s = AccessStream::with_hotspot((4096, 64 * 1024), 1024, 2048, 1.2);
+        let mut rng = DetRng::stream(7, 7);
+        let mut counts = std::collections::HashMap::new();
+        let n = 4000;
+        for _ in 0..n {
+            let o = s.next(0.0, &mut rng);
+            assert!((4096..4096 + 64 * 1024).contains(&o), "offset {o} escapes the partition");
+            assert_eq!((o - 4096) % 1024, 0, "offset {o} not slot-aligned");
+            *counts.entry(o).or_insert(0u64) += 1;
+        }
+        let top = counts.values().copied().max().unwrap();
+        assert!(
+            top as f64 / n as f64 > 0.15,
+            "Zipf(1.2) hottest slot should dominate, got {top}/{n}"
+        );
+        assert!(counts.len() > 8, "skew must not collapse to a single slot");
+    }
+
+    #[test]
+    fn zero_hotspot_is_identical_to_sequential() {
+        let mut a = AccessStream::new((1000, 10_000), 500, 2_000);
+        let mut b = AccessStream::with_hotspot((1000, 10_000), 500, 2_000, 0.0);
+        let mut ra = DetRng::stream(9, 9);
+        let mut rb = DetRng::stream(9, 9);
+        for _ in 0..200 {
+            assert_eq!(a.next(0.4, &mut ra), b.next(0.4, &mut rb));
         }
     }
 

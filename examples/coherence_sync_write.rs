@@ -31,6 +31,7 @@ fn main() {
             mode: Mode::Read,
             locality: 0.9,
             sharing: 1.0,
+            hotspot: 0.0,
             shared_file: "hot-file".into(),
             file_size: 8 << 20,
             start_delay: Dur::ZERO,
@@ -44,6 +45,7 @@ fn main() {
             mode,
             locality: 0.0,
             sharing: 1.0,
+            hotspot: 0.0,
             shared_file: "hot-file".into(),
             file_size: 8 << 20,
             start_delay: Dur::millis(200),

@@ -21,6 +21,7 @@ fn main() {
         mode: Mode::Read,
         locality: 0.8, // most requests re-reference recently-read data
         sharing: 0.0,
+        hotspot: 0.0,
         shared_file: "shared".into(),
         file_size: 16 << 20,
         start_delay: Dur::ZERO,

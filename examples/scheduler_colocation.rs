@@ -25,6 +25,7 @@ fn app(name: &str, nodes: Vec<NodeId>, locality: f64) -> AppSpec {
         mode: Mode::Read,
         locality,
         sharing: 0.75,
+        hotspot: 0.0,
         shared_file: "shared-dataset".into(),
         file_size: 16 << 20,
         start_delay: Dur::ZERO,

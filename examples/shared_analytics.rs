@@ -26,6 +26,7 @@ fn analysis_app(name: &str, sharing: f64) -> AppSpec {
         mode: Mode::Read,
         locality: 0.3,
         sharing,
+        hotspot: 0.0,
         shared_file: "simulation-output".into(),
         file_size: 16 << 20,
         start_delay: Dur::ZERO,

@@ -32,6 +32,7 @@
 //!     mode: Mode::Read,
 //!     locality: 0.5,
 //!     sharing: 0.0,
+//!     hotspot: 0.0,
 //!     shared_file: "shared".into(),
 //!     file_size: 8 << 20,
 //!     start_delay: Dur::ZERO,

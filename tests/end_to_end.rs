@@ -16,6 +16,7 @@ fn app(name: &str, nodes: &[u16], total: u64, d: u32, mode: Mode, l: f64, s: f64
         mode,
         locality: l,
         sharing: s,
+        hotspot: 0.0,
         shared_file: "shared".into(),
         file_size: 8 << 20,
         start_delay: Dur::ZERO,

@@ -3,7 +3,7 @@
 //! without stalls, protocol violations, or data corruption.
 
 use cluster_harness::{run_experiment, ClusterSpec};
-use kcache::{CacheConfig, EvictPolicy};
+use kcache::{CacheConfig, EvictPolicy, PolicyKind};
 use sim_core::{DetRng, Dur};
 use sim_net::{NetConfig, NodeId};
 use workload::{AppSpec, Mode};
@@ -21,6 +21,9 @@ fn random_app(rng: &mut DetRng, idx: u32, n_nodes: u16) -> AppSpec {
         mode: modes[rng.below(3) as usize],
         locality: rng.f64(),
         sharing: rng.f64(),
+        // Half the apps run skewed so every policy's hot-set logic is
+        // exercised under arbitrary knob combinations.
+        hotspot: if rng.chance(0.5) { rng.f64() } else { 0.0 },
         shared_file: "shared".into(),
         file_size: 8 << 20,
         start_delay: Dur::millis(rng.below(50)),
@@ -40,7 +43,10 @@ fn randomized_configurations_all_complete_cleanly() {
             capacity_blocks: [75, 300, 600][rng.below(3) as usize],
             low_watermark: 8,
             high_watermark: 16,
-            policy: EvictPolicy { exact: rng.chance(0.3), clean_first: rng.chance(0.8) },
+            policy: EvictPolicy {
+                kind: PolicyKind::ALL[rng.below(PolicyKind::ALL.len() as u64) as usize],
+                clean_first: rng.chance(0.8),
+            },
             write_behind: rng.chance(0.8),
             ..CacheConfig::paper()
         }));
@@ -87,6 +93,7 @@ fn degenerate_cache_sizes_survive() {
             mode: Mode::Read,
             locality: 0.5,
             sharing: 0.0,
+            hotspot: 0.0,
             shared_file: "shared".into(),
             file_size: 4 << 20,
             start_delay: Dur::ZERO,
@@ -118,6 +125,7 @@ fn write_saturation_under_tiny_cache_throttles_not_stalls() {
         mode: Mode::Write,
         locality: 0.0,
         sharing: 0.0,
+        hotspot: 0.0,
         shared_file: "shared".into(),
         file_size: 4 << 20,
         start_delay: Dur::ZERO,
