@@ -6,7 +6,7 @@ use crate::experiment::run_experiment;
 use crate::figures::Grid;
 use crate::report::FigureData;
 use crate::sweep::parallel_map;
-use kcache::{CacheConfig, EvictPolicy, PolicyKind};
+use kcache::{CacheConfig, EvictPolicy, PartitionConfig, PartitionMode, PolicyKind};
 use sim_core::Dur;
 use sim_net::{NetConfig, NodeId};
 use workload::{AppSpec, Mode};
@@ -292,6 +292,58 @@ pub fn ablation_policy_comparison(grid: &Grid) -> FigureData {
     fig
 }
 
+/// New-subsystem ablation: per-application frame quotas under an
+/// adversarial co-schedule. A reuse-heavy **victim** (Zipf hot set over
+/// its private partition) shares node 0's cache with a sequential
+/// **scanner** that streams fresh blocks and would, in a shared pool,
+/// flush the victim's hot set. The x axis sweeps the victim's quota
+/// share; series compare the shared pool against strict quotas and soft
+/// quotas with borrowing. Reported metric is the **victim's own hit
+/// ratio** (per-app attribution from the partitioning subsystem) — the
+/// isolation the quotas are supposed to buy.
+pub fn ablation_partitioning(grid: &Grid) -> FigureData {
+    let d = *grid.d_values.iter().find(|&&d| d >= 64 << 10).unwrap_or(&grid.d_values[0]);
+    let capacity = CacheConfig::paper().capacity_blocks;
+    let victim_quotas = [capacity / 5, capacity / 2, capacity * 4 / 5];
+    let modes = [PartitionMode::Shared, PartitionMode::Strict, PartitionMode::Soft];
+    let mut configs = Vec::new();
+    for &vq in &victim_quotas {
+        for mode in modes {
+            let mut victim = app(grid, d, 1, Mode::Read, 0.2, 0.0, "victim");
+            victim.hotspot = 1.1;
+            victim.min_requests = 96;
+            let mut scanner = app(grid, d, 1, Mode::Read, 0.0, 0.0, "scanner");
+            scanner.min_requests = 160;
+            let cfg = CacheConfig {
+                partitioning: PartitionConfig {
+                    mode,
+                    quotas: [(0u32, vq), (1u32, capacity - vq)].into_iter().collect(),
+                },
+                ..CacheConfig::paper()
+            };
+            configs.push((cfg, vec![victim, scanner]));
+        }
+    }
+    let vals = parallel_map(configs, |(cache, apps)| {
+        let mut spec = ClusterSpec::paper(Some(cache.clone()));
+        spec.seed = grid.seed;
+        let r = run_experiment(&spec, apps);
+        assert!(r.completed && r.total_verify_failures() == 0);
+        r.app_hit_ratio(0).unwrap_or(0.0)
+    });
+    let mut fig = FigureData::new(
+        "ablation_partitioning",
+        format!("per-app quotas vs shared pool (victim zipf 1.1 + scanner, d={d})"),
+        "victim quota (frames)",
+        "victim hit ratio",
+        modes.iter().map(|m| m.name().to_string()).collect(),
+    );
+    for (i, &vq) in victim_quotas.iter().enumerate() {
+        fig.push(vq as f64, (0..modes.len()).map(|k| vals[modes.len() * i + k]).collect());
+    }
+    fig
+}
+
 /// All ablations.
 pub fn all_ablations(grid: &Grid) -> Vec<FigureData> {
     vec![
@@ -303,6 +355,7 @@ pub fn all_ablations(grid: &Grid) -> Vec<FigureData> {
         ablation_harvester(grid),
         ablation_cache_size(grid),
         ablation_policy_comparison(grid),
+        ablation_partitioning(grid),
     ]
 }
 

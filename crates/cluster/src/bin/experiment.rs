@@ -4,87 +4,16 @@
 //! cargo run --release -p cluster-harness --bin experiment -- config.json
 //! ```
 //!
-//! Config shape (all cluster fields optional):
-//!
-//! ```json
-//! {
-//!   "cluster": { "nodes": 6, "caching": true, "seed": 42,
-//!                "cache_blocks": 300, "fabric": "hub",
-//!                "policy": "clock", "clean_first": true },
-//!   "apps": [
-//!     { "name": "a", "nodes": [0,1,2,3], "total_mb": 6, "request_kb": 64,
-//!       "mode": "read", "locality": 0.5, "sharing": 0.5, "hotspot": 0.0 }
-//!   ]
-//! }
-//! ```
-//!
+//! The config shape (all cluster fields optional, partitioning included)
+//! is documented on [`cluster_harness::config::ExperimentConfig`].
 //! `policy` selects the replacement policy: `clock` (default),
-//! `exact-lru`, `lfu`, `2q`, `arc`, or `sharing-aware`. All new fields
-//! default so pre-existing configs parse unchanged.
+//! `exact-lru`, `lfu`, `2q`, `arc`, or `sharing-aware`; `partitioning`
+//! selects per-app frame quotas: `shared` (default), `strict`, or `soft`,
+//! with per-app `quota_blocks`. All new fields default so pre-existing
+//! configs parse unchanged.
 
-use cluster_harness::{run_experiment, CacheEfficiency, ClusterSpec};
-use kcache::{CacheConfig, EvictPolicy, PolicyKind};
-use serde::Deserialize;
-use sim_core::Dur;
-use sim_net::{NetConfig, NodeId};
-use workload::{AppSpec, Mode};
-
-#[derive(Deserialize)]
-struct Config {
-    #[serde(default)]
-    cluster: ClusterCfg,
-    apps: Vec<AppCfg>,
-}
-
-#[derive(Deserialize)]
-#[serde(default)]
-struct ClusterCfg {
-    nodes: u16,
-    caching: bool,
-    seed: u64,
-    cache_blocks: usize,
-    /// "hub" (the paper's platform) or "switch".
-    fabric: String,
-    file_mb: u64,
-    /// Replacement policy name (see `kcache::PolicyKind::parse`).
-    policy: String,
-    /// Prefer clean victims over dirty ones (the paper's choice).
-    clean_first: bool,
-}
-
-impl Default for ClusterCfg {
-    fn default() -> Self {
-        ClusterCfg {
-            nodes: 6,
-            caching: true,
-            seed: 42,
-            cache_blocks: 300,
-            fabric: "hub".into(),
-            file_mb: 16,
-            policy: "clock".into(),
-            clean_first: true,
-        }
-    }
-}
-
-#[derive(Deserialize)]
-struct AppCfg {
-    name: String,
-    nodes: Vec<u16>,
-    total_mb: u64,
-    request_kb: u32,
-    /// "read" | "write" | "sync-write"
-    mode: String,
-    #[serde(default)]
-    locality: f64,
-    #[serde(default)]
-    sharing: f64,
-    /// Zipf skew of fresh accesses (0 = the paper's sequential walk).
-    #[serde(default)]
-    hotspot: f64,
-    #[serde(default)]
-    start_delay_ms: u64,
-}
+use cluster_harness::config::ExperimentConfig;
+use cluster_harness::{run_experiment, CacheEfficiency};
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
@@ -92,54 +21,9 @@ fn main() {
         std::process::exit(2);
     });
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let cfg: Config =
-        serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad config {path}: {e}"));
-
-    let kind = PolicyKind::parse(&cfg.cluster.policy).unwrap_or_else(|| {
-        panic!(
-            "unknown policy {:?} (use one of: {})",
-            cfg.cluster.policy,
-            PolicyKind::ALL.map(|k| k.name()).join(", ")
-        )
-    });
-    let mut spec = ClusterSpec::paper(cfg.cluster.caching.then(|| CacheConfig {
-        capacity_blocks: cfg.cluster.cache_blocks,
-        low_watermark: (cfg.cluster.cache_blocks / 10).max(1),
-        high_watermark: (cfg.cluster.cache_blocks / 4).max(2),
-        policy: EvictPolicy { kind, clean_first: cfg.cluster.clean_first },
-        ..CacheConfig::paper()
-    }));
-    spec.n_nodes = cfg.cluster.nodes;
-    spec.seed = cfg.cluster.seed;
-    spec.net = match cfg.cluster.fabric.as_str() {
-        "hub" => NetConfig::hub_100mbps(),
-        "switch" => NetConfig::switch_100mbps(),
-        other => panic!("unknown fabric {other:?} (use \"hub\" or \"switch\")"),
-    };
-
-    let apps: Vec<AppSpec> = cfg
-        .apps
-        .iter()
-        .map(|a| AppSpec {
-            name: a.name.clone(),
-            nodes: a.nodes.iter().map(|&n| NodeId(n)).collect(),
-            total_bytes: a.total_mb << 20,
-            request_size: a.request_kb << 10,
-            mode: match a.mode.as_str() {
-                "read" => Mode::Read,
-                "write" => Mode::Write,
-                "sync-write" => Mode::SyncWrite,
-                other => panic!("unknown mode {other:?}"),
-            },
-            locality: a.locality,
-            sharing: a.sharing,
-            hotspot: a.hotspot,
-            shared_file: "shared".into(),
-            file_size: cfg.cluster.file_mb << 20,
-            start_delay: Dur::millis(a.start_delay_ms),
-            min_requests: 1,
-        })
-        .collect();
+    let cfg =
+        ExperimentConfig::from_json(&text).unwrap_or_else(|e| panic!("bad config {path}: {e}"));
+    let (spec, apps) = cfg.to_spec().unwrap_or_else(|e| panic!("bad config {path}: {e}"));
 
     let r = run_experiment(&spec, &apps);
     assert!(r.completed, "experiment hit the horizon");

@@ -86,6 +86,22 @@ pub fn build(spec: &ClusterSpec, apps: &[AppSpec]) -> Cluster {
             assert!(n.0 < spec.n_nodes, "app {} placed on missing node {:?}", a.name, n);
         }
     }
+    // Frame quotas bind by application instance index (the AppId handed to
+    // each cache module at registration); a quota naming a nonexistent
+    // instance is a config bug, not an idle entry.
+    if let Some(cache) = &spec.cache {
+        cache
+            .partitioning
+            .validate(cache.capacity_blocks)
+            .unwrap_or_else(|e| panic!("bad partitioning config: {e}"));
+        for &id in cache.partitioning.quotas.keys() {
+            assert!(
+                (id as usize) < apps.len(),
+                "quota for app instance {id}, but only {} instances are scheduled",
+                apps.len()
+            );
+        }
+    }
     let mut eng = Engine::new(spec.seed);
     let n = spec.n_nodes as usize;
 

@@ -1,0 +1,268 @@
+//! JSON experiment configuration — the serde face of [`ClusterSpec`] +
+//! [`AppSpec`] used by the `experiment` binary and round-tripped by the
+//! configuration robustness tests.
+//!
+//! Every field beyond `apps` is optional with a backward-compatible
+//! default, so configs written for earlier revisions (no `policy`, no
+//! `partitioning`, no per-app `quota_blocks`) parse unchanged.
+//!
+//! ```json
+//! {
+//!   "cluster": { "nodes": 6, "caching": true, "seed": 42,
+//!                "cache_blocks": 300, "fabric": "hub",
+//!                "policy": "clock", "clean_first": true,
+//!                "partitioning": "strict" },
+//!   "apps": [
+//!     { "name": "a", "nodes": [0,1], "total_mb": 6, "request_kb": 64,
+//!       "mode": "read", "locality": 0.5, "sharing": 0.5,
+//!       "hotspot": 0.0, "quota_blocks": 200 }
+//!   ]
+//! }
+//! ```
+//!
+//! `partitioning` selects the frame-quota mode (`shared` — the default —,
+//! `strict`, or `soft`); each app's `quota_blocks` is its frame quota
+//! (`0`, the default, leaves the app unconstrained). Quotas bind by app
+//! *index*: the `i`-th entry of `apps` is application instance `AppId(i)`.
+
+use crate::builder::ClusterSpec;
+use kcache::{CacheConfig, EvictPolicy, PartitionConfig, PartitionMode, PolicyKind};
+use serde::{Deserialize, Serialize};
+use sim_core::Dur;
+use sim_net::{NetConfig, NodeId};
+use workload::{AppSpec, Mode};
+
+/// Top-level JSON config: cluster knobs + application instances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    #[serde(default)]
+    pub cluster: ClusterCfg,
+    pub apps: Vec<AppCfg>,
+}
+
+/// Cluster-level knobs (all defaulted — `{}` is a valid cluster section).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ClusterCfg {
+    pub nodes: u16,
+    pub caching: bool,
+    pub seed: u64,
+    pub cache_blocks: usize,
+    /// "hub" (the paper's platform) or "switch".
+    pub fabric: String,
+    pub file_mb: u64,
+    /// Replacement policy name (see `kcache::PolicyKind::parse`).
+    pub policy: String,
+    /// Prefer clean victims over dirty ones (the paper's choice).
+    pub clean_first: bool,
+    /// Frame-quota mode: "shared" (default), "strict", or "soft".
+    pub partitioning: String,
+}
+
+impl Default for ClusterCfg {
+    fn default() -> Self {
+        ClusterCfg {
+            nodes: 6,
+            caching: true,
+            seed: 42,
+            cache_blocks: 300,
+            fabric: "hub".into(),
+            file_mb: 16,
+            policy: "clock".into(),
+            clean_first: true,
+            partitioning: "shared".into(),
+        }
+    }
+}
+
+/// One application instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppCfg {
+    pub name: String,
+    pub nodes: Vec<u16>,
+    pub total_mb: u64,
+    pub request_kb: u32,
+    /// "read" | "write" | "sync-write"
+    pub mode: String,
+    #[serde(default)]
+    pub locality: f64,
+    #[serde(default)]
+    pub sharing: f64,
+    /// Zipf skew of fresh accesses (0 = the paper's sequential walk).
+    #[serde(default)]
+    pub hotspot: f64,
+    #[serde(default)]
+    pub start_delay_ms: u64,
+    /// Frame quota for this app under strict/soft partitioning
+    /// (0 = unconstrained, the default — pre-partitioning configs parse
+    /// unchanged).
+    #[serde(default)]
+    pub quota_blocks: usize,
+}
+
+impl ExperimentConfig {
+    /// Parse a JSON document.
+    pub fn from_json(text: &str) -> Result<ExperimentConfig, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// The [`PartitionConfig`] this config describes: the cluster-level
+    /// mode plus one quota per app that sets `quota_blocks` (bound by app
+    /// index).
+    pub fn partitioning(&self) -> Result<PartitionConfig, String> {
+        let mode = PartitionMode::parse(&self.cluster.partitioning).ok_or_else(|| {
+            format!(
+                "unknown partitioning {:?} (use \"shared\", \"strict\" or \"soft\")",
+                self.cluster.partitioning
+            )
+        })?;
+        let quotas = self
+            .apps
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.quota_blocks > 0)
+            .map(|(i, a)| (i as u32, a.quota_blocks))
+            .collect();
+        Ok(PartitionConfig { mode, quotas })
+    }
+
+    /// Lower the config into a runnable `(ClusterSpec, Vec<AppSpec>)`.
+    pub fn to_spec(&self) -> Result<(ClusterSpec, Vec<AppSpec>), String> {
+        let kind = PolicyKind::parse(&self.cluster.policy).ok_or_else(|| {
+            format!(
+                "unknown policy {:?} (use one of: {})",
+                self.cluster.policy,
+                PolicyKind::ALL.map(|k| k.name()).join(", ")
+            )
+        })?;
+        let partitioning = self.partitioning()?;
+        let blocks = self.cluster.cache_blocks;
+        let mut spec = ClusterSpec::paper(self.cluster.caching.then(|| CacheConfig {
+            capacity_blocks: blocks,
+            low_watermark: (blocks / 10).max(1),
+            high_watermark: (blocks / 4).max(2),
+            policy: EvictPolicy { kind, clean_first: self.cluster.clean_first },
+            partitioning,
+            ..CacheConfig::paper()
+        }));
+        spec.n_nodes = self.cluster.nodes;
+        spec.seed = self.cluster.seed;
+        spec.net = match self.cluster.fabric.as_str() {
+            "hub" => NetConfig::hub_100mbps(),
+            "switch" => NetConfig::switch_100mbps(),
+            other => return Err(format!("unknown fabric {other:?} (use \"hub\" or \"switch\")")),
+        };
+
+        let apps = self
+            .apps
+            .iter()
+            .map(|a| {
+                Ok(AppSpec {
+                    name: a.name.clone(),
+                    nodes: a.nodes.iter().map(|&n| NodeId(n)).collect(),
+                    total_bytes: a.total_mb << 20,
+                    request_size: a.request_kb << 10,
+                    mode: match a.mode.as_str() {
+                        "read" => Mode::Read,
+                        "write" => Mode::Write,
+                        "sync-write" => Mode::SyncWrite,
+                        other => return Err(format!("unknown mode {other:?}")),
+                    },
+                    locality: a.locality,
+                    sharing: a.sharing,
+                    hotspot: a.hotspot,
+                    shared_file: "shared".into(),
+                    file_size: self.cluster.file_mb << 20,
+                    start_delay: Dur::millis(a.start_delay_ms),
+                    min_requests: 1,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok((spec, apps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pre_partitioning_config_parses_unchanged() {
+        // A PR-2-era config: no partitioning anywhere.
+        let cfg = ExperimentConfig::from_json(
+            r#"{
+                "cluster": { "nodes": 4, "caching": true, "seed": 7, "policy": "arc" },
+                "apps": [
+                    { "name": "a", "nodes": [0, 1], "total_mb": 2,
+                      "request_kb": 64, "mode": "read", "locality": 0.5 }
+                ]
+            }"#,
+        )
+        .expect("old config must parse");
+        assert_eq!(cfg.cluster.partitioning, "shared");
+        assert_eq!(cfg.apps[0].quota_blocks, 0);
+        let p = cfg.partitioning().unwrap();
+        assert!(!p.is_partitioned(), "defaults reproduce the shared pool");
+        let (spec, apps) = cfg.to_spec().unwrap();
+        assert_eq!(spec.n_nodes, 4);
+        assert!(!spec.cache.as_ref().unwrap().partitioning.is_partitioned());
+        assert_eq!(apps.len(), 1);
+    }
+
+    #[test]
+    fn quota_config_lowers_to_partitioning() {
+        let cfg = ExperimentConfig::from_json(
+            r#"{
+                "cluster": { "partitioning": "strict", "cache_blocks": 100 },
+                "apps": [
+                    { "name": "victim", "nodes": [0], "total_mb": 1, "request_kb": 64,
+                      "mode": "read", "quota_blocks": 80 },
+                    { "name": "scanner", "nodes": [0], "total_mb": 1, "request_kb": 64,
+                      "mode": "read", "quota_blocks": 20 }
+                ]
+            }"#,
+        )
+        .unwrap();
+        let p = cfg.partitioning().unwrap();
+        assert_eq!(p.mode, PartitionMode::Strict);
+        assert_eq!(p.quotas.get(&0), Some(&80));
+        assert_eq!(p.quotas.get(&1), Some(&20));
+        let (spec, _) = cfg.to_spec().unwrap();
+        assert_eq!(spec.cache.as_ref().unwrap().partitioning, p);
+    }
+
+    #[test]
+    fn bad_partitioning_mode_is_rejected() {
+        let cfg = ExperimentConfig::from_json(
+            r#"{ "cluster": { "partitioning": "nope" },
+                 "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
+                             "request_kb": 64, "mode": "read" } ] }"#,
+        )
+        .unwrap();
+        assert!(cfg.partitioning().is_err());
+        assert!(cfg.to_spec().is_err());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_quotas() {
+        let mut cfg = ExperimentConfig {
+            cluster: ClusterCfg { partitioning: "soft".into(), ..ClusterCfg::default() },
+            apps: vec![AppCfg {
+                name: "a".into(),
+                nodes: vec![0, 1],
+                total_mb: 2,
+                request_kb: 64,
+                mode: "read".into(),
+                locality: 0.25,
+                sharing: 0.5,
+                hotspot: 0.9,
+                start_delay_ms: 3,
+                quota_blocks: 123,
+            }],
+        };
+        cfg.cluster.seed = 99;
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        let back = ExperimentConfig::from_json(&json).unwrap();
+        assert_eq!(back, cfg, "serialize → parse must be the identity");
+    }
+}

@@ -6,6 +6,7 @@ use pvfs::{Iod, IodStats};
 use serde::Serialize;
 use sim_core::{Dur, SimTime, StopReason};
 use sim_net::{Fabric, FabricStats};
+use std::collections::BTreeMap;
 use workload::{AppSpec, Coordinator};
 
 /// Aggregated outcome of one instance of the micro-benchmark.
@@ -22,6 +23,36 @@ pub struct InstanceResult {
     pub verify_failures: u64,
 }
 
+/// Per-application cache usage aggregated over all cache modules: frames
+/// owned, aggregate quota, and the hit/miss/eviction traffic attributed
+/// to the application.
+#[derive(Debug, Clone, Serialize)]
+pub struct AppCacheUsage {
+    /// Application instance (index into the experiment's app list).
+    pub app: u32,
+    /// Aggregate frame quota: the per-module quota summed over every
+    /// module whose ledger the app appears in (quotas are enforced per
+    /// module, so this is the cap `resident` is measured against).
+    /// 0 when unconstrained.
+    pub quota: u64,
+    pub resident: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl AppCacheUsage {
+    /// Hits over attributed accesses (`None` before any traffic).
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
@@ -29,8 +60,13 @@ pub struct ExperimentResult {
     pub cache: Option<CacheStats>,
     /// Name of the replacement policy in effect (caching runs only).
     pub policy: Option<String>,
+    /// Frame-quota mode in effect (caching runs only).
+    pub partitioning: Option<String>,
     /// The policy subsystem's own event ledger, summed over all modules.
     pub policy_stats: Option<PolicyStats>,
+    /// Per-application occupancy and attributed traffic, summed over all
+    /// modules (caching runs only; ascending by app id).
+    pub app_usage: Option<Vec<AppCacheUsage>>,
     pub module: Option<ModuleStats>,
     pub iod: IodStats,
     pub fabric: FabricStats,
@@ -85,6 +121,12 @@ impl ExperimentResult {
     pub fn total_verify_failures(&self) -> u64 {
         self.instances.iter().map(|i| i.verify_failures).sum()
     }
+
+    /// Cache hit ratio attributed to one application instance (caching
+    /// runs with traffic from that app only).
+    pub fn app_hit_ratio(&self, app: u32) -> Option<f64> {
+        self.app_usage.as_ref()?.iter().find(|u| u.app == app)?.hit_ratio()
+    }
 }
 
 /// Default wall-clock guard for a single run.
@@ -134,12 +176,29 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     let mut cache_total: Option<CacheStats> = None;
     let mut module_total: Option<ModuleStats> = None;
     let mut policy_total: Option<PolicyStats> = None;
+    let mut app_total: BTreeMap<u32, AppCacheUsage> = BTreeMap::new();
     for m in cluster.modules.iter().flatten() {
         let module = cluster.engine.actor_as::<CacheModule>(*m).expect("module downcast");
         let cs = module.cache().stats();
         let ps = module.cache().policy_stats();
         let ms = module.stats().clone();
         policy_total.get_or_insert_with(PolicyStats::default).merge(&ps);
+        for (id, u) in module.cache().app_usage() {
+            let quota = module.cache().partitioning().quota_of(id).map(|q| q as u64).unwrap_or(0);
+            let acc = app_total.entry(id.0).or_insert_with(|| AppCacheUsage {
+                app: id.0,
+                quota: 0,
+                resident: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            });
+            acc.quota += quota;
+            acc.resident += u.resident;
+            acc.hits += u.hits;
+            acc.misses += u.misses;
+            acc.evictions += u.evictions;
+        }
         let acc = cache_total.get_or_insert_with(CacheStats::default);
         acc.hits += cs.hits;
         acc.misses += cs.misses;
@@ -198,7 +257,12 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
         instances,
         cache: cache_total,
         policy: spec.cache.as_ref().map(|c| c.policy.kind.name().to_string()),
+        partitioning: spec.cache.as_ref().map(|c| c.partitioning.mode.name().to_string()),
         policy_stats: policy_total,
+        app_usage: spec
+            .cache
+            .is_some()
+            .then(|| app_total.into_values().collect::<Vec<AppCacheUsage>>()),
         module: module_total,
         iod: iod_total,
         fabric: fabric_stats,

@@ -6,6 +6,7 @@
 //! design decisions.
 //!
 //! * [`builder`] — cluster wiring ([`ClusterSpec`], [`build`]).
+//! * [`config`] — the JSON experiment-config surface (serde).
 //! * [`experiment`] — one-shot runs with full metric extraction.
 //! * [`figures`] — Figure 4-8 drivers ([`figures::all_figures`]).
 //! * [`ablations`] — design-choice ablations ([`ablations::all_ablations`]).
@@ -14,13 +15,15 @@
 
 pub mod ablations;
 pub mod builder;
+pub mod config;
 pub mod experiment;
 pub mod figures;
 pub mod report;
 pub mod sweep;
 
 pub use builder::{build, Cluster, ClusterSpec};
-pub use experiment::{run_experiment, ExperimentResult, InstanceResult};
+pub use config::ExperimentConfig;
+pub use experiment::{run_experiment, AppCacheUsage, ExperimentResult, InstanceResult};
 pub use figures::{all_figures, fig4, fig5, fig6, fig7, fig8, Grid};
-pub use report::{write_outputs, CacheEfficiency, FigRow, FigureData};
+pub use report::{write_outputs, AppEfficiency, CacheEfficiency, FigRow, FigureData};
 pub use sweep::parallel_map;

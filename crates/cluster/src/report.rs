@@ -1,17 +1,49 @@
 //! Figure data containers and rendering (markdown tables, CSV, JSON), plus
 //! the per-run cache-efficiency summary experiment runs emit.
 
-use crate::experiment::ExperimentResult;
+use crate::experiment::{AppCacheUsage, ExperimentResult};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Cache-efficiency summary of one caching run: the replacement policy in
-/// effect and its hit/miss/eviction ledger, serialized into experiment
-/// JSON output so runs report cache behavior, not just makespan.
+/// Per-application slice of [`CacheEfficiency`]: occupancy against quota
+/// plus the application's own hit ratio.
+#[derive(Debug, Clone, Serialize)]
+pub struct AppEfficiency {
+    pub app: u32,
+    /// Aggregate frame quota over the modules the app touched
+    /// (0 = unconstrained).
+    pub quota: u64,
+    pub resident: u64,
+    pub hit_ratio: f64,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl AppEfficiency {
+    fn from_usage(u: &AppCacheUsage) -> AppEfficiency {
+        AppEfficiency {
+            app: u.app,
+            quota: u.quota,
+            resident: u.resident,
+            hit_ratio: u.hit_ratio().unwrap_or(0.0),
+            hits: u.hits,
+            misses: u.misses,
+            evictions: u.evictions,
+        }
+    }
+}
+
+/// Cache-efficiency summary of one caching run: the replacement policy and
+/// partitioning mode in effect, the hit/miss/eviction ledger, and the
+/// per-application breakdown, serialized into experiment JSON output so
+/// runs report cache behavior, not just makespan.
 #[derive(Debug, Clone, Serialize)]
 pub struct CacheEfficiency {
     pub policy: String,
+    /// Frame-quota mode: "shared", "strict", or "soft".
+    pub partitioning: String,
     pub hit_ratio: f64,
     pub hits: u64,
     pub misses: u64,
@@ -22,6 +54,8 @@ pub struct CacheEfficiency {
     pub writes_absorbed: u64,
     pub writes_passthrough: u64,
     pub invalidated: u64,
+    /// Per-application occupancy and hit ratios (ascending by app id).
+    pub apps: Vec<AppEfficiency>,
 }
 
 impl CacheEfficiency {
@@ -32,6 +66,7 @@ impl CacheEfficiency {
         let ps = r.policy_stats.as_ref().copied().unwrap_or_default();
         Some(CacheEfficiency {
             policy,
+            partitioning: r.partitioning.clone().unwrap_or_else(|| "shared".into()),
             hit_ratio: r.hit_ratio().unwrap_or(0.0),
             hits: ps.hits,
             misses: ps.misses,
@@ -42,6 +77,13 @@ impl CacheEfficiency {
             writes_absorbed: cache.writes_absorbed,
             writes_passthrough: cache.writes_passthrough,
             invalidated: cache.invalidated,
+            apps: r
+                .app_usage
+                .as_deref()
+                .unwrap_or_default()
+                .iter()
+                .map(AppEfficiency::from_usage)
+                .collect(),
         })
     }
 }

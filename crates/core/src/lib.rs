@@ -26,11 +26,11 @@ pub mod manager;
 pub mod module;
 
 pub use block::{blocks_of_range, span_in_block, BlockKey, Span, CACHE_BLOCK_SIZE};
-pub use config::CacheConfig;
+pub use config::{CacheConfig, PartitionConfig, PartitionMode};
 pub use manager::{BufferManager, CacheStats, EvictPolicy, FlushItem, WriteOutcome};
 pub use module::{CacheModule, ModuleStats};
 
 /// The replacement-policy subsystem, re-exported for consumers that select
 /// or inspect policies (configs, ablations, experiment binaries).
 pub use kcache_policy as policy;
-pub use kcache_policy::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
+pub use kcache_policy::{AppId, AppUsage, PolicyKind, PolicyStats, ReplacementPolicy};

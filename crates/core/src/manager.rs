@@ -11,6 +11,11 @@
 //!   argues against, plus LFU/2Q/ARC/sharing-aware alternatives — always
 //!   combined with the manager-owned **preference for clean blocks over
 //!   dirty ones**,
+//! * per-application **frame quotas** ([`PartitionConfig`]): strict caps
+//!   or soft caps with borrowing, enforced at acquire time — an over-quota
+//!   app draws eviction candidates from its own resident frames first via
+//!   the policy's owner-filtered scan, so a noisy neighbor cannot flush a
+//!   well-behaved tenant out of the shared pool,
 //! * fine-grained locking throughout: the structure is `Send + Sync` and is
 //!   exercised by real multi-threaded stress tests, not only by the
 //!   single-threaded simulation.
@@ -23,10 +28,11 @@
 //! asks for the next one.
 
 use crate::block::{BlockKey, Span, CACHE_BLOCK_SIZE};
-use kcache_policy::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
+use crate::config::{PartitionConfig, PartitionMode};
+use kcache_policy::{AppId, AppUsage, PolicyKind, PolicyStats, ReplacementPolicy};
 use parking_lot::Mutex;
 use sim_net::NodeId;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Replacement configuration (§3.2 design choices, now a policy *choice*
@@ -138,10 +144,23 @@ struct AtomicStats {
     invalidated_dirty: AtomicU64,
 }
 
+/// Outcome of the quota gate for one frame acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// No quota applies (shared pool, unknown app, unlisted app).
+    Unlimited,
+    /// Under quota; one frame has been charged to the app.
+    Granted,
+    /// At/over quota; nothing charged — the caller must make room inside
+    /// the app's own partition (or borrow, in soft mode).
+    OverQuota,
+}
+
 /// The shared, finely-locked block cache.
 pub struct BufferManager {
     capacity: usize,
     policy_cfg: EvictPolicy,
+    partitioning: PartitionConfig,
     low_watermark: usize,
     high_watermark: usize,
     frames: Vec<Mutex<Frame>>,
@@ -150,6 +169,15 @@ pub struct BufferManager {
     dirty: Mutex<VecDeque<u32>>,
     /// Leaf lock (see module docs): candidate ranking and recency state.
     policy: Mutex<Box<dyn ReplacementPolicy>>,
+    /// Leaf lock: frames charged per app — resident frames plus
+    /// acquisitions in flight (charged before install, uncharged on evict
+    /// or abort), so the strict-quota admission check is race-free. The
+    /// quota is exact in the single-threaded simulation; under concurrent
+    /// direct-API use, a candidate that changes hands between the
+    /// owner-filtered `next_candidate` and its revalidation can offset an
+    /// app's count by one transiently (the same benign-race class as the
+    /// pre-existing candidate/pin revalidation).
+    charges: Mutex<HashMap<u32, usize>>,
     stats: AtomicStats,
 }
 
@@ -164,12 +192,30 @@ impl BufferManager {
         low_watermark: usize,
         high_watermark: usize,
     ) -> BufferManager {
+        Self::with_config(
+            capacity,
+            policy,
+            low_watermark,
+            high_watermark,
+            PartitionConfig::shared(),
+        )
+    }
+
+    pub fn with_config(
+        capacity: usize,
+        policy: EvictPolicy,
+        low_watermark: usize,
+        high_watermark: usize,
+        partitioning: PartitionConfig,
+    ) -> BufferManager {
         assert!(capacity > 0);
         assert!(low_watermark <= high_watermark && high_watermark <= capacity);
+        partitioning.validate(capacity).unwrap_or_else(|e| panic!("bad partitioning: {e}"));
         let n_buckets = (capacity / 4).next_power_of_two().max(16);
         BufferManager {
             capacity,
             policy_cfg: policy,
+            partitioning,
             low_watermark,
             high_watermark,
             frames: (0..capacity).map(|_| Mutex::new(Frame::empty())).collect(),
@@ -177,6 +223,7 @@ impl BufferManager {
             free: Mutex::new((0..capacity as u32).rev().collect()),
             dirty: Mutex::new(VecDeque::new()),
             policy: Mutex::new(policy.kind.build(capacity)),
+            charges: Mutex::new(HashMap::new()),
             stats: AtomicStats::default(),
         }
     }
@@ -201,10 +248,25 @@ impl BufferManager {
         self.policy_cfg
     }
 
+    pub fn partitioning(&self) -> &PartitionConfig {
+        &self.partitioning
+    }
+
     /// The replacement policy's own event ledger (hits/misses/evictions as
     /// the policy subsystem saw them).
     pub fn policy_stats(&self) -> PolicyStats {
         *self.policy.lock().stats()
+    }
+
+    /// Per-application occupancy and attributed traffic (ascending by app
+    /// id; apps appear once they have touched the cache).
+    pub fn app_usage(&self) -> Vec<(AppId, AppUsage)> {
+        self.policy.lock().app_usage()
+    }
+
+    /// Frames currently owned (installed) by `app`.
+    pub fn resident_of(&self, app: AppId) -> usize {
+        self.policy.lock().resident_of(app)
     }
 
     pub fn stats(&self) -> CacheStats {
@@ -232,12 +294,15 @@ impl BufferManager {
         self.stats.hits.fetch_add(1, Ordering::Relaxed);
         let mut p = self.policy.lock();
         p.stats_mut().hits += 1;
+        p.note_app_hit(app);
         p.on_access(idx, key.hash(), app);
     }
 
-    fn record_miss(&self) {
+    fn record_miss(&self, app: AppId) {
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        self.policy.lock().stats_mut().misses += 1;
+        let mut p = self.policy.lock();
+        p.stats_mut().misses += 1;
+        p.note_app_miss(app);
     }
 
     /// Recency-only refresh (no hit accounting): sync-write refreshes and
@@ -296,13 +361,13 @@ impl BufferManager {
                     } else {
                         drop(f);
                         drop(b);
-                        self.record_miss();
+                        self.record_miss(app);
                         return false;
                     }
                 }
                 None => {
                     drop(b);
-                    self.record_miss();
+                    self.record_miss(app);
                     return false;
                 }
             }
@@ -327,7 +392,7 @@ impl BufferManager {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             self.policy.lock().stats_mut().hits += 1;
         } else {
-            self.record_miss();
+            self.record_miss(AppId::UNKNOWN);
         }
         hit
     }
@@ -336,19 +401,150 @@ impl BufferManager {
         self.free.lock().push(idx);
     }
 
-    /// Take a frame from the free list or evict one. Returns the frame index
-    /// and, when a dirty frame had to be sacrificed, its flush snapshot.
-    fn acquire_frame(&self, allow_dirty_eviction: bool) -> Option<(u32, Option<FlushItem>)> {
-        if let Some(idx) = self.free.lock().pop() {
-            return Some((idx, None));
-        }
-        self.evict_one(allow_dirty_eviction)
+    // -----------------------------------------------------------------
+    // Quota charging (per-app frame accounting)
+    // -----------------------------------------------------------------
+
+    /// Does quota accounting apply to `app` at all?
+    fn quota_applies(&self, app: AppId) -> bool {
+        self.partitioning.quota_of(app).is_some()
     }
 
-    /// Evict one block and return its (now unlinked) frame. Candidate
-    /// *ranking* comes from the policy; candidate *admissibility* (clean
-    /// pass, dirty allowance, in-flight flushes) stays here.
-    fn evict_one(&self, allow_dirty: bool) -> Option<(u32, Option<FlushItem>)> {
+    /// Quota gate: charge one frame to `app` if it is under quota.
+    fn admit(&self, app: AppId) -> Admission {
+        let Some(quota) = self.partitioning.quota_of(app) else {
+            return Admission::Unlimited;
+        };
+        let mut c = self.charges.lock();
+        let n = c.entry(app.0).or_insert(0);
+        if *n < quota {
+            *n += 1;
+            Admission::Granted
+        } else {
+            Admission::OverQuota
+        }
+    }
+
+    /// Charge one frame to `app` bypassing the quota check (soft-mode
+    /// borrowing, and rebalancing after a self-eviction uncharged one).
+    fn charge_unchecked(&self, app: AppId) {
+        if self.quota_applies(app) {
+            *self.charges.lock().entry(app.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Return one charged frame (aborted acquisition, eviction or
+    /// invalidation of an owned frame).
+    fn uncharge(&self, app: AppId) {
+        if self.quota_applies(app) {
+            if let Some(n) = self.charges.lock().get_mut(&app.0) {
+                *n = n.saturating_sub(1);
+            }
+        }
+    }
+
+    /// The quota'd app currently holding the most frames beyond its quota
+    /// (soft mode only — strict never lets anyone past it). Ties break
+    /// toward the higher app id.
+    fn most_over_quota(&self) -> Option<AppId> {
+        if self.partitioning.mode != PartitionMode::Soft {
+            return None;
+        }
+        let c = self.charges.lock();
+        self.partitioning
+            .quotas
+            .iter()
+            .filter_map(|(&id, &q)| {
+                let n = c.get(&id).copied().unwrap_or(0);
+                (n > q).then(|| (n - q, id))
+            })
+            .max()
+            .map(|(_, id)| AppId(id))
+    }
+
+    /// Take a frame from the free list or evict one, on behalf of `app`
+    /// and subject to its quota. Returns the frame index and, when a dirty
+    /// frame had to be sacrificed, its flush snapshot.
+    ///
+    /// Enforcement order (the partitioning subsystem's core rule): an
+    /// over-quota app makes room **inside its own partition first** —
+    /// candidates are drawn from its own resident frames via the policy's
+    /// owner-filtered scan — and only soft mode may then fall back to
+    /// borrowing (free frames, then the victim-agnostic scan). An
+    /// under-quota app with a full pool reclaims from the most over-quota
+    /// borrower before disturbing anyone else.
+    fn acquire_frame_for(
+        &self,
+        app: AppId,
+        allow_dirty_eviction: bool,
+    ) -> Option<(u32, Option<FlushItem>)> {
+        match self.admit(app) {
+            admission @ (Admission::Unlimited | Admission::Granted) => {
+                if let Some(idx) = self.free.lock().pop() {
+                    return Some((idx, None));
+                }
+                // Soft mode: pull borrowed frames back before the
+                // victim-agnostic scan touches well-behaved tenants.
+                if let Some(borrower) = self.most_over_quota() {
+                    if let Some(got) = self.evict_one_owned(allow_dirty_eviction, Some(borrower)) {
+                        return Some(got);
+                    }
+                }
+                match self.evict_one_owned(allow_dirty_eviction, None) {
+                    Some(got) => Some(got),
+                    None => {
+                        if admission == Admission::Granted {
+                            self.uncharge(app);
+                        }
+                        None
+                    }
+                }
+            }
+            Admission::OverQuota => {
+                if self.partitioning.mode == PartitionMode::Soft {
+                    // Borrow idle capacity before cannibalizing our own
+                    // partition.
+                    if let Some(idx) = self.free.lock().pop() {
+                        self.charge_unchecked(app);
+                        return Some((idx, None));
+                    }
+                }
+                // Feed on our own partition: owner-filtered candidates.
+                if let Some(got) = self.evict_one_owned(allow_dirty_eviction, Some(app)) {
+                    // The self-eviction uncharged one frame; re-charge it
+                    // for the incoming block (net residency unchanged).
+                    self.charge_unchecked(app);
+                    return Some(got);
+                }
+                if self.partitioning.mode == PartitionMode::Strict {
+                    return None; // hard cap: the insert is denied
+                }
+                self.charge_unchecked(app);
+                match self.evict_one_owned(allow_dirty_eviction, None) {
+                    Some(got) => Some(got),
+                    None => {
+                        self.uncharge(app);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evict one block and return its (now unlinked) frame, optionally
+    /// restricted to frames owned by one application (the partition-local
+    /// scan). Candidate *ranking* comes from the policy; candidate
+    /// *admissibility* (clean pass, dirty allowance, in-flight flushes,
+    /// the owner filter) stays with the manager and the shared table. The
+    /// owner filter travels as an argument on every `next_candidate` call
+    /// — never stored in the policy — so a concurrent scan can interleave
+    /// with this one (that was always true of the shared scan cursor) but
+    /// can never widen or redirect this scan's partition boundary.
+    fn evict_one_owned(
+        &self,
+        allow_dirty: bool,
+        owner: Option<AppId>,
+    ) -> Option<(u32, Option<FlushItem>)> {
         // Pass 0: clean victims only (if clean_first). Pass 1: anything
         // (subject to allow_dirty).
         let passes: &[bool] = if self.policy_cfg.clean_first { &[true, false] } else { &[false] };
@@ -360,7 +556,7 @@ impl BufferManager {
             }
             loop {
                 // Leaf lock only while asking; dropped before bucket/frame.
-                let Some(idx) = self.policy.lock().next_candidate() else {
+                let Some(idx) = self.policy.lock().next_candidate(owner) else {
                     break;
                 };
                 if let Some(got) = self.try_evict_idx(idx, clean_only, allow_dirty) {
@@ -369,6 +565,11 @@ impl BufferManager {
             }
         }
         None
+    }
+
+    /// Victim-agnostic eviction (the harvester's path).
+    fn evict_one(&self, allow_dirty: bool) -> Option<(u32, Option<FlushItem>)> {
+        self.evict_one_owned(allow_dirty, None)
     }
 
     fn try_evict_idx(
@@ -430,15 +631,19 @@ impl BufferManager {
         f.in_dirty_list = false;
         drop(f);
         drop(bucket);
-        {
+        let owner = {
             let mut p = self.policy.lock();
             if flush.is_some() {
                 p.stats_mut().evictions_dirty += 1;
             } else {
                 p.stats_mut().evictions_clean += 1;
             }
+            let owner = p.owner_of(idx);
+            p.note_app_eviction(owner);
             p.on_remove(idx, key.hash());
-        }
+            owner
+        };
+        self.uncharge(owner);
         Some((idx, flush))
     }
 
@@ -483,8 +688,11 @@ impl BufferManager {
                     }
                 }
             }
-            let Some((idx, flush)) = self.acquire_frame(true) else {
-                return None; // cache wedged (all frames contended); drop insert
+            let Some((idx, flush)) = self.acquire_frame_for(app, true) else {
+                // Cache wedged (all frames contended) or the app's strict
+                // quota denied the install; the fetched bytes are simply
+                // not cached.
+                return None;
             };
             {
                 let mut b = self.buckets[self.bucket_of(&key)].lock();
@@ -492,6 +700,7 @@ impl BufferManager {
                     // Someone beat us to it; recycle our frame and merge via
                     // the fast path above.
                     self.push_free(idx);
+                    self.uncharge(app);
                     drop(b);
                     if let Some(fl) = flush {
                         return Some(fl);
@@ -564,9 +773,10 @@ impl BufferManager {
                     }
                 }
             }
-            // Need a frame, but never sacrifice dirty data for new writes:
-            // that is the paper's write-blocking point.
-            let Some((idx, flush)) = self.acquire_frame(false) else {
+            // Need a frame, but never sacrifice dirty data for new writes
+            // (the paper's write-blocking point) — and never let a write
+            // push its app over a strict quota.
+            let Some((idx, flush)) = self.acquire_frame_for(app, false) else {
                 self.stats.writes_passthrough.fetch_add(1, Ordering::Relaxed);
                 return WriteOutcome::PassThrough;
             };
@@ -575,6 +785,7 @@ impl BufferManager {
                 let mut b = self.buckets[self.bucket_of(&key)].lock();
                 if b.iter().any(|(k, _)| *k == key) {
                     self.push_free(idx);
+                    self.uncharge(app);
                     continue;
                 }
                 let mut f = self.frames[idx as usize].lock();
@@ -729,7 +940,13 @@ impl BufferManager {
                 f.flushing = false;
                 idx
             };
-            self.policy.lock().on_remove(idx, key.hash());
+            let owner = {
+                let mut p = self.policy.lock();
+                let owner = p.owner_of(idx);
+                p.on_remove(idx, key.hash());
+                owner
+            };
+            self.uncharge(owner);
             self.push_free(idx);
             dropped += 1;
         }
@@ -1101,6 +1318,190 @@ mod tests {
         m.insert_clean(key(5), NodeId(0), Span::FULL, &full_block(0));
         m.insert_clean(key(3), NodeId(0), Span::FULL, &full_block(0));
         assert_eq!(m.resident_keys(), vec![key(3), key(5)]);
+    }
+
+    fn strict_mgr(cap: usize, quotas: &[(u32, usize)]) -> BufferManager {
+        BufferManager::with_config(
+            cap,
+            EvictPolicy::default(),
+            0,
+            cap,
+            crate::config::PartitionConfig::strict(quotas.iter().copied()),
+        )
+    }
+
+    #[test]
+    fn strict_quota_caps_residency() {
+        let m = strict_mgr(8, &[(0, 3)]);
+        let a = AppId(0);
+        for i in 0..6 {
+            m.insert_clean_by(key(i), NodeId(0), Span::FULL, &full_block(i as u8), a);
+            assert!(m.resident_of(a) <= 3, "app 0 exceeded its quota at insert {i}");
+        }
+        assert_eq!(m.resident_of(a), 3);
+        // The app's newest inserts displaced its own oldest blocks; the
+        // rest of the pool stayed free.
+        assert_eq!(m.free_frames(), 5, "strict quota must not touch the rest of the pool");
+        let evictions = m.app_usage().iter().find(|(id, _)| *id == a).unwrap().1.evictions;
+        assert_eq!(evictions, 3, "over-quota inserts evict the app's own frames");
+    }
+
+    #[test]
+    fn strict_quota_protects_other_apps_frames() {
+        let (a, b) = (AppId(0), AppId(1));
+        let m = strict_mgr(6, &[(0, 2), (1, 4)]);
+        for i in 0..4 {
+            m.insert_clean_by(key(100 + i), NodeId(0), Span::FULL, &full_block(1), b);
+        }
+        // The pool is now 4/6 used by b. a churns through many blocks: it
+        // may never hold more than 2 frames and must never evict b.
+        for i in 0..10 {
+            m.insert_clean_by(key(i), NodeId(0), Span::FULL, &full_block(0), a);
+            assert!(m.resident_of(a) <= 2);
+        }
+        assert_eq!(m.resident_of(b), 4, "the victim's frames must all survive");
+        for i in 0..4 {
+            assert!(m.contains(key(100 + i)), "victim block {i} was evicted");
+        }
+    }
+
+    #[test]
+    fn strict_quota_denies_insert_when_own_frames_unevictable() {
+        let m = strict_mgr(8, &[(0, 2)]);
+        let a = AppId(0);
+        // Fill the quota with dirty blocks, then freeze them in flight.
+        assert_eq!(
+            m.write_by(key(0), NodeId(0), Span::FULL, &full_block(1), a),
+            WriteOutcome::Absorbed
+        );
+        assert_eq!(
+            m.write_by(key(1), NodeId(0), Span::FULL, &full_block(2), a),
+            WriteOutcome::Absorbed
+        );
+        let items = m.take_dirty(2);
+        assert_eq!(items.len(), 2);
+        // Clean insert: both owned frames are pinned, quota full → denied.
+        assert!(m.insert_clean_by(key(2), NodeId(0), Span::FULL, &full_block(3), a).is_none());
+        assert!(!m.contains(key(2)), "denied insert must not be cached");
+        assert_eq!(m.resident_of(a), 2);
+        // A write is denied the same way (pass-through).
+        assert_eq!(
+            m.write_by(key(3), NodeId(0), Span::FULL, &full_block(4), a),
+            WriteOutcome::PassThrough
+        );
+        for it in &items {
+            m.flush_complete(it.key, it.span);
+        }
+        // Unpinned again: the app can churn within its quota.
+        assert!(m.insert_clean_by(key(2), NodeId(0), Span::FULL, &full_block(3), a).is_none());
+        assert!(m.contains(key(2)));
+        assert_eq!(m.resident_of(a), 2);
+    }
+
+    #[test]
+    fn soft_quota_borrows_free_frames_and_gives_them_back() {
+        let (a, b) = (AppId(0), AppId(1));
+        let m = BufferManager::with_config(
+            6,
+            EvictPolicy::default(),
+            0,
+            6,
+            crate::config::PartitionConfig::soft([(0, 2), (1, 4)]),
+        );
+        // a grows past its quota of 2 by borrowing idle (free) frames.
+        for i in 0..5 {
+            m.insert_clean_by(key(i), NodeId(0), Span::FULL, &full_block(0), a);
+        }
+        assert_eq!(m.resident_of(a), 5, "soft mode borrows idle capacity");
+        // b now claims its quota: the borrowed frames are reclaimed from a
+        // (the most over-quota app), not from b itself.
+        for i in 0..4 {
+            m.insert_clean_by(key(100 + i), NodeId(0), Span::FULL, &full_block(1), b);
+            assert!(m.resident_of(b) == i as usize + 1, "b's insert must not be blocked");
+        }
+        assert_eq!(m.resident_of(b), 4);
+        assert_eq!(m.resident_of(a), 2, "a shrank back to its quota as b reclaimed");
+    }
+
+    #[test]
+    fn unknown_and_unlisted_apps_are_unconstrained() {
+        let m = strict_mgr(4, &[(0, 1)]);
+        for i in 0..4 {
+            m.insert_clean(key(i), NodeId(0), Span::FULL, &full_block(0));
+        }
+        assert_eq!(m.resident(), 4, "unattributed inserts fill the whole pool");
+        // A quota'd app can still claim a frame (victim-agnostic fallback
+        // evicts unowned frames).
+        m.insert_clean_by(key(10), NodeId(0), Span::FULL, &full_block(1), AppId(0));
+        assert!(m.contains(key(10)));
+        assert_eq!(m.resident_of(AppId(0)), 1);
+    }
+
+    #[test]
+    fn quota_equal_to_capacity_matches_shared_pool_exactly() {
+        // The partitioning differential: a single app whose quota is the
+        // whole pool must behave byte-for-byte like the unpartitioned
+        // manager for every policy.
+        for kind in PolicyKind::ALL {
+            let strict = BufferManager::with_config(
+                8,
+                EvictPolicy::of(kind),
+                0,
+                2,
+                crate::config::PartitionConfig::strict([(0, 8)]),
+            );
+            let shared2 = BufferManager::with_watermarks(8, EvictPolicy::of(kind), 0, 2);
+            let a = AppId(0);
+            let mut buf = vec![0u8; 4096];
+            for step in 0..400u64 {
+                let k = key((step * 7919) % 23);
+                match step % 5 {
+                    0 | 3 => {
+                        for m in [&shared2, &strict] {
+                            m.insert_clean_by(k, NodeId(0), Span::FULL, &full_block(step as u8), a);
+                        }
+                    }
+                    1 => {
+                        for m in [&shared2, &strict] {
+                            let _ =
+                                m.write_by(k, NodeId(0), Span::FULL, &full_block(step as u8), a);
+                        }
+                    }
+                    2 => {
+                        for m in [&shared2, &strict] {
+                            let _ = m.try_read_by(k, Span::FULL, &mut buf, a);
+                        }
+                    }
+                    _ => {
+                        let xs = shared2.take_dirty(3);
+                        let ys = strict.take_dirty(3);
+                        assert_eq!(xs.len(), ys.len(), "{kind}: flush divergence");
+                        for it in xs {
+                            shared2.flush_complete(it.key, it.span);
+                        }
+                        for it in ys {
+                            strict.flush_complete(it.key, it.span);
+                        }
+                    }
+                }
+                assert_eq!(
+                    shared2.resident_keys(),
+                    strict.resident_keys(),
+                    "{kind}: resident set diverged at step {step}"
+                );
+            }
+            let (s, t) = (shared2.stats(), strict.stats());
+            assert_eq!(
+                (s.hits, s.misses, s.evictions_clean, s.evictions_dirty),
+                (t.hits, t.misses, t.evictions_clean, t.evictions_dirty),
+                "{kind}: stats diverged"
+            );
+            assert_eq!(
+                shared2.policy_stats(),
+                strict.policy_stats(),
+                "{kind}: policy ledger diverged"
+            );
+        }
     }
 
     #[test]

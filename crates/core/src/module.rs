@@ -118,11 +118,12 @@ impl CacheModule {
         costs: CostModel,
         cfg: CacheConfig,
     ) -> CacheModule {
-        let cache = Arc::new(BufferManager::with_watermarks(
+        let cache = Arc::new(BufferManager::with_config(
             cfg.capacity_blocks,
             cfg.policy,
             cfg.low_watermark,
             cfg.high_watermark,
+            cfg.partitioning.clone(),
         ));
         CacheModule {
             node,

@@ -4,7 +4,7 @@
 //! being tuned for it.
 
 use crate::table::FrameTable;
-use crate::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
+use crate::{AppId, PolicyKind, ReplacementPolicy};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +74,14 @@ impl ReplacementPolicy for Arc {
         PolicyKind::Arc
     }
 
+    fn table(&self) -> &FrameTable {
+        &self.table
+    }
+
+    fn table_mut(&mut self) -> &mut FrameTable {
+        &mut self.table
+    }
+
     fn on_access(&mut self, frame: u32, _key: u64, _app: AppId) {
         // Any resident hit proves frequency: promote to T2's MRU end.
         self.detach(frame);
@@ -81,8 +89,8 @@ impl ReplacementPolicy for Arc {
         self.loc[frame as usize] = Loc::T2;
     }
 
-    fn on_insert(&mut self, frame: u32, key: u64, _app: AppId) {
-        self.table.insert(frame);
+    fn on_insert(&mut self, frame: u32, key: u64, app: AppId) {
+        self.table.insert(frame, app);
         self.detach(frame);
         if let Some(pos) = self.b1.iter().position(|&k| k == key) {
             // Recency ghost hit: T1 was evicted too aggressively.
@@ -121,10 +129,6 @@ impl ReplacementPolicy for Arc {
         self.table.remove(frame);
     }
 
-    fn set_pinned(&mut self, frame: u32, pinned: bool) {
-        self.table.set_pinned(frame, pinned);
-    }
-
     fn begin_scan(&mut self) {
         self.scan.clear();
         // REPLACE(): evict from T1 while it exceeds its target, else T2;
@@ -139,23 +143,15 @@ impl ReplacementPolicy for Arc {
         self.scan_pos = 0;
     }
 
-    fn next_candidate(&mut self) -> Option<u32> {
+    fn next_candidate(&mut self, filter: Option<AppId>) -> Option<u32> {
         while self.scan_pos < self.scan.len() {
             let idx = self.scan[self.scan_pos];
             self.scan_pos += 1;
-            if self.table.evictable(idx) {
+            if self.table.evictable_for(idx, filter) {
                 return Some(idx);
             }
         }
         None
-    }
-
-    fn stats(&self) -> &PolicyStats {
-        &self.table.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut PolicyStats {
-        &mut self.table.stats
     }
 }
 
@@ -171,9 +167,9 @@ mod tests {
         }
         a.on_access(2, 2, AppId::UNKNOWN); // 2 → T2
         a.begin_scan();
-        assert_eq!(a.next_candidate(), Some(0), "T1 LRU end goes first");
+        assert_eq!(a.next_candidate(None), Some(0), "T1 LRU end goes first");
         let mut seen = Vec::new();
-        while let Some(f) = a.next_candidate() {
+        while let Some(f) = a.next_candidate(None) {
             seen.push(f);
         }
         assert_eq!(seen, vec![1, 3, 2], "T2 member offered last");
@@ -189,7 +185,7 @@ mod tests {
         assert!(a.target_t1() > 0, "p must grow on a B1 hit");
         a.begin_scan();
         // The re-admitted block went to T2, and T1 is empty.
-        assert_eq!(a.next_candidate(), Some(1));
+        assert_eq!(a.next_candidate(None), Some(1));
     }
 
     #[test]

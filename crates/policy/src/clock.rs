@@ -2,7 +2,7 @@
 //! seed buffer manager without behavioral change.
 
 use crate::table::FrameTable;
-use crate::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
+use crate::{AppId, PolicyKind, ReplacementPolicy};
 
 /// Reference-bit clock. Hits set the frame's reference bit; inserts clear
 /// it (a block earns its second chance by being *re*-read). An eviction
@@ -34,12 +34,20 @@ impl ReplacementPolicy for Clock {
         PolicyKind::Clock
     }
 
+    fn table(&self) -> &FrameTable {
+        &self.table
+    }
+
+    fn table_mut(&mut self) -> &mut FrameTable {
+        &mut self.table
+    }
+
     fn on_access(&mut self, frame: u32, _key: u64, _app: AppId) {
         self.refbit[frame as usize] = true;
     }
 
-    fn on_insert(&mut self, frame: u32, _key: u64, _app: AppId) {
-        self.table.insert(frame);
+    fn on_insert(&mut self, frame: u32, _key: u64, app: AppId) {
+        self.table.insert(frame, app);
         self.refbit[frame as usize] = false;
     }
 
@@ -47,37 +55,33 @@ impl ReplacementPolicy for Clock {
         self.table.remove(frame);
     }
 
-    fn set_pinned(&mut self, frame: u32, pinned: bool) {
-        self.table.set_pinned(frame, pinned);
-    }
-
     fn begin_scan(&mut self) {
         self.budget = 2 * self.table.capacity();
     }
 
-    fn next_candidate(&mut self) -> Option<u32> {
+    fn next_candidate(&mut self, filter: Option<AppId>) -> Option<u32> {
         while self.budget > 0 {
             self.budget -= 1;
             let idx = self.hand as u32;
             self.hand = (self.hand + 1) % self.table.capacity();
+            // A partition-local scan must not strip other tenants'
+            // second-chance protection: skip foreign frames before
+            // touching their reference bit.
+            if let Some(owner) = filter {
+                if self.table.owner_of(idx) != owner {
+                    continue;
+                }
+            }
             // Consume the reference bit first (second chance), matching the
             // seed's `swap(false)`-then-skip order.
             if std::mem::take(&mut self.refbit[idx as usize]) {
                 continue;
             }
-            if self.table.evictable(idx) {
+            if self.table.evictable_for(idx, filter) {
                 return Some(idx);
             }
         }
         None
-    }
-
-    fn stats(&self) -> &PolicyStats {
-        &self.table.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut PolicyStats {
-        &mut self.table.stats
     }
 }
 
@@ -95,7 +99,7 @@ mod tests {
             c.on_access(f, f as u64, AppId::UNKNOWN);
         }
         c.begin_scan();
-        assert_eq!(c.next_candidate(), Some(2), "only frame 2 kept no reference bit");
+        assert_eq!(c.next_candidate(None), Some(2), "only frame 2 kept no reference bit");
     }
 
     #[test]
@@ -106,13 +110,33 @@ mod tests {
         }
         c.set_pinned(0, true);
         c.begin_scan();
-        assert_eq!(c.next_candidate(), Some(1));
+        assert_eq!(c.next_candidate(None), Some(1));
     }
 
     #[test]
     fn scan_terminates_on_empty_pool() {
         let mut c = Clock::new(8);
         c.begin_scan();
-        assert_eq!(c.next_candidate(), None);
+        assert_eq!(c.next_candidate(None), None);
+    }
+
+    #[test]
+    fn filtered_scan_preserves_foreign_second_chances() {
+        let mut c = Clock::new(4);
+        // Frames 0,1 belong to app 0; 2,3 to app 1; everyone referenced.
+        for f in 0..4u32 {
+            c.on_insert(f, f as u64, AppId(f / 2));
+            c.on_access(f, f as u64, AppId(f / 2));
+        }
+        // App 1's partition-local scan consumes only its *own* reference
+        // bits (2, 3) on the way to its victim.
+        c.begin_scan();
+        assert_eq!(c.next_candidate(Some(AppId(1))), Some(2));
+        // App 0's frames kept their bits: the next unfiltered scan still
+        // grants them a second chance, so app 1's spent frames (3, then 2)
+        // are offered first.
+        c.begin_scan();
+        assert_eq!(c.next_candidate(None), Some(3));
+        assert_eq!(c.next_candidate(None), Some(2));
     }
 }

@@ -2,7 +2,7 @@
 //! clock/LRU only under skewed popularity (the workload's `hotspot` knob).
 
 use crate::table::FrameTable;
-use crate::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
+use crate::{AppId, PolicyKind, ReplacementPolicy};
 
 /// Per-frame access frequency plus a logical access clock for the
 /// tie-break. Candidates are offered coldest-first; among equally cold
@@ -39,13 +39,21 @@ impl ReplacementPolicy for Lfu {
         PolicyKind::Lfu
     }
 
+    fn table(&self) -> &FrameTable {
+        &self.table
+    }
+
+    fn table_mut(&mut self) -> &mut FrameTable {
+        &mut self.table
+    }
+
     fn on_access(&mut self, frame: u32, _key: u64, _app: AppId) {
         self.freq[frame as usize] = self.freq[frame as usize].saturating_add(1);
         self.stamp(frame);
     }
 
-    fn on_insert(&mut self, frame: u32, _key: u64, _app: AppId) {
-        self.table.insert(frame);
+    fn on_insert(&mut self, frame: u32, _key: u64, app: AppId) {
+        self.table.insert(frame, app);
         self.freq[frame as usize] = 1;
         self.stamp(frame);
     }
@@ -55,10 +63,6 @@ impl ReplacementPolicy for Lfu {
         self.freq[frame as usize] = 0;
     }
 
-    fn set_pinned(&mut self, frame: u32, pinned: bool) {
-        self.table.set_pinned(frame, pinned);
-    }
-
     fn begin_scan(&mut self) {
         self.scan = self.table.resident_frames();
         let (freq, last) = (&self.freq, &self.last);
@@ -66,23 +70,15 @@ impl ReplacementPolicy for Lfu {
         self.scan_pos = 0;
     }
 
-    fn next_candidate(&mut self) -> Option<u32> {
+    fn next_candidate(&mut self, filter: Option<AppId>) -> Option<u32> {
         while self.scan_pos < self.scan.len() {
             let idx = self.scan[self.scan_pos];
             self.scan_pos += 1;
-            if self.table.evictable(idx) {
+            if self.table.evictable_for(idx, filter) {
                 return Some(idx);
             }
         }
         None
-    }
-
-    fn stats(&self) -> &PolicyStats {
-        &self.table.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut PolicyStats {
-        &mut self.table.stats
     }
 }
 
@@ -102,7 +98,7 @@ mod tests {
         }
         l.on_access(1, 1, AppId::UNKNOWN);
         l.begin_scan();
-        assert_eq!(l.next_candidate(), Some(1), "frame 1 is the coldest");
+        assert_eq!(l.next_candidate(None), Some(1), "frame 1 is the coldest");
     }
 
     #[test]
@@ -113,7 +109,7 @@ mod tests {
         l.on_access(0, 0, AppId::UNKNOWN);
         l.on_access(1, 1, AppId::UNKNOWN); // equal freq; 0 touched earlier
         l.begin_scan();
-        assert_eq!(l.next_candidate(), Some(0));
+        assert_eq!(l.next_candidate(None), Some(0));
     }
 
     #[test]
@@ -128,6 +124,6 @@ mod tests {
         l.on_insert(1, 8, AppId::UNKNOWN);
         l.on_access(1, 8, AppId::UNKNOWN);
         l.begin_scan();
-        assert_eq!(l.next_candidate(), Some(0), "old frequency must not leak to the new block");
+        assert_eq!(l.next_candidate(None), Some(0), "old frequency must not leak to the new block");
     }
 }

@@ -28,6 +28,16 @@
 //! * [`SharingAware`] — evict single-application blocks before blocks
 //!   shared across applications, LRU within each class.
 //!
+//! Every policy embeds a [`FrameTable`] — the shared residency / pin /
+//! **ownership** bookkeeping. Ownership (which application installed each
+//! frame) powers the **owner-filtered scan protocol**: the manager passes
+//! an owner filter to every
+//! [`next_candidate`](ReplacementPolicy::next_candidate) call, and the
+//! table rejects every candidate not owned by the filtered application.
+//! This is what makes per-application cache partitioning work *inside*
+//! any policy: the policy keeps ranking exactly as before, the filter
+//! narrows which ranked frames may leave the cache.
+//!
 //! Concurrency contract: policy state is a **leaf lock** in the manager's
 //! lock order (bucket → frame → policy). The trait is `Send` (not `Sync`);
 //! the manager wraps the boxed policy in a `Mutex` and never holds that
@@ -60,6 +70,35 @@ pub struct AppId(pub u32);
 
 impl AppId {
     pub const UNKNOWN: AppId = AppId(u32::MAX);
+}
+
+/// Per-application slice of the policy ledger: how many frames the
+/// application currently owns and the hit/miss/eviction traffic attributed
+/// to it. Maintained by the [`FrameTable`]; this is what per-app cache
+/// partitioning reports (occupancy, per-app hit ratio) and what quota
+/// enforcement audits against.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AppUsage {
+    /// Frames currently owned (installed) by this application.
+    pub resident: u64,
+    /// Cache hits attributed to this application.
+    pub hits: u64,
+    /// Cache misses attributed to this application.
+    pub misses: u64,
+    /// Evictions of frames this application owned.
+    pub evictions: u64,
+}
+
+impl AppUsage {
+    /// Hits over total attributed accesses (`None` before any traffic).
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
 }
 
 /// Per-policy event counters (the subsystem's own ledger, independent of
@@ -100,12 +139,30 @@ impl PolicyStats {
 /// `tests/invariants.rs`):
 ///
 /// * [`next_candidate`](ReplacementPolicy::next_candidate) only returns
-///   frames that are resident, unpinned, and `< capacity`;
+///   frames that are resident, unpinned, `< capacity`, and — when an
+///   owner filter is passed — owned by the filtered application;
 /// * the set of resident frames never exceeds `capacity`;
-/// * a scan terminates (`next_candidate` eventually returns `None`).
+/// * a scan terminates (`next_candidate` eventually returns `None`),
+///   filtered or not.
+///
+/// The owner filter is a **per-call parameter**, not policy state: the
+/// caller passes it on every `next_candidate`, so two interleaved scans
+/// (possible under the manager's drop-the-lock-between-candidates
+/// discipline) can disturb each other's *ordering* — harmless, a raced
+/// candidate is simply rejected and asked again — but never each other's
+/// partition boundary.
+///
+/// The residency / pin / ownership state lives in the embedded
+/// [`FrameTable`]; the provided methods (pinning, the per-application
+/// ledger, stats access) are table-backed so individual policies only
+/// implement ranking.
 pub trait ReplacementPolicy: Send {
     /// Which [`PolicyKind`] built this policy.
     fn kind(&self) -> PolicyKind;
+
+    /// The shared residency/pin/ownership bookkeeping this policy embeds.
+    fn table(&self) -> &FrameTable;
+    fn table_mut(&mut self) -> &mut FrameTable;
 
     /// A resident frame was hit by `app`; `key` is the block's fingerprint.
     fn on_access(&mut self, frame: u32, key: u64, app: AppId);
@@ -117,22 +174,63 @@ pub trait ReplacementPolicy: Send {
     /// departing block so ghost-list policies can remember it.
     fn on_remove(&mut self, frame: u32, key: u64);
 
-    /// `frame` is (un)pinned: pinned frames (e.g. dirty data in flight to
-    /// an iod) must not be offered as candidates.
-    fn set_pinned(&mut self, frame: u32, pinned: bool);
-
     /// Start a fresh eviction scan. Candidate order is decided here (or
-    /// lazily in [`next_candidate`](ReplacementPolicy::next_candidate)).
+    /// lazily in [`next_candidate`](ReplacementPolicy::next_candidate));
+    /// candidate *eligibility* (residency, pins, the owner filter) is the
+    /// table's business.
     fn begin_scan(&mut self);
 
     /// Next eviction candidate in preference order, or `None` when the
-    /// scan is exhausted. The caller may reject a candidate (dirty during
-    /// a clean-only pass, raced away, …) and simply ask again.
-    fn next_candidate(&mut self) -> Option<u32>;
+    /// scan is exhausted. With `filter: Some(app)` only frames owned by
+    /// `app` are offered — the partition-local scan quota enforcement
+    /// runs — and other owners' ranking state must be left untouched
+    /// (skipped, not consumed). The caller may reject a candidate (dirty
+    /// during a clean-only pass, raced away, …) and simply ask again.
+    fn next_candidate(&mut self, filter: Option<AppId>) -> Option<u32>;
+
+    // ------------------------------------------------------------------
+    // Provided, table-backed surface.
+    // ------------------------------------------------------------------
+
+    /// `frame` is (un)pinned: pinned frames (e.g. dirty data in flight to
+    /// an iod) must not be offered as candidates.
+    fn set_pinned(&mut self, frame: u32, pinned: bool) {
+        self.table_mut().set_pinned(frame, pinned);
+    }
+
+    /// Application that installed the block in `frame`.
+    fn owner_of(&self, frame: u32) -> AppId {
+        self.table().owner_of(frame)
+    }
+
+    /// Frames currently owned by `app`.
+    fn resident_of(&self, app: AppId) -> usize {
+        self.table().resident_of(app)
+    }
+
+    /// Per-application usage ledger (occupancy + attributed traffic).
+    fn app_usage(&self) -> Vec<(AppId, AppUsage)> {
+        self.table().app_usage()
+    }
+
+    /// Attribute one hit / miss / eviction to an application.
+    fn note_app_hit(&mut self, app: AppId) {
+        self.table_mut().note_app_hit(app);
+    }
+    fn note_app_miss(&mut self, app: AppId) {
+        self.table_mut().note_app_miss(app);
+    }
+    fn note_app_eviction(&mut self, app: AppId) {
+        self.table_mut().note_app_eviction(app);
+    }
 
     /// The policy's event counters.
-    fn stats(&self) -> &PolicyStats;
-    fn stats_mut(&mut self) -> &mut PolicyStats;
+    fn stats(&self) -> &PolicyStats {
+        &self.table().stats
+    }
+    fn stats_mut(&mut self) -> &mut PolicyStats {
+        &mut self.table_mut().stats
+    }
 }
 
 /// Selector for the built-in policies — what configs, JSON experiment
@@ -228,5 +326,44 @@ mod tests {
             assert_eq!(p.kind(), kind);
             assert_eq!(*p.stats(), PolicyStats::default());
         }
+    }
+
+    #[test]
+    fn owner_filtered_scans_respect_partitions_in_every_policy() {
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build(8);
+            // Frames 0..4 belong to app 0, frames 4..8 to app 1.
+            for f in 0..8u32 {
+                p.on_insert(f, 100 + f as u64, AppId(f / 4));
+            }
+            assert_eq!(p.resident_of(AppId(0)), 4, "{kind}");
+            assert_eq!(p.owner_of(6), AppId(1), "{kind}");
+            p.begin_scan();
+            let mut offered = Vec::new();
+            while let Some(c) = p.next_candidate(Some(AppId(1))) {
+                offered.push(c);
+                assert!(offered.len() <= 32, "{kind}: filtered scan did not terminate");
+            }
+            assert!(!offered.is_empty(), "{kind}: filtered scan found no candidate");
+            assert!(
+                offered.iter().all(|&f| (4..8).contains(&f)),
+                "{kind}: filtered scan leaked another app's frames: {offered:?}"
+            );
+            // Without the filter the whole pool is eligible again.
+            p.begin_scan();
+            let mut all = std::collections::BTreeSet::new();
+            while let Some(c) = p.next_candidate(None) {
+                all.insert(c);
+                assert!(all.len() <= 8, "{kind}: unfiltered scan did not terminate");
+            }
+            assert!(!all.is_empty(), "{kind}: unfiltered scan found no candidate");
+        }
+    }
+
+    #[test]
+    fn app_usage_hit_ratio() {
+        let u = AppUsage { resident: 3, hits: 3, misses: 1, evictions: 0 };
+        assert_eq!(u.hit_ratio(), Some(0.75));
+        assert_eq!(AppUsage::default().hit_ratio(), None);
     }
 }

@@ -3,7 +3,7 @@
 //! extracted from the seed buffer manager's intrusive list.
 
 use crate::table::FrameTable;
-use crate::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
+use crate::{AppId, PolicyKind, ReplacementPolicy};
 
 const NIL: u32 = u32::MAX;
 
@@ -85,12 +85,20 @@ impl ReplacementPolicy for ExactLru {
         PolicyKind::ExactLru
     }
 
+    fn table(&self) -> &FrameTable {
+        &self.table
+    }
+
+    fn table_mut(&mut self) -> &mut FrameTable {
+        &mut self.table
+    }
+
     fn on_access(&mut self, frame: u32, _key: u64, _app: AppId) {
         self.touch(frame);
     }
 
-    fn on_insert(&mut self, frame: u32, _key: u64, _app: AppId) {
-        self.table.insert(frame);
+    fn on_insert(&mut self, frame: u32, _key: u64, app: AppId) {
+        self.table.insert(frame, app);
         self.touch(frame);
     }
 
@@ -99,32 +107,20 @@ impl ReplacementPolicy for ExactLru {
         self.unlink(frame);
     }
 
-    fn set_pinned(&mut self, frame: u32, pinned: bool) {
-        self.table.set_pinned(frame, pinned);
-    }
-
     fn begin_scan(&mut self) {
         self.scan = self.lru_order();
         self.scan_pos = 0;
     }
 
-    fn next_candidate(&mut self) -> Option<u32> {
+    fn next_candidate(&mut self, filter: Option<AppId>) -> Option<u32> {
         while self.scan_pos < self.scan.len() {
             let idx = self.scan[self.scan_pos];
             self.scan_pos += 1;
-            if self.table.evictable(idx) {
+            if self.table.evictable_for(idx, filter) {
                 return Some(idx);
             }
         }
         None
-    }
-
-    fn stats(&self) -> &PolicyStats {
-        &self.table.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut PolicyStats {
-        &mut self.table.stats
     }
 }
 
@@ -140,10 +136,10 @@ mod tests {
         }
         l.on_access(0, 0, AppId::UNKNOWN); // 1 is now LRU
         l.begin_scan();
-        assert_eq!(l.next_candidate(), Some(1));
-        assert_eq!(l.next_candidate(), Some(2));
-        assert_eq!(l.next_candidate(), Some(0));
-        assert_eq!(l.next_candidate(), None);
+        assert_eq!(l.next_candidate(None), Some(1));
+        assert_eq!(l.next_candidate(None), Some(2));
+        assert_eq!(l.next_candidate(None), Some(0));
+        assert_eq!(l.next_candidate(None), None);
     }
 
     #[test]
@@ -154,8 +150,8 @@ mod tests {
         }
         l.on_remove(0, 0);
         l.begin_scan();
-        assert_eq!(l.next_candidate(), Some(1));
-        assert_eq!(l.next_candidate(), Some(2));
-        assert_eq!(l.next_candidate(), None);
+        assert_eq!(l.next_candidate(None), Some(1));
+        assert_eq!(l.next_candidate(None), Some(2));
+        assert_eq!(l.next_candidate(None), None);
     }
 }

@@ -5,7 +5,7 @@
 //! applications is worth more than a private one, so it is evicted last.
 
 use crate::table::FrameTable;
-use crate::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
+use crate::{AppId, PolicyKind, ReplacementPolicy};
 
 /// Per-frame referent set (a 64-bit app bitmask) plus a logical access
 /// clock. Eviction offers single-application frames first, LRU within the
@@ -62,13 +62,21 @@ impl ReplacementPolicy for SharingAware {
         PolicyKind::SharingAware
     }
 
+    fn table(&self) -> &FrameTable {
+        &self.table
+    }
+
+    fn table_mut(&mut self) -> &mut FrameTable {
+        &mut self.table
+    }
+
     fn on_access(&mut self, frame: u32, _key: u64, app: AppId) {
         self.apps[frame as usize] |= app_bit(app);
         self.stamp(frame);
     }
 
     fn on_insert(&mut self, frame: u32, _key: u64, app: AppId) {
-        self.table.insert(frame);
+        self.table.insert(frame, app);
         self.apps[frame as usize] = app_bit(app);
         self.stamp(frame);
     }
@@ -76,10 +84,6 @@ impl ReplacementPolicy for SharingAware {
     fn on_remove(&mut self, frame: u32, _key: u64) {
         self.table.remove(frame);
         self.apps[frame as usize] = 0;
-    }
-
-    fn set_pinned(&mut self, frame: u32, pinned: bool) {
-        self.table.set_pinned(frame, pinned);
     }
 
     fn begin_scan(&mut self) {
@@ -90,23 +94,15 @@ impl ReplacementPolicy for SharingAware {
         self.scan_pos = 0;
     }
 
-    fn next_candidate(&mut self) -> Option<u32> {
+    fn next_candidate(&mut self, filter: Option<AppId>) -> Option<u32> {
         while self.scan_pos < self.scan.len() {
             let idx = self.scan[self.scan_pos];
             self.scan_pos += 1;
-            if self.table.evictable(idx) {
+            if self.table.evictable_for(idx, filter) {
                 return Some(idx);
             }
         }
         None
-    }
-
-    fn stats(&self) -> &PolicyStats {
-        &self.table.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut PolicyStats {
-        &mut self.table.stats
     }
 }
 
@@ -124,9 +120,9 @@ mod tests {
         s.on_access(0, 0, AppId(0)); // refresh 0: still private
         assert_eq!(s.referents(1), 2);
         s.begin_scan();
-        assert_eq!(s.next_candidate(), Some(2), "oldest private frame first");
-        assert_eq!(s.next_candidate(), Some(0));
-        assert_eq!(s.next_candidate(), Some(1), "the shared frame goes last");
+        assert_eq!(s.next_candidate(None), Some(2), "oldest private frame first");
+        assert_eq!(s.next_candidate(None), Some(0));
+        assert_eq!(s.next_candidate(None), Some(1), "the shared frame goes last");
     }
 
     #[test]

@@ -1,16 +1,30 @@
-//! Shared residency/pin bookkeeping every policy embeds.
+//! Shared residency/pin/ownership bookkeeping every policy embeds.
 
-use crate::PolicyStats;
+use crate::{AppId, AppUsage, PolicyStats};
+use std::collections::BTreeMap;
 
-/// Dense per-frame residency and pin flags plus the policy's stat
-/// counters. Policies layer their own metadata (reference bits, queues,
-/// frequencies, app sets) on top; the table is the single source of truth
-/// for "may this frame be offered as a candidate at all".
+/// Dense per-frame residency, pin and **owner** flags plus the policy's
+/// stat counters and the per-application usage ledger. Policies layer
+/// their own metadata (reference bits, queues, frequencies, app sets) on
+/// top; the table is the single source of truth for "may this frame be
+/// offered as a candidate at all".
+///
+/// The owner of a frame is the application that *installed* the resident
+/// block (quota charging follows the inserter, not later referents — a
+/// block another app merely read stays on its installer's bill). An
+/// **owner filter** ([`FrameTable::evictable_for`]) narrows candidate
+/// eligibility to one owner, which is how the buffer manager draws
+/// eviction candidates from a single partition without any policy having
+/// to know about quotas. The filter is a *parameter of the scan*, passed
+/// by the caller on every `next_candidate` call — deliberately not stored
+/// here, so concurrent scans can never clobber each other's filter.
 #[derive(Debug, Clone)]
 pub struct FrameTable {
     resident: Vec<bool>,
     pinned: Vec<bool>,
+    owner: Vec<AppId>,
     n_resident: usize,
+    per_app: BTreeMap<u32, AppUsage>,
     pub stats: PolicyStats,
 }
 
@@ -19,7 +33,9 @@ impl FrameTable {
         FrameTable {
             resident: vec![false; capacity],
             pinned: vec![false; capacity],
+            owner: vec![AppId::UNKNOWN; capacity],
             n_resident: 0,
+            per_app: BTreeMap::new(),
             stats: PolicyStats::default(),
         }
     }
@@ -40,38 +56,99 @@ impl FrameTable {
         self.pinned.get(frame as usize).copied().unwrap_or(false)
     }
 
-    /// A frame the policy may legitimately offer for eviction.
+    /// Application that installed the block currently in `frame`
+    /// ([`AppId::UNKNOWN`] for vacant frames and unattributed inserts).
+    pub fn owner_of(&self, frame: u32) -> AppId {
+        self.owner.get(frame as usize).copied().unwrap_or(AppId::UNKNOWN)
+    }
+
+    /// A frame the policy may legitimately offer for eviction: resident
+    /// and unpinned.
     pub fn evictable(&self, frame: u32) -> bool {
         self.is_resident(frame) && !self.is_pinned(frame)
     }
 
-    /// Mark `frame` resident (idempotent; counts one insert per new
-    /// residency). Panics on out-of-pool frames — an out-of-range index is
-    /// a manager bug, not a policy decision.
-    pub fn insert(&mut self, frame: u32) {
+    /// [`FrameTable::evictable`] under an owner filter: with
+    /// `Some(app)`, only frames installed by `app` qualify (the
+    /// partition-local candidate check).
+    pub fn evictable_for(&self, frame: u32, filter: Option<AppId>) -> bool {
+        self.evictable(frame) && filter.is_none_or(|o| self.owner_of(frame) == o)
+    }
+
+    /// Mark `frame` resident and owned by `app` (idempotent; counts one
+    /// insert per new residency and keeps the first owner on re-inserts).
+    /// Panics on out-of-pool frames — an out-of-range index is a manager
+    /// bug, not a policy decision.
+    pub fn insert(&mut self, frame: u32, app: AppId) {
         let f = &mut self.resident[frame as usize];
         if !*f {
             *f = true;
             self.n_resident += 1;
             self.stats.inserts += 1;
+            self.owner[frame as usize] = app;
+            if app != AppId::UNKNOWN {
+                self.per_app.entry(app.0).or_default().resident += 1;
+            }
         }
         debug_assert!(self.n_resident <= self.capacity());
     }
 
     /// Mark `frame` vacated; clears any pin (an invalidation may remove a
-    /// frame whose flush is still in flight).
+    /// frame whose flush is still in flight) and the ownership record.
     pub fn remove(&mut self, frame: u32) {
         let f = &mut self.resident[frame as usize];
         if *f {
             *f = false;
             self.n_resident -= 1;
             self.stats.removes += 1;
+            let owner = self.owner[frame as usize];
+            if owner != AppId::UNKNOWN {
+                if let Some(u) = self.per_app.get_mut(&owner.0) {
+                    u.resident = u.resident.saturating_sub(1);
+                }
+            }
         }
+        self.owner[frame as usize] = AppId::UNKNOWN;
         self.pinned[frame as usize] = false;
     }
 
     pub fn set_pinned(&mut self, frame: u32, pinned: bool) {
         self.pinned[frame as usize] = pinned;
+    }
+
+    /// Resident frames currently owned by `app`.
+    pub fn resident_of(&self, app: AppId) -> usize {
+        if app == AppId::UNKNOWN {
+            return 0;
+        }
+        self.per_app.get(&app.0).map_or(0, |u| u.resident as usize)
+    }
+
+    /// Attribute one cache hit to `app` (unattributed accesses are not
+    /// ledgered).
+    pub fn note_app_hit(&mut self, app: AppId) {
+        if app != AppId::UNKNOWN {
+            self.per_app.entry(app.0).or_default().hits += 1;
+        }
+    }
+
+    /// Attribute one cache miss to `app`.
+    pub fn note_app_miss(&mut self, app: AppId) {
+        if app != AppId::UNKNOWN {
+            self.per_app.entry(app.0).or_default().misses += 1;
+        }
+    }
+
+    /// Attribute the eviction of one of `app`'s frames.
+    pub fn note_app_eviction(&mut self, app: AppId) {
+        if app != AppId::UNKNOWN {
+            self.per_app.entry(app.0).or_default().evictions += 1;
+        }
+    }
+
+    /// Per-application usage ledger, ascending by application id.
+    pub fn app_usage(&self) -> Vec<(AppId, AppUsage)> {
+        self.per_app.iter().map(|(&id, &u)| (AppId(id), u)).collect()
     }
 
     /// Frames currently resident, ascending (diagnostics/tests).
@@ -87,19 +164,58 @@ mod tests {
     #[test]
     fn insert_remove_counts() {
         let mut t = FrameTable::new(4);
-        t.insert(1);
-        t.insert(1); // idempotent
-        t.insert(3);
+        t.insert(1, AppId(0));
+        t.insert(1, AppId(1)); // idempotent; owner stays with the installer
+        t.insert(3, AppId(1));
         assert_eq!(t.resident_count(), 2);
         assert_eq!(t.stats.inserts, 2);
+        assert_eq!(t.owner_of(1), AppId(0));
         assert!(t.evictable(1) && !t.evictable(0));
         t.set_pinned(1, true);
         assert!(!t.evictable(1));
         t.remove(1);
         assert!(!t.is_resident(1) && !t.is_pinned(1), "remove clears the pin");
+        assert_eq!(t.owner_of(1), AppId::UNKNOWN, "remove clears the owner");
         assert_eq!(t.stats.removes, 1);
         t.remove(1); // idempotent
         assert_eq!(t.stats.removes, 1);
         assert_eq!(t.resident_frames(), vec![3]);
+    }
+
+    #[test]
+    fn owner_filter_narrows_evictability() {
+        let mut t = FrameTable::new(4);
+        t.insert(0, AppId(0));
+        t.insert(1, AppId(1));
+        t.insert(2, AppId::UNKNOWN);
+        assert!(t.evictable(0) && t.evictable(1) && t.evictable(2));
+        let f = Some(AppId(1));
+        assert!(!t.evictable_for(0, f), "other app's frame filtered out");
+        assert!(t.evictable_for(1, f), "owned frame stays evictable");
+        assert!(!t.evictable_for(2, f), "unattributed frames belong to no partition");
+        assert!(t.evictable_for(0, None) && t.evictable_for(2, None));
+    }
+
+    #[test]
+    fn per_app_ledger_tracks_residency_and_events() {
+        let mut t = FrameTable::new(4);
+        t.insert(0, AppId(7));
+        t.insert(1, AppId(7));
+        t.insert(2, AppId(3));
+        assert_eq!(t.resident_of(AppId(7)), 2);
+        assert_eq!(t.resident_of(AppId(3)), 1);
+        assert_eq!(t.resident_of(AppId::UNKNOWN), 0);
+        t.note_app_hit(AppId(7));
+        t.note_app_miss(AppId(3));
+        t.note_app_eviction(AppId(7));
+        t.remove(0);
+        assert_eq!(t.resident_of(AppId(7)), 1);
+        let usage = t.app_usage();
+        assert_eq!(usage.len(), 2);
+        assert_eq!(usage[0].0, AppId(3), "ledger is ordered by app id");
+        assert_eq!((usage[1].1.hits, usage[1].1.evictions, usage[1].1.resident), (1, 1, 1));
+        // Unattributed events never enter the ledger.
+        t.note_app_hit(AppId::UNKNOWN);
+        assert_eq!(t.app_usage().len(), 2);
     }
 }

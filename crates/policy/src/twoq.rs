@@ -4,7 +4,7 @@
 //! displacing the hot set in Am.
 
 use crate::table::FrameTable;
-use crate::{AppId, PolicyKind, PolicyStats, ReplacementPolicy};
+use crate::{AppId, PolicyKind, ReplacementPolicy};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +71,14 @@ impl ReplacementPolicy for TwoQ {
         PolicyKind::TwoQ
     }
 
+    fn table(&self) -> &FrameTable {
+        &self.table
+    }
+
+    fn table_mut(&mut self) -> &mut FrameTable {
+        &mut self.table
+    }
+
     fn on_access(&mut self, frame: u32, _key: u64, _app: AppId) {
         match self.loc[frame as usize] {
             // 2Q: hits inside the admission FIFO do not reorder it.
@@ -83,8 +91,8 @@ impl ReplacementPolicy for TwoQ {
         }
     }
 
-    fn on_insert(&mut self, frame: u32, key: u64, _app: AppId) {
-        self.table.insert(frame);
+    fn on_insert(&mut self, frame: u32, key: u64, app: AppId) {
+        self.table.insert(frame, app);
         self.detach(frame);
         if let Some(pos) = self.a1out.iter().position(|&k| k == key) {
             // Seen recently and re-requested: proven hot, straight to Am.
@@ -107,10 +115,6 @@ impl ReplacementPolicy for TwoQ {
         self.table.remove(frame);
     }
 
-    fn set_pinned(&mut self, frame: u32, pinned: bool) {
-        self.table.set_pinned(frame, pinned);
-    }
-
     fn begin_scan(&mut self) {
         self.scan.clear();
         if self.a1in.len() >= self.kin {
@@ -123,23 +127,15 @@ impl ReplacementPolicy for TwoQ {
         self.scan_pos = 0;
     }
 
-    fn next_candidate(&mut self) -> Option<u32> {
+    fn next_candidate(&mut self, filter: Option<AppId>) -> Option<u32> {
         while self.scan_pos < self.scan.len() {
             let idx = self.scan[self.scan_pos];
             self.scan_pos += 1;
-            if self.table.evictable(idx) {
+            if self.table.evictable_for(idx, filter) {
                 return Some(idx);
             }
         }
         None
-    }
-
-    fn stats(&self) -> &PolicyStats {
-        &self.table.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut PolicyStats {
-        &mut self.table.stats
     }
 }
 
@@ -155,7 +151,7 @@ mod tests {
         }
         // All four sit in A1in (>= kin = 1): FIFO order, oldest first.
         q.begin_scan();
-        assert_eq!(q.next_candidate(), Some(0));
+        assert_eq!(q.next_candidate(None), Some(0));
     }
 
     #[test]
@@ -166,7 +162,7 @@ mod tests {
         q.on_insert(0, 100, AppId::UNKNOWN); // re-admitted: goes to Am
         q.on_insert(1, 200, AppId::UNKNOWN); // fresh: A1in
         q.begin_scan();
-        assert_eq!(q.next_candidate(), Some(1), "A1in drains before the proven-hot Am block");
+        assert_eq!(q.next_candidate(None), Some(1), "A1in drains before the proven-hot Am block");
     }
 
     #[test]
@@ -179,6 +175,6 @@ mod tests {
         }
         q.on_access(0, 10, AppId::UNKNOWN); // 1 is now Am's LRU
         q.begin_scan();
-        assert_eq!(q.next_candidate(), Some(1));
+        assert_eq!(q.next_candidate(None), Some(1));
     }
 }

@@ -7,17 +7,24 @@ use proptest::prelude::*;
 
 const CAP: usize = 8;
 
-/// Model of the manager's view: which frames are resident/pinned, plus a
-/// per-frame fingerprint so ghost-list policies see realistic keys.
+/// Model of the manager's view: which frames are resident/pinned, which
+/// application installed them, plus a per-frame fingerprint so ghost-list
+/// policies see realistic keys.
 struct Model {
     resident: [bool; CAP],
     pinned: [bool; CAP],
     key_of: [u64; CAP],
+    owner_of: [AppId; CAP],
 }
 
 impl Model {
     fn new() -> Model {
-        Model { resident: [false; CAP], pinned: [false; CAP], key_of: [0; CAP] }
+        Model {
+            resident: [false; CAP],
+            pinned: [false; CAP],
+            key_of: [0; CAP],
+            owner_of: [AppId::UNKNOWN; CAP],
+        }
     }
 
     fn resident_count(&self) -> usize {
@@ -26,6 +33,10 @@ impl Model {
 
     fn any_evictable(&self) -> bool {
         (0..CAP).any(|f| self.resident[f] && !self.pinned[f])
+    }
+
+    fn any_evictable_owned(&self, owner: AppId) -> bool {
+        (0..CAP).any(|f| self.resident[f] && !self.pinned[f] && self.owner_of[f] == owner)
     }
 }
 
@@ -47,6 +58,7 @@ fn drive(kind: PolicyKind, ops: &[(u8, u64)]) {
                 } else {
                     m.resident[frame as usize] = true;
                     m.key_of[frame as usize] = arg;
+                    m.owner_of[frame as usize] = app;
                     policy.on_insert(frame, arg, app);
                 }
             }
@@ -55,6 +67,7 @@ fn drive(kind: PolicyKind, ops: &[(u8, u64)]) {
                 if m.resident[frame as usize] {
                     m.resident[frame as usize] = false;
                     m.pinned[frame as usize] = false;
+                    m.owner_of[frame as usize] = AppId::UNKNOWN;
                     policy.on_remove(frame, m.key_of[frame as usize]);
                 }
             }
@@ -66,13 +79,52 @@ fn drive(kind: PolicyKind, ops: &[(u8, u64)]) {
                     policy.set_pinned(frame, p);
                 }
             }
+            3 => {
+                // Owner-filtered eviction scan (the partition-local path the
+                // quota-enforcing manager runs): every candidate must be
+                // owned by the filtered app on top of the usual rules, and
+                // the scan must find a victim iff the app owns one.
+                policy.begin_scan();
+                let got = policy.next_candidate(Some(app));
+                if let Some(c) = got {
+                    prop_assert!((c as usize) < CAP, "{kind}: filtered candidate {c} out of pool");
+                    prop_assert!(m.resident[c as usize], "{kind}: filtered candidate not resident");
+                    prop_assert!(!m.pinned[c as usize], "{kind}: filtered candidate is pinned");
+                    prop_assert_eq!(
+                        m.owner_of[c as usize],
+                        app,
+                        "{}: candidate {} not owned by the filtered app",
+                        kind,
+                        c
+                    );
+                    m.resident[c as usize] = false;
+                    m.owner_of[c as usize] = AppId::UNKNOWN;
+                    policy.on_remove(c, m.key_of[c as usize]);
+                }
+                prop_assert!(
+                    got.is_some() || !m.any_evictable_owned(app),
+                    "{kind}: filtered scan missed an evictable frame owned by app {app:?}"
+                );
+                let mut offered = 0usize;
+                while let Some(c) = policy.next_candidate(Some(app)) {
+                    offered += 1;
+                    prop_assert!(offered <= 4 * CAP, "{kind}: filtered scan did not terminate");
+                    prop_assert!(
+                        (c as usize) < CAP
+                            && m.resident[c as usize]
+                            && !m.pinned[c as usize]
+                            && m.owner_of[c as usize] == app,
+                        "{kind}: late filtered candidate {c} violates invariants"
+                    );
+                }
+            }
             _ => {
                 // Eviction scan: every candidate must be in-pool, resident,
                 // and unpinned; the scan must terminate; and when an
                 // evictable frame exists the policy must find one.
                 policy.begin_scan();
                 let mut victim = None;
-                if let Some(c) = policy.next_candidate() {
+                if let Some(c) = policy.next_candidate(None) {
                     prop_assert!((c as usize) < CAP, "{kind}: candidate {c} out of pool");
                     prop_assert!(m.resident[c as usize], "{kind}: candidate {c} not resident");
                     prop_assert!(!m.pinned[c as usize], "{kind}: candidate {c} is pinned");
@@ -91,7 +143,7 @@ fn drive(kind: PolicyKind, ops: &[(u8, u64)]) {
                 // Exhausting the rest of the scan must terminate and keep
                 // honoring the same candidate rules.
                 let mut offered = 0usize;
-                while let Some(c) = policy.next_candidate() {
+                while let Some(c) = policy.next_candidate(None) {
                     offered += 1;
                     prop_assert!(offered <= 4 * CAP, "{kind}: scan did not terminate");
                     prop_assert!(
@@ -108,7 +160,7 @@ fn drive(kind: PolicyKind, ops: &[(u8, u64)]) {
 proptest! {
     #[test]
     fn all_policies_uphold_candidate_invariants(
-        ops in collection::vec((0u8..4, 0u64..1024), 1..300),
+        ops in collection::vec((0u8..5, 0u64..1024), 1..300),
     ) {
         for kind in PolicyKind::ALL {
             drive(kind, &ops);
@@ -172,7 +224,7 @@ proptest! {
                 _ => {
                     let want = seed.evict();
                     p.begin_scan();
-                    let got = p.next_candidate();
+                    let got = p.next_candidate(None);
                     prop_assert_eq!(got, want, "clock diverged from the seed algorithm");
                     if let Some(v) = got {
                         p.on_remove(v, 0);
@@ -210,7 +262,7 @@ proptest! {
                 _ => {
                     let want = order.pop();
                     p.begin_scan();
-                    let got = p.next_candidate();
+                    let got = p.next_candidate(None);
                     prop_assert_eq!(got, want, "exact LRU diverged from the seed list");
                     if let Some(v) = got {
                         p.on_remove(v, 0);

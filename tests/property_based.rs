@@ -1,7 +1,10 @@
 //! Property-based tests (proptest) on the core data structures and
 //! cross-crate invariants.
 
-use kcache::{blocks_of_range, span_in_block, BlockKey, BufferManager, EvictPolicy, Span};
+use kcache::{
+    blocks_of_range, span_in_block, AppId, BlockKey, BufferManager, EvictPolicy, PartitionConfig,
+    Span,
+};
 use proptest::prelude::*;
 use pvfs::{split_ranges, tiles_exactly, ByteRange, Fid, StripeSpec};
 use sim_disk::{BlockFs, PageCache};
@@ -72,6 +75,55 @@ proptest! {
             uniq.dedup();
             prop_assert_eq!(keys.len(), uniq.len(), "duplicate resident keys");
             prop_assert_eq!(keys.len() + m.free_frames(), 16, "frames not conserved");
+        }
+    }
+
+    /// Strict partitioning invariants: under any operation sequence by a
+    /// mix of quota'd, unquota'd, and unknown applications, no quota'd
+    /// app's resident-frame count ever exceeds its quota, total residency
+    /// never exceeds the pool, and frames stay conserved.
+    #[test]
+    fn strict_quotas_never_exceeded(
+        ops in proptest::collection::vec((0u8..6, 0u64..48, 0u32..4), 1..300),
+    ) {
+        const CAP: usize = 16;
+        let quotas = [(0u32, 5usize), (1, 7)];
+        let m = BufferManager::with_config(
+            CAP,
+            EvictPolicy::default(),
+            0,
+            CAP,
+            PartitionConfig::strict(quotas),
+        );
+        let buf = vec![3u8; 4096];
+        let mut out = vec![0u8; 4096];
+        let mut inflight: Vec<kcache::FlushItem> = Vec::new();
+        for (op, blk, who) in ops {
+            // App 0 and 1 are quota'd, 2 is unlisted, 3 maps to UNKNOWN.
+            let app = if who == 3 { AppId::UNKNOWN } else { AppId(who) };
+            let key = BlockKey::new(Fid(1), blk);
+            match op {
+                0 => { let _ = m.try_read_by(key, Span::FULL, &mut out, app); }
+                1 | 2 => { let _ = m.insert_clean_by(key, NodeId(0), Span::FULL, &buf, app); }
+                3 => { let _ = m.write_by(key, NodeId(0), Span::FULL, &buf, app); }
+                4 => { inflight.extend(m.take_dirty(4)); }
+                _ => {
+                    for it in inflight.drain(..) {
+                        m.flush_complete(it.key, it.span);
+                    }
+                    let _ = m.invalidate([key]);
+                }
+            }
+            for (id, q) in quotas {
+                prop_assert!(
+                    m.resident_of(AppId(id)) <= q,
+                    "app {} holds {} frames over its strict quota {}",
+                    id, m.resident_of(AppId(id)), q
+                );
+            }
+            let keys = m.resident_keys();
+            prop_assert!(keys.len() <= CAP, "total residency exceeds the pool");
+            prop_assert_eq!(keys.len() + m.free_frames(), CAP, "frames not conserved");
         }
     }
 

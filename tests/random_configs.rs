@@ -2,8 +2,9 @@
 //! arbitrary (but deterministic) knob combinations must all complete
 //! without stalls, protocol violations, or data corruption.
 
+use cluster_harness::config::{AppCfg, ClusterCfg, ExperimentConfig};
 use cluster_harness::{run_experiment, ClusterSpec};
-use kcache::{CacheConfig, EvictPolicy, PolicyKind};
+use kcache::{CacheConfig, EvictPolicy, PartitionConfig, PartitionMode, PolicyKind};
 use sim_core::{DetRng, Dur};
 use sim_net::{NetConfig, NodeId};
 use workload::{AppSpec, Mode};
@@ -31,6 +32,20 @@ fn random_app(rng: &mut DetRng, idx: u32, n_nodes: u16) -> AppSpec {
     }
 }
 
+/// A random partitioning config over `n_apps` instances: any mode, each
+/// app independently quota'd (or not) with an arbitrary in-range quota.
+fn random_partitioning(rng: &mut DetRng, n_apps: u32, capacity: usize) -> PartitionConfig {
+    let mode =
+        [PartitionMode::Shared, PartitionMode::Strict, PartitionMode::Soft][rng.below(3) as usize];
+    let mut quotas = std::collections::BTreeMap::new();
+    for i in 0..n_apps {
+        if rng.chance(0.7) {
+            quotas.insert(i, rng.range_inclusive(1, capacity as u64) as usize);
+        }
+    }
+    PartitionConfig { mode, quotas }
+}
+
 #[test]
 fn randomized_configurations_all_complete_cleanly() {
     for seed in 0..12u64 {
@@ -39,16 +54,20 @@ fn randomized_configurations_all_complete_cleanly() {
         let apps: Vec<AppSpec> = (0..n_apps).map(|i| random_app(&mut rng, i, 6)).collect();
 
         let caching = rng.chance(0.7);
-        let mut spec = ClusterSpec::paper(caching.then(|| CacheConfig {
-            capacity_blocks: [75, 300, 600][rng.below(3) as usize],
-            low_watermark: 8,
-            high_watermark: 16,
-            policy: EvictPolicy {
-                kind: PolicyKind::ALL[rng.below(PolicyKind::ALL.len() as u64) as usize],
-                clean_first: rng.chance(0.8),
-            },
-            write_behind: rng.chance(0.8),
-            ..CacheConfig::paper()
+        let mut spec = ClusterSpec::paper(caching.then(|| {
+            let capacity_blocks = [75, 300, 600][rng.below(3) as usize];
+            CacheConfig {
+                capacity_blocks,
+                low_watermark: 8,
+                high_watermark: 16,
+                policy: EvictPolicy {
+                    kind: PolicyKind::ALL[rng.below(PolicyKind::ALL.len() as u64) as usize],
+                    clean_first: rng.chance(0.8),
+                },
+                partitioning: random_partitioning(&mut rng, n_apps, capacity_blocks),
+                write_behind: rng.chance(0.8),
+                ..CacheConfig::paper()
+            }
         }));
         if rng.chance(0.3) {
             spec.net = NetConfig::switch_100mbps();
@@ -138,4 +157,85 @@ fn write_saturation_under_tiny_cache_throttles_not_stalls() {
         c.writes_passthrough > 0,
         "a 32 KB cache under a 1 MB write burst must throttle to pass-through"
     );
+}
+
+/// Random partitioning JSON configs round-trip through serde and lower to
+/// the PartitionConfig they describe; pre-PR-3 configs (no partitioning
+/// fields anywhere) keep parsing to the shared pool.
+#[test]
+fn partitioning_configs_round_trip_through_json() {
+    for seed in 0..20u64 {
+        let mut rng = DetRng::stream(0xCAFE, seed);
+        let n_apps = rng.range_inclusive(1, 3) as u32;
+        let mode = ["shared", "strict", "soft"][rng.below(3) as usize];
+        let cfg = ExperimentConfig {
+            cluster: ClusterCfg {
+                nodes: 4,
+                seed,
+                cache_blocks: 300,
+                policy: PolicyKind::ALL[rng.below(6) as usize].name().into(),
+                partitioning: mode.into(),
+                ..ClusterCfg::default()
+            },
+            apps: (0..n_apps)
+                .map(|i| AppCfg {
+                    name: format!("app{i}"),
+                    nodes: vec![0],
+                    total_mb: 1,
+                    request_kb: 64,
+                    mode: "read".into(),
+                    locality: rng.f64(),
+                    sharing: 0.0,
+                    hotspot: 0.0,
+                    start_delay_ms: 0,
+                    quota_blocks: if rng.chance(0.6) {
+                        rng.range_inclusive(1, 300) as usize
+                    } else {
+                        0
+                    },
+                })
+                .collect(),
+        };
+        let json = serde_json::to_string_pretty(&cfg).expect("serialize config");
+        let back = ExperimentConfig::from_json(&json).expect("re-parse config");
+        assert_eq!(back, cfg, "seed {seed}: JSON round-trip changed the config");
+        let part = back.partitioning().expect("lower partitioning");
+        assert_eq!(part.mode, PartitionMode::parse(mode).unwrap());
+        for (i, a) in cfg.apps.iter().enumerate() {
+            assert_eq!(
+                part.quotas.get(&(i as u32)).copied(),
+                (a.quota_blocks > 0).then_some(a.quota_blocks),
+                "seed {seed}: quota for app {i} lost in lowering"
+            );
+        }
+        // The lowered spec must actually build and run.
+        let (spec, apps) = back.to_spec().expect("lower spec");
+        let r = run_experiment(&spec, &apps);
+        assert!(r.completed, "seed {seed}: lowered config stalled");
+        assert_eq!(r.total_verify_failures(), 0, "seed {seed}: data corruption");
+    }
+}
+
+/// A config written before partitioning existed — no `partitioning`, no
+/// `quota_blocks`, not even a `policy` — parses to the exact defaults
+/// (shared pool, clock) and still runs.
+#[test]
+fn pre_partitioning_json_still_parses_and_runs() {
+    let cfg = ExperimentConfig::from_json(
+        r#"{
+            "cluster": { "nodes": 4, "caching": true, "seed": 7 },
+            "apps": [
+                { "name": "legacy", "nodes": [0, 1], "total_mb": 1,
+                  "request_kb": 64, "mode": "read", "locality": 0.5 }
+            ]
+        }"#,
+    )
+    .expect("legacy config must parse");
+    assert_eq!(cfg.cluster.partitioning, "shared");
+    assert_eq!(cfg.cluster.policy, "clock");
+    assert!(cfg.apps.iter().all(|a| a.quota_blocks == 0));
+    let (spec, apps) = cfg.to_spec().unwrap();
+    assert!(!spec.cache.as_ref().unwrap().partitioning.is_partitioned());
+    let r = run_experiment(&spec, &apps);
+    assert!(r.completed && r.total_verify_failures() == 0);
 }
