@@ -1,0 +1,521 @@
+//! # kcache-adaptive — the online meta-policy subsystem
+//!
+//! The `kcache-policy` crate makes eviction pluggable; this crate makes
+//! the *choice* of policy a runtime decision. An [`AdaptivePolicy`] wraps
+//! a set of candidate [`PolicyKind`]s behind the ordinary
+//! [`ReplacementPolicy`] trait and closes a feedback loop above them:
+//!
+//! * **ghost caches** ([`GhostCache`]) — every candidate is simulated,
+//!   metadata-only, against the same access stream the live policy
+//!   serves; each ghost's hit/miss ledger says what that candidate's hit
+//!   rate would have been,
+//! * an **epoch controller** — every epoch tick (driven by the buffer
+//!   manager off its access counter) the controller compares ghost hit
+//!   rates and, when another candidate beats the live one by more than a
+//!   hysteresis margin, switches the live policy — migrating the resident
+//!   frame state through the shared `FrameTable` so not a single block is
+//!   dropped by the switch,
+//! * a **quota tuner** — per-application ghost lists remember each app's
+//!   recently evicted keys; a re-reference to a remembered key is a
+//!   *refault*: a hit the app's partition was too small to keep. Refault
+//!   counts are marginal-utility estimates, and each epoch the tuner
+//!   recommends moving a few frames of quota from the app that would lose
+//!   the least to the app that would gain the most. The buffer manager —
+//!   owner of the charge ledger — validates and applies the
+//!   recommendation.
+//!
+//! With a single candidate the wrapper is behaviorally transparent: the
+//! ghosts observe but never influence, the controller has nothing to
+//! switch to, and the tuner only acts on quota'd apps — pinned
+//! byte-for-byte against the static policy by differential tests.
+
+pub mod ghost;
+
+pub use ghost::GhostCache;
+
+use kcache_policy::{
+    AdaptiveStats, AppId, FrameTable, GhostRate, PolicyKind, QuotaMoveRecord, QuotaUpdate,
+    ReplacementPolicy, SwitchRecord,
+};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Tunables of the meta-policy (the `adaptive` section of experiment
+/// configs lowers to this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Candidate policies; the first is the initial live policy.
+    pub candidates: Vec<PolicyKind>,
+    /// Minimum ghost hit-rate advantage (absolute, e.g. 0.02 = 2 points)
+    /// a challenger needs over the live candidate to trigger a switch —
+    /// the hysteresis that stops rate noise from thrashing the policy.
+    pub hysteresis: f64,
+    /// Enable the marginal-utility quota tuner (only acts when the
+    /// manager actually runs per-app quotas).
+    pub quota_tuning: bool,
+    /// Frames of quota moved per epoch by the tuner.
+    pub quota_step: usize,
+    /// Per-application ghost-list capacity in keys (0 = the cache
+    /// capacity: remember about one partition's worth of evictions).
+    pub ghost_history: usize,
+}
+
+impl AdaptiveConfig {
+    /// Candidates with the default controller settings (2-point
+    /// hysteresis, tuner on, 8-frame steps).
+    pub fn new(candidates: impl IntoIterator<Item = PolicyKind>) -> AdaptiveConfig {
+        AdaptiveConfig {
+            candidates: candidates.into_iter().collect(),
+            hysteresis: 0.02,
+            quota_tuning: true,
+            quota_step: 8,
+            ghost_history: 0,
+        }
+    }
+
+    /// All six built-in policies as candidates.
+    pub fn all_candidates() -> AdaptiveConfig {
+        AdaptiveConfig::new(PolicyKind::ALL)
+    }
+}
+
+/// Per-application eviction memory for the quota tuner.
+struct AppGhostList {
+    recent: VecDeque<u64>,
+    set: HashSet<u64>,
+    cap: usize,
+    /// Re-references to remembered (evicted) keys this epoch — the hits a
+    /// bigger quota would have kept.
+    epoch_refaults: u64,
+}
+
+impl AppGhostList {
+    fn new(cap: usize) -> AppGhostList {
+        AppGhostList {
+            recent: VecDeque::new(),
+            set: HashSet::new(),
+            cap: cap.max(1),
+            epoch_refaults: 0,
+        }
+    }
+
+    fn remember(&mut self, key: u64) {
+        if self.set.insert(key) {
+            self.recent.push_back(key);
+        }
+        while self.set.len() > self.cap {
+            match self.recent.pop_front() {
+                Some(old) => {
+                    self.set.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn note_access(&mut self, key: u64) {
+        if self.set.remove(&key) {
+            self.epoch_refaults += 1;
+        }
+    }
+}
+
+/// The meta-policy. See the crate docs for the control loop; to the
+/// buffer manager this is just another [`ReplacementPolicy`] whose
+/// [`epoch_tick`](ReplacementPolicy::epoch_tick) happens to do something.
+pub struct AdaptivePolicy {
+    cfg: AdaptiveConfig,
+    capacity: usize,
+    live: Box<dyn ReplacementPolicy>,
+    /// Index (into `cfg.candidates` / `ghosts`) of the live policy.
+    live_idx: usize,
+    ghosts: Vec<GhostCache>,
+    app_ghosts: BTreeMap<u32, AppGhostList>,
+    ghost_cap: usize,
+    stats: AdaptiveStats,
+}
+
+impl AdaptivePolicy {
+    /// Wrap `cfg.candidates` over a pool of `capacity` frames. Duplicate
+    /// candidates are dropped (first occurrence wins — a duplicate would
+    /// simulate the same kind twice and double-count its ghost ledger).
+    /// Panics on an empty candidate list — an adaptive policy with
+    /// nothing to adapt between is a config bug.
+    pub fn new(capacity: usize, mut cfg: AdaptiveConfig) -> AdaptivePolicy {
+        assert!(!cfg.candidates.is_empty(), "adaptive policy with no candidates");
+        assert!(capacity > 0, "adaptive policy over empty frame pool");
+        let mut seen = Vec::new();
+        cfg.candidates.retain(|k| {
+            let fresh = !seen.contains(k);
+            if fresh {
+                seen.push(*k);
+            }
+            fresh
+        });
+        let live = cfg.candidates[0].build(capacity);
+        let ghosts = cfg.candidates.iter().map(|&k| GhostCache::new(k, capacity)).collect();
+        let ghost_cap = if cfg.ghost_history == 0 { capacity } else { cfg.ghost_history };
+        AdaptivePolicy {
+            cfg,
+            capacity,
+            live,
+            live_idx: 0,
+            ghosts,
+            app_ghosts: BTreeMap::new(),
+            ghost_cap,
+            stats: AdaptiveStats::default(),
+        }
+    }
+
+    /// The candidate list (config echo).
+    pub fn candidates(&self) -> &[PolicyKind] {
+        &self.cfg.candidates
+    }
+
+    /// Feed one access of the live stream to every ghost and the tuner.
+    fn observe(&mut self, key: u64, app: AppId) {
+        for g in &mut self.ghosts {
+            g.access(key, app);
+        }
+        if self.cfg.quota_tuning && app != AppId::UNKNOWN {
+            if let Some(gl) = self.app_ghosts.get_mut(&app.0) {
+                gl.note_access(key);
+            }
+        }
+    }
+
+    /// The controller: compare epoch ghost rates, switch with hysteresis.
+    fn consider_switch(&mut self) {
+        let live_rate = self.ghosts[self.live_idx].epoch_rate();
+        let mut best: Option<(usize, f64)> = None;
+        for (i, g) in self.ghosts.iter().enumerate() {
+            if let Some(r) = g.epoch_rate() {
+                if best.is_none_or(|(_, br)| r > br) {
+                    best = Some((i, r));
+                }
+            }
+        }
+        if let (Some((best_idx, best_rate)), Some(live_rate)) = (best, live_rate) {
+            if best_idx != self.live_idx && best_rate > live_rate + self.cfg.hysteresis {
+                let from = self.cfg.candidates[self.live_idx];
+                let to = self.cfg.candidates[best_idx];
+                self.live = kcache_policy::migrate(self.live.as_ref(), to);
+                self.live_idx = best_idx;
+                self.stats.switches += 1;
+                self.stats.switch_log.push(SwitchRecord {
+                    epoch: self.stats.epochs,
+                    from,
+                    to,
+                    from_rate: live_rate,
+                    to_rate: best_rate,
+                });
+            }
+        }
+        for g in &mut self.ghosts {
+            g.end_epoch();
+        }
+    }
+
+    /// The tuner: move `quota_step` frames of quota from the app with the
+    /// fewest refaults (least marginal utility) to the app with the most.
+    fn tune_quotas(&mut self, quotas: &[(AppId, usize)]) -> Vec<QuotaUpdate> {
+        let mut updates = Vec::new();
+        if self.cfg.quota_tuning && quotas.len() >= 2 {
+            let refaults =
+                |app: AppId| self.app_ghosts.get(&app.0).map(|g| g.epoch_refaults).unwrap_or(0);
+            // Winner: most refaults, smaller quota on ties (the squeezed
+            // app gains first). Loser: fewest refaults, larger quota on
+            // ties (a drained app is not squeezed further). Both
+            // deterministic over the manager's ascending-app-id slice.
+            let &(winner, wq) = quotas
+                .iter()
+                .max_by_key(|&&(a, q)| (refaults(a), std::cmp::Reverse(q)))
+                .expect("non-empty quotas");
+            let &(loser, lq) = quotas
+                .iter()
+                .filter(|&&(a, _)| a != winner)
+                .min_by_key(|&&(a, q)| (refaults(a), std::cmp::Reverse(q)))
+                .expect("two quota'd apps");
+            if refaults(winner) > refaults(loser) {
+                // Clamp to what both sides can honor: the loser keeps at
+                // least one frame and the winner never exceeds the pool —
+                // a transfer must be applicable in full or not proposed
+                // at all (a half-applied pair would leak quota).
+                let step = self
+                    .cfg
+                    .quota_step
+                    .min(lq.saturating_sub(1))
+                    .min(self.capacity.saturating_sub(wq));
+                if step > 0 {
+                    updates.push(QuotaUpdate { app: winner, quota: wq + step });
+                    updates.push(QuotaUpdate { app: loser, quota: lq - step });
+                    self.stats.quota_moves += 1;
+                    self.stats.quota_log.push(QuotaMoveRecord {
+                        epoch: self.stats.epochs,
+                        from: loser,
+                        to: winner,
+                        frames: step,
+                    });
+                }
+            }
+        }
+        for gl in self.app_ghosts.values_mut() {
+            gl.epoch_refaults = 0;
+        }
+        updates
+    }
+}
+
+impl ReplacementPolicy for AdaptivePolicy {
+    fn kind(&self) -> PolicyKind {
+        self.live.kind()
+    }
+
+    fn table(&self) -> &FrameTable {
+        self.live.table()
+    }
+
+    fn table_mut(&mut self) -> &mut FrameTable {
+        self.live.table_mut()
+    }
+
+    fn on_access(&mut self, frame: u32, key: u64, app: AppId) {
+        self.observe(key, app);
+        self.live.on_access(frame, key, app);
+    }
+
+    fn on_insert(&mut self, frame: u32, key: u64, app: AppId) {
+        // An insert is the tail of a miss in the live stream: the ghosts
+        // see the same reference.
+        self.observe(key, app);
+        self.live.on_insert(frame, key, app);
+    }
+
+    fn on_remove(&mut self, frame: u32, key: u64) {
+        // Remember who lost the frame *before* the table forgets it: a
+        // later re-reference to this key by the same app is a refault.
+        if self.cfg.quota_tuning {
+            let owner = self.live.owner_of(frame);
+            if owner != AppId::UNKNOWN {
+                let cap = self.ghost_cap;
+                self.app_ghosts
+                    .entry(owner.0)
+                    .or_insert_with(|| AppGhostList::new(cap))
+                    .remember(key);
+            }
+        }
+        self.live.on_remove(frame, key);
+    }
+
+    fn on_remove_invalidated(&mut self, frame: u32, key: u64) {
+        // A coherence invalidation is not capacity pressure: re-reading
+        // the block later is not evidence the partition was too small, so
+        // it must not enter the refault memory the tuner reads.
+        self.live.on_remove(frame, key);
+    }
+
+    fn begin_scan(&mut self) {
+        self.live.begin_scan();
+    }
+
+    fn next_candidate(&mut self, filter: Option<AppId>) -> Option<u32> {
+        self.live.next_candidate(filter)
+    }
+
+    fn epoch_tick(&mut self, quotas: &[(AppId, usize)]) -> Vec<QuotaUpdate> {
+        self.stats.epochs += 1;
+        // Time-based aging first, in the live policy and every ghost, so
+        // the switch decision is made over consistently aged metadata.
+        let _ = self.live.epoch_tick(&[]);
+        for g in &mut self.ghosts {
+            g.epoch_tick();
+        }
+        self.consider_switch();
+        self.tune_quotas(quotas)
+    }
+
+    fn adaptive_stats(&self) -> Option<AdaptiveStats> {
+        let mut stats = self.stats.clone();
+        stats.ghost_rates = self
+            .ghosts
+            .iter()
+            .map(|g| {
+                let (hits, misses) = g.lifetime();
+                GhostRate { kind: g.kind(), hits, misses }
+            })
+            .collect();
+        Some(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(p: &mut AdaptivePolicy, keys: &[u64], app: AppId) {
+        // Simulate the manager: miss-insert unknown keys into the next
+        // frame a scan would free, hit known ones.
+        for &k in keys {
+            let resident = p.table().resident_entries();
+            if let Some(&(f, _, _)) = resident.iter().find(|&&(_, rk, _)| rk == k) {
+                p.on_access(f, k, app);
+            } else {
+                let frame = if resident.len() < p.table().capacity() {
+                    (0..p.table().capacity() as u32).find(|&f| !p.table().is_resident(f)).unwrap()
+                } else {
+                    p.begin_scan();
+                    let v = p.next_candidate(None).unwrap();
+                    let old = p.table().key_of(v);
+                    p.on_remove(v, old);
+                    v
+                };
+                p.on_insert(frame, k, app);
+            }
+        }
+    }
+
+    #[test]
+    fn switches_to_the_better_candidate() {
+        // LFU keeps a hot set under heavy skew that clock churns through.
+        let mut p =
+            AdaptivePolicy::new(4, AdaptiveConfig::new([PolicyKind::Clock, PolicyKind::ExactLru]));
+        assert_eq!(p.kind(), PolicyKind::Clock);
+        // A strict-LRU-friendly cyclic pattern over 5 keys with
+        // re-references: exact LRU's ghost should outscore clock's
+        // eventually on a reuse-heavy stream.
+        let mut stream = Vec::new();
+        for i in 0..200u64 {
+            stream.push(i % 3); // tight hot set: both do well
+            stream.push(3 + (i % 7)); // churn
+        }
+        feed(&mut p, &stream, AppId(0));
+        let _ = p.epoch_tick(&[]);
+        let stats = p.adaptive_stats().unwrap();
+        assert_eq!(stats.epochs, 1);
+        // Whatever the verdict, the ledger must be consistent.
+        assert_eq!(stats.ghost_rates.len(), 2);
+        for g in &stats.ghost_rates {
+            assert_eq!(g.hits + g.misses, stream.len() as u64, "{:?}", g.kind);
+        }
+    }
+
+    #[test]
+    fn single_candidate_never_switches() {
+        let mut p = AdaptivePolicy::new(8, AdaptiveConfig::new([PolicyKind::Arc]));
+        feed(&mut p, &(0..100u64).map(|i| i % 13).collect::<Vec<_>>(), AppId(0));
+        for _ in 0..10 {
+            let updates = p.epoch_tick(&[]);
+            assert!(updates.is_empty());
+        }
+        let stats = p.adaptive_stats().unwrap();
+        assert_eq!(stats.switches, 0);
+        assert_eq!(p.kind(), PolicyKind::Arc);
+    }
+
+    #[test]
+    fn switch_preserves_residency() {
+        let mut p = AdaptivePolicy::new(
+            4,
+            AdaptiveConfig {
+                hysteresis: 0.0,
+                ..AdaptiveConfig::new([PolicyKind::Clock, PolicyKind::ExactLru, PolicyKind::Lfu])
+            },
+        );
+        feed(&mut p, &[1, 2, 3, 4, 1, 2, 1, 2, 5, 6, 1, 2, 7, 8, 1, 2], AppId(0));
+        let before = p.table().resident_entries();
+        let stats_before = p.table().stats;
+        let _ = p.epoch_tick(&[]);
+        assert_eq!(p.table().resident_entries(), before, "switch must not move blocks");
+        assert_eq!(p.table().stats, stats_before, "switch must not reset the ledger");
+    }
+
+    #[test]
+    fn tuner_moves_quota_toward_the_refaulting_app() {
+        let mut p = AdaptivePolicy::new(4, AdaptiveConfig::new([PolicyKind::ExactLru]));
+        let (victim, scanner) = (AppId(0), AppId(1));
+        // The victim's hot keys keep getting evicted and re-referenced
+        // (refaults); the scanner streams fresh keys it never revisits.
+        let mut scan_key = 1000u64;
+        for round in 0..50u64 {
+            feed(&mut p, &[round % 2], victim);
+            feed(&mut p, &[scan_key, scan_key + 1, scan_key + 2], scanner);
+            scan_key += 3;
+        }
+        let updates = p.epoch_tick(&[(victim, 2), (scanner, 2)]);
+        assert_eq!(updates.len(), 2, "tuner must move quota");
+        let vu = updates.iter().find(|u| u.app == victim).unwrap();
+        let su = updates.iter().find(|u| u.app == scanner).unwrap();
+        assert!(vu.quota > 2, "victim quota must grow, got {}", vu.quota);
+        assert!(su.quota < 2 && su.quota >= 1, "scanner quota must shrink, got {}", su.quota);
+        let stats = p.adaptive_stats().unwrap();
+        assert_eq!(stats.quota_moves, 1);
+        assert_eq!(stats.quota_log[0].to, victim);
+        assert_eq!(stats.quota_log[0].from, scanner);
+    }
+
+    #[test]
+    fn duplicate_candidates_are_dropped() {
+        let p = AdaptivePolicy::new(
+            4,
+            AdaptiveConfig::new([PolicyKind::Clock, PolicyKind::Clock, PolicyKind::Lfu]),
+        );
+        assert_eq!(p.candidates(), &[PolicyKind::Clock, PolicyKind::Lfu]);
+        assert_eq!(p.adaptive_stats().unwrap().ghost_rates.len(), 2, "one ghost per kind");
+    }
+
+    #[test]
+    fn tuner_never_pushes_a_quota_past_the_pool() {
+        // The winner already holds (nearly) the whole pool: the step is
+        // clamped to what the pool can honor, and when that is zero no
+        // transfer is proposed at all (a half-applicable pair would leak
+        // quota).
+        let mut p = AdaptivePolicy::new(4, AdaptiveConfig::new([PolicyKind::ExactLru]));
+        let (hot, cold) = (AppId(0), AppId(1));
+        for round in 0..30u64 {
+            feed(&mut p, &[round % 5], hot); // 5-key set over 4 frames: refaults
+            feed(&mut p, &[100 + round], cold);
+        }
+        let updates = p.epoch_tick(&[(hot, 4), (cold, 3)]);
+        assert!(updates.is_empty(), "winner at capacity: no transfer, got {updates:?}");
+        assert_eq!(p.adaptive_stats().unwrap().quota_moves, 0);
+        // One frame of headroom: the step clamps to exactly that.
+        for round in 0..30u64 {
+            feed(&mut p, &[round % 5], hot);
+        }
+        let updates = p.epoch_tick(&[(hot, 3), (cold, 3)]);
+        let hu = updates.iter().find(|u| u.app == hot).unwrap();
+        let cu = updates.iter().find(|u| u.app == cold).unwrap();
+        assert_eq!(hu.quota, 4, "clamped to the pool");
+        assert_eq!(cu.quota, 2, "loser gives exactly what the winner can take");
+    }
+
+    #[test]
+    fn invalidations_do_not_count_as_refaults() {
+        let mut p = AdaptivePolicy::new(4, AdaptiveConfig::new([PolicyKind::ExactLru]));
+        let app = AppId(0);
+        // Install a block, drop it via coherence invalidation, re-read it:
+        // no refault — the partition was not too small, the block was
+        // superseded.
+        for round in 0..10u64 {
+            feed(&mut p, &[round], app);
+            let (frame, key, _) =
+                *p.table().resident_entries().iter().find(|&&(_, k, _)| k == round).unwrap();
+            p.on_remove_invalidated(frame, key);
+            feed(&mut p, &[round], app);
+        }
+        let updates = p.epoch_tick(&[(app, 2), (AppId(1), 2)]);
+        assert!(updates.is_empty(), "invalidation churn must not look like quota pressure");
+        assert_eq!(p.adaptive_stats().unwrap().quota_moves, 0);
+    }
+
+    #[test]
+    fn tuner_never_drains_a_quota_below_one() {
+        let mut p = AdaptivePolicy::new(4, AdaptiveConfig::new([PolicyKind::ExactLru]));
+        let (a, b) = (AppId(0), AppId(1));
+        for round in 0..20u64 {
+            feed(&mut p, &[round % 2], a);
+            feed(&mut p, &[100 + round], b);
+        }
+        let updates = p.epoch_tick(&[(a, 3), (b, 1)]);
+        assert!(updates.is_empty(), "a 1-frame quota has nothing left to give: {updates:?}");
+    }
+}

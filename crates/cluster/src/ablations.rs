@@ -6,10 +6,12 @@ use crate::experiment::run_experiment;
 use crate::figures::Grid;
 use crate::report::FigureData;
 use crate::sweep::parallel_map;
-use kcache::{CacheConfig, EvictPolicy, PartitionConfig, PartitionMode, PolicyKind};
+use kcache::{
+    AdaptiveConfig, CacheConfig, EvictPolicy, PartitionConfig, PartitionMode, PolicyKind,
+};
 use sim_core::Dur;
 use sim_net::{NetConfig, NodeId};
-use workload::{AppSpec, Mode};
+use workload::{AppSpec, Mode, PhaseSpec};
 
 fn app(grid: &Grid, d: u32, p: u32, mode: Mode, l: f64, s: f64, name: &str) -> AppSpec {
     AppSpec {
@@ -25,6 +27,7 @@ fn app(grid: &Grid, d: u32, p: u32, mode: Mode, l: f64, s: f64, name: &str) -> A
         file_size: grid.file_size,
         start_delay: Dur::ZERO,
         min_requests: 1,
+        phases: Vec::new(),
     }
 }
 
@@ -344,6 +347,213 @@ pub fn ablation_partitioning(grid: &Grid) -> FigureData {
     fig
 }
 
+/// The adaptive subsystem's candidate set for the ablation: one
+/// recency-style policy, one frequency-style policy, and the paper's
+/// sharing signal — three regimes a phase schedule can alternate between.
+const ADAPTIVE_CANDIDATES: [PolicyKind; 3] =
+    [PolicyKind::Clock, PolicyKind::Lfu, PolicyKind::SharingAware];
+
+/// A phase-shifting two-instance co-schedule on one cache node. `offset`
+/// rotates instance B's schedule so the "mixed" scenario runs the two
+/// instances in *anti-phase* — at any moment the node sees two different
+/// regimes at once and no static policy is right for long.
+fn phase_apps(grid: &Grid, d: u32, offset: bool) -> Vec<AppSpec> {
+    // Phases sized so several epochs fit inside each phase.
+    let zipf = PhaseSpec { requests: 48, locality: 0.2, sharing: 0.0, hotspot: 1.2 };
+    let scan = PhaseSpec { requests: 48, locality: 0.0, sharing: 0.0, hotspot: 0.0 };
+    let shared = PhaseSpec { requests: 48, locality: 0.2, sharing: 1.0, hotspot: 0.9 };
+    let mut a = app(grid, d, 1, Mode::Read, 0.2, 0.0, "appA");
+    let mut b = app(grid, d, 1, Mode::Read, 0.2, 0.0, "appB");
+    a.min_requests = 288;
+    b.min_requests = 288;
+    a.phases = vec![zipf, scan, shared];
+    b.phases = if offset { vec![scan, shared, zipf] } else { vec![zipf, scan, shared] };
+    vec![a, b]
+}
+
+fn adaptive_cache(epoch: usize) -> CacheConfig {
+    CacheConfig {
+        policy: EvictPolicy::of(ADAPTIVE_CANDIDATES[0]),
+        adaptive: Some(AdaptiveConfig {
+            hysteresis: 0.01,
+            ..AdaptiveConfig::new(ADAPTIVE_CANDIDATES)
+        }),
+        epoch_accesses: epoch,
+        ..CacheConfig::paper()
+    }
+}
+
+/// New-subsystem ablation (kcache-adaptive): the meta-policy against every
+/// static candidate on phase-shifting workloads. Row `x = 0` runs both
+/// instances through the same zipf → scan → shared cycle; row `x = 1`
+/// runs them in anti-phase (the "mixed schedule" — the node never sees a
+/// single regime). Metric is the cache hit ratio. The acceptance bar:
+/// adaptive tracks the best static policy within 3 points and strictly
+/// beats the worst on both rows.
+pub fn ablation_adaptive_switching(grid: &Grid) -> FigureData {
+    let d = *grid.d_values.iter().find(|&&d| d >= 64 << 10).unwrap_or(&grid.d_values[0]);
+    let epoch = 256;
+    let mut configs = Vec::new();
+    for &offset in &[false, true] {
+        let apps = phase_apps(grid, d, offset);
+        configs.push((adaptive_cache(epoch), apps.clone()));
+        for kind in ADAPTIVE_CANDIDATES {
+            // Statics run with the same epoch clock (SharingAware decay
+            // ticks equally) so only the meta-control differs.
+            let cfg = CacheConfig {
+                policy: EvictPolicy::of(kind),
+                epoch_accesses: epoch,
+                ..CacheConfig::paper()
+            };
+            configs.push((cfg, apps.clone()));
+        }
+    }
+    let vals = parallel_map(configs, |(cache, apps)| {
+        let mut spec = ClusterSpec::paper(Some(cache.clone()));
+        spec.seed = grid.seed;
+        let r = run_experiment(&spec, apps);
+        assert!(r.completed && r.total_verify_failures() == 0);
+        r.hit_ratio().unwrap_or(0.0)
+    });
+    let mut series = vec!["adaptive".to_string()];
+    series.extend(ADAPTIVE_CANDIDATES.iter().map(|k| k.name().to_string()));
+    let n = series.len();
+    let mut fig = FigureData::new(
+        "ablation_adaptive",
+        format!("adaptive meta-policy vs static candidates on phase-shifting workloads (d={d})"),
+        "scenario (0 = in-phase cycle, 1 = anti-phase mix)",
+        "cache hit ratio",
+        series,
+    );
+    for (i, _) in [false, true].iter().enumerate() {
+        fig.push(i as f64, (0..n).map(|k| vals[n * i + k]).collect());
+    }
+    fig
+}
+
+/// New-subsystem ablation (kcache-adaptive): online quota tuning. A
+/// misconfigured strict partition starves a zipf victim (60 frames)
+/// while a sequential scanner idles on 240; the tuner, fed by per-app
+/// ghost-list refaults, must walk quota back to the victim. Series
+/// compare the fixed misconfiguration against the tuned run (same
+/// replacement policy — a single-candidate adaptive wrapper — so the
+/// tuner is the *only* difference). Rows: 0 = aggregate hit ratio, 1 =
+/// victim hit ratio, 2 = victim final quota share, 3 = scanner final
+/// quota share.
+pub fn ablation_adaptive_quota(grid: &Grid) -> FigureData {
+    let d = *grid.d_values.iter().find(|&&d| d >= 64 << 10).unwrap_or(&grid.d_values[0]);
+    let capacity = CacheConfig::paper().capacity_blocks;
+    let quotas: PartitionConfig =
+        PartitionConfig::strict([(0u32, capacity / 5), (1u32, capacity * 4 / 5)]);
+    let mk_apps = || {
+        let mut victim = app(grid, d, 1, Mode::Read, 0.2, 0.0, "victim");
+        victim.hotspot = 1.1;
+        victim.min_requests = 96;
+        let mut scanner = app(grid, d, 1, Mode::Read, 0.0, 0.0, "scanner");
+        scanner.min_requests = 160;
+        vec![victim, scanner]
+    };
+    let fixed = CacheConfig { partitioning: quotas.clone(), ..CacheConfig::paper() };
+    let tuned = CacheConfig {
+        partitioning: quotas,
+        adaptive: Some(AdaptiveConfig {
+            quota_step: 16,
+            ..AdaptiveConfig::new([PolicyKind::Clock])
+        }),
+        epoch_accesses: 128,
+        ..CacheConfig::paper()
+    };
+    let configs = vec![(fixed, mk_apps()), (tuned, mk_apps())];
+    let vals = parallel_map(configs, |(cache, apps)| {
+        let mut spec = ClusterSpec::paper(Some(cache.clone()));
+        spec.seed = grid.seed;
+        let r = run_experiment(&spec, apps);
+        assert!(r.completed && r.total_verify_failures() == 0);
+        let usage = r.app_usage.as_deref().unwrap_or_default();
+        let quota_share = |app: u32| {
+            usage.iter().find(|u| u.app == app).map(|u| u.quota as f64).unwrap_or(0.0)
+                / CacheConfig::paper().capacity_blocks as f64
+        };
+        vec![
+            r.hit_ratio().unwrap_or(0.0),
+            r.app_hit_ratio(0).unwrap_or(0.0),
+            quota_share(0),
+            quota_share(1),
+        ]
+    });
+    let mut fig = FigureData::new(
+        "ablation_adaptive_quota",
+        format!("online quota tuning vs fixed misconfigured quotas (victim zipf 1.1 + scanner, d={d})"),
+        "metric (0 = aggregate hit ratio, 1 = victim hit ratio, 2 = victim quota share, 3 = scanner quota share)",
+        "value",
+        vec!["fixed".into(), "tuned".into()],
+    );
+    for (metric, (f, t)) in vals[0].iter().zip(&vals[1]).enumerate() {
+        fig.push(metric as f64, vec![*f, *t]);
+    }
+    fig
+}
+
+/// Both adaptive figures (the `--fig adaptive` bundle).
+pub fn ablation_adaptive(grid: &Grid) -> Vec<FigureData> {
+    vec![ablation_adaptive_switching(grid), ablation_adaptive_quota(grid)]
+}
+
+/// The full-grid policy-comparison study: every policy across **capacity ×
+/// hotspot × sharing** (the DESIGN.md table). One figure per (capacity,
+/// hotspot) pair, sharing on the x axis — `figures --fig policy-grid
+/// --full` regenerates the published table.
+pub fn ablation_policy_grid(grid: &Grid) -> Vec<FigureData> {
+    let capacities = [150usize, 300, 600];
+    let hotspots = [0.6, 0.9, 1.2];
+    let sharings = [0.0, 0.5, 1.0];
+    let d = *grid.d_values.iter().find(|&&d| d >= 64 << 10).unwrap_or(&grid.d_values[0]);
+    let mut figs = Vec::new();
+    for &cap in &capacities {
+        for &h in &hotspots {
+            let mut configs = Vec::new();
+            for &s in &sharings {
+                for kind in PolicyKind::ALL {
+                    let mut a = app(grid, d, 4, Mode::Read, 0.2, s, "appA");
+                    let mut b = app(grid, d, 4, Mode::Read, 0.2, s, "appB");
+                    a.hotspot = h;
+                    b.hotspot = h;
+                    a.min_requests = 64;
+                    b.min_requests = 64;
+                    let cfg = CacheConfig {
+                        capacity_blocks: cap,
+                        low_watermark: cap / 10,
+                        high_watermark: cap / 4,
+                        policy: EvictPolicy::of(kind),
+                        ..CacheConfig::paper()
+                    };
+                    configs.push((cfg, vec![a, b]));
+                }
+            }
+            let vals = parallel_map(configs, |(cache, apps)| {
+                let mut spec = ClusterSpec::paper(Some(cache.clone()));
+                spec.seed = grid.seed;
+                let r = run_experiment(&spec, apps);
+                assert!(r.completed && r.total_verify_failures() == 0);
+                r.hit_ratio().unwrap_or(0.0)
+            });
+            let mut fig = FigureData::new(
+                format!("ablation_policy_grid_c{cap}_h{}", (h * 10.0) as u32),
+                format!("policies vs sharing (capacity={cap} blocks, zipf {h}, d={d}, l=0.2)"),
+                "sharing degree s (%)",
+                "cache hit ratio",
+                PolicyKind::ALL.iter().map(|k| k.name().to_string()).collect(),
+            );
+            let n = PolicyKind::ALL.len();
+            for (i, &s) in sharings.iter().enumerate() {
+                fig.push(s * 100.0, (0..n).map(|k| vals[n * i + k]).collect());
+            }
+            figs.push(fig);
+        }
+    }
+    figs
+}
+
 /// All ablations.
 pub fn all_ablations(grid: &Grid) -> Vec<FigureData> {
     vec![
@@ -357,11 +567,75 @@ pub fn all_ablations(grid: &Grid) -> Vec<FigureData> {
         ablation_policy_comparison(grid),
         ablation_partitioning(grid),
     ]
+    .into_iter()
+    .chain(ablation_adaptive(grid))
+    .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The acceptance bar for the adaptive subsystem, part (a): on
+    /// phase-shifting workloads the meta-policy tracks the best static
+    /// candidate within 3 points and strictly beats the worst; on the
+    /// anti-phase mixed schedule — where no static policy is right for
+    /// long — it beats *every* static candidate outright.
+    #[test]
+    fn adaptive_tracks_best_static_and_beats_worst() {
+        let fig = ablation_adaptive_switching(&Grid::smoke());
+        let adaptive = fig.column("adaptive").unwrap();
+        let statics: Vec<Vec<f64>> =
+            ADAPTIVE_CANDIDATES.iter().map(|k| fig.column(k.name()).unwrap()).collect();
+        for (row, &a) in adaptive.iter().enumerate() {
+            let best = statics.iter().map(|c| c[row]).fold(f64::MIN, f64::max);
+            let worst = statics.iter().map(|c| c[row]).fold(f64::MAX, f64::min);
+            assert!(
+                a >= best - 0.03,
+                "row {row}: adaptive {a} not within 3 points of best static {best}"
+            );
+            assert!(a > worst, "row {row}: adaptive {a} does not beat worst static {worst}");
+        }
+        // Row 1 is the mixed (anti-phase) schedule: adaptive must win.
+        let best_mixed = statics.iter().map(|c| c[1]).fold(f64::MIN, f64::max);
+        assert!(
+            adaptive[1] > best_mixed,
+            "mixed schedule: adaptive {} must beat every static (best {})",
+            adaptive[1],
+            best_mixed
+        );
+    }
+
+    /// Acceptance part (c): the quota tuner converges — the zipf victim's
+    /// tuned quota ends higher than the scanner's, and aggregate hit rate
+    /// is at least the fixed-quota run's.
+    #[test]
+    fn adaptive_quota_tuner_converges() {
+        let fig = ablation_adaptive_quota(&Grid::smoke());
+        let fixed = fig.column("fixed").unwrap();
+        let tuned = fig.column("tuned").unwrap();
+        // Row 0: aggregate hit ratio; rows 2/3: final quota shares.
+        assert!(
+            tuned[0] >= fixed[0],
+            "tuned aggregate hit ratio {} fell below the fixed run {}",
+            tuned[0],
+            fixed[0]
+        );
+        assert!(
+            tuned[2] > tuned[3],
+            "victim tuned quota share {} must exceed the scanner's {}",
+            tuned[2],
+            tuned[3]
+        );
+        assert!(
+            tuned[1] > fixed[1],
+            "tuning must lift the starved victim's hit ratio ({} vs {})",
+            tuned[1],
+            fixed[1]
+        );
+        // The fixed run's shares echo the misconfiguration.
+        assert!((fixed[2] - 0.2).abs() < 1e-9 && (fixed[3] - 0.8).abs() < 1e-9);
+    }
 
     /// The acceptance bar for the policy subsystem: under skewed workloads
     /// with real inter-application sharing (`s ≥ 0.5`), protecting shared

@@ -27,6 +27,7 @@ fn main() {
             file_size: 8 << 20,
             start_delay: Dur::ZERO,
             min_requests: 1,
+            phases: Vec::new(),
         }];
         let r = run_experiment(&spec, &apps);
         println!(

@@ -230,6 +230,7 @@ pub fn build(spec: &ClusterSpec, apps: &[AppSpec]) -> Cluster {
                 partition: partition_of(a.file_size, k as u32, a.p()),
                 window_bytes: window_bytes(apps, a.d_proc()),
                 start_delay: a.start_delay,
+                phases: a.phases.clone(),
             };
             let rng = DetRng::stream(spec.seed, (inst as u64) << 16 | k as u64);
             let proc_id = eng.add_actor(Box::new(AppProcess::new(client, plan, rng, coordinator)));

@@ -26,11 +26,13 @@
 //! *index*: the `i`-th entry of `apps` is application instance `AppId(i)`.
 
 use crate::builder::ClusterSpec;
-use kcache::{CacheConfig, EvictPolicy, PartitionConfig, PartitionMode, PolicyKind};
+use kcache::{
+    AdaptiveConfig, CacheConfig, EvictPolicy, PartitionConfig, PartitionMode, PolicyKind,
+};
 use serde::{Deserialize, Serialize};
 use sim_core::Dur;
 use sim_net::{NetConfig, NodeId};
-use workload::{AppSpec, Mode};
+use workload::{AppSpec, Mode, PhaseSpec};
 
 /// Top-level JSON config: cluster knobs + application instances.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,13 +53,54 @@ pub struct ClusterCfg {
     /// "hub" (the paper's platform) or "switch".
     pub fabric: String,
     pub file_mb: u64,
-    /// Replacement policy name (see `kcache::PolicyKind::parse`).
+    /// Replacement policy name (see `kcache::PolicyKind::parse`), or
+    /// `"adaptive"` for the `kcache-adaptive` meta-policy configured by
+    /// the `adaptive` section.
     pub policy: String,
     /// Prefer clean victims over dirty ones (the paper's choice).
     pub clean_first: bool,
     /// Frame-quota mode: "shared" (default), "strict", or "soft".
     pub partitioning: String,
+    /// Meta-policy knobs (only consulted when `policy` is `"adaptive"`,
+    /// except `epoch_accesses`, which also drives `SharingAware` referent
+    /// decay under static policies). All defaulted: pre-adaptive configs
+    /// parse unchanged.
+    pub adaptive: AdaptiveCfg,
 }
+
+/// The `adaptive` section of the cluster config.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct AdaptiveCfg {
+    /// Candidate policy names; empty (the default) means all six built-in
+    /// policies. The first candidate starts live.
+    pub candidates: Vec<String>,
+    /// Cache accesses per epoch; 0 picks the default (512) under
+    /// `policy = "adaptive"` and disables epochs otherwise.
+    pub epoch_accesses: usize,
+    /// Ghost hit-rate advantage a challenger needs to trigger a switch.
+    pub hysteresis: f64,
+    /// Enable the marginal-utility quota tuner.
+    pub quota_tuning: bool,
+    /// Frames of quota moved per epoch by the tuner.
+    pub quota_step: usize,
+}
+
+impl Default for AdaptiveCfg {
+    fn default() -> Self {
+        AdaptiveCfg {
+            candidates: Vec::new(),
+            epoch_accesses: 0,
+            hysteresis: 0.02,
+            quota_tuning: true,
+            quota_step: 8,
+        }
+    }
+}
+
+/// Default epoch length under `policy = "adaptive"` when the config does
+/// not set one.
+pub const DEFAULT_EPOCH_ACCESSES: usize = 512;
 
 impl Default for ClusterCfg {
     fn default() -> Self {
@@ -71,6 +114,7 @@ impl Default for ClusterCfg {
             policy: "clock".into(),
             clean_first: true,
             partitioning: "shared".into(),
+            adaptive: AdaptiveCfg::default(),
         }
     }
 }
@@ -98,6 +142,23 @@ pub struct AppCfg {
     /// unchanged).
     #[serde(default)]
     pub quota_blocks: usize,
+    /// Phase schedule (empty, the default, keeps the instance-level
+    /// locality/sharing/hotspot for the whole run).
+    #[serde(default)]
+    pub phases: Vec<PhaseCfg>,
+}
+
+/// One phase of a phase-shifting app (`workload::PhaseSpec` in JSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCfg {
+    /// Per-process requests before the next phase starts.
+    pub requests: u64,
+    #[serde(default)]
+    pub locality: f64,
+    #[serde(default)]
+    pub sharing: f64,
+    #[serde(default)]
+    pub hotspot: f64,
 }
 
 impl ExperimentConfig {
@@ -126,15 +187,52 @@ impl ExperimentConfig {
         Ok(PartitionConfig { mode, quotas })
     }
 
+    /// The meta-policy configuration this config describes: `Some` under
+    /// `policy = "adaptive"` (candidates parsed, defaulting to all six),
+    /// `None` for a static policy.
+    pub fn adaptive(&self) -> Result<Option<AdaptiveConfig>, String> {
+        if self.cluster.policy != "adaptive" {
+            return Ok(None);
+        }
+        let a = &self.cluster.adaptive;
+        let candidates = if a.candidates.is_empty() {
+            PolicyKind::ALL.to_vec()
+        } else {
+            a.candidates
+                .iter()
+                .map(|name| {
+                    PolicyKind::parse(name)
+                        .ok_or_else(|| format!("unknown adaptive candidate {name:?}"))
+                })
+                .collect::<Result<Vec<_>, String>>()?
+        };
+        Ok(Some(AdaptiveConfig {
+            candidates,
+            hysteresis: a.hysteresis,
+            quota_tuning: a.quota_tuning,
+            quota_step: a.quota_step,
+            ghost_history: 0,
+        }))
+    }
+
     /// Lower the config into a runnable `(ClusterSpec, Vec<AppSpec>)`.
     pub fn to_spec(&self) -> Result<(ClusterSpec, Vec<AppSpec>), String> {
-        let kind = PolicyKind::parse(&self.cluster.policy).ok_or_else(|| {
-            format!(
-                "unknown policy {:?} (use one of: {})",
-                self.cluster.policy,
-                PolicyKind::ALL.map(|k| k.name()).join(", ")
-            )
-        })?;
+        let adaptive = self.adaptive()?;
+        let kind = match &adaptive {
+            // The first candidate starts live; `EvictPolicy.kind` echoes it.
+            Some(a) => a.candidates[0],
+            None => PolicyKind::parse(&self.cluster.policy).ok_or_else(|| {
+                format!(
+                    "unknown policy {:?} (use \"adaptive\" or one of: {})",
+                    self.cluster.policy,
+                    PolicyKind::ALL.map(|k| k.name()).join(", ")
+                )
+            })?,
+        };
+        let epoch_accesses = match (&adaptive, self.cluster.adaptive.epoch_accesses) {
+            (Some(_), 0) => DEFAULT_EPOCH_ACCESSES,
+            (_, n) => n,
+        };
         let partitioning = self.partitioning()?;
         let blocks = self.cluster.cache_blocks;
         let mut spec = ClusterSpec::paper(self.cluster.caching.then(|| CacheConfig {
@@ -143,6 +241,8 @@ impl ExperimentConfig {
             high_watermark: (blocks / 4).max(2),
             policy: EvictPolicy { kind, clean_first: self.cluster.clean_first },
             partitioning,
+            adaptive: adaptive.clone(),
+            epoch_accesses,
             ..CacheConfig::paper()
         }));
         spec.n_nodes = self.cluster.nodes;
@@ -175,6 +275,16 @@ impl ExperimentConfig {
                     file_size: self.cluster.file_mb << 20,
                     start_delay: Dur::millis(a.start_delay_ms),
                     min_requests: 1,
+                    phases: a
+                        .phases
+                        .iter()
+                        .map(|p| PhaseSpec {
+                            requests: p.requests,
+                            locality: p.locality,
+                            sharing: p.sharing,
+                            hotspot: p.hotspot,
+                        })
+                        .collect(),
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -244,6 +354,72 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_config_lowers_and_defaults() {
+        let cfg = ExperimentConfig::from_json(
+            r#"{
+                "cluster": { "policy": "adaptive",
+                             "adaptive": { "candidates": ["clock", "lfu", "sharing-aware"],
+                                           "epoch_accesses": 256, "hysteresis": 0.05,
+                                           "quota_tuning": false, "quota_step": 4 } },
+                "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
+                            "request_kb": 64, "mode": "read",
+                            "phases": [ { "requests": 32, "hotspot": 1.2 },
+                                        { "requests": 32, "sharing": 1.0 } ] } ]
+            }"#,
+        )
+        .unwrap();
+        let a = cfg.adaptive().unwrap().expect("adaptive config");
+        assert_eq!(
+            a.candidates,
+            vec![PolicyKind::Clock, PolicyKind::Lfu, PolicyKind::SharingAware]
+        );
+        assert_eq!(a.hysteresis, 0.05);
+        assert!(!a.quota_tuning);
+        assert_eq!(a.quota_step, 4);
+        let (spec, apps) = cfg.to_spec().unwrap();
+        let cache = spec.cache.as_ref().unwrap();
+        assert_eq!(cache.epoch_accesses, 256);
+        assert_eq!(cache.policy.kind, PolicyKind::Clock, "first candidate starts live");
+        assert_eq!(cache.policy_label(), "adaptive");
+        assert_eq!(apps[0].phases.len(), 2);
+        assert_eq!(apps[0].phases[0].hotspot, 1.2);
+        assert_eq!(apps[0].phases[1].sharing, 1.0);
+
+        // Bare "adaptive" defaults: all six candidates, default epoch.
+        let bare = ExperimentConfig::from_json(
+            r#"{ "cluster": { "policy": "adaptive" },
+                 "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
+                             "request_kb": 64, "mode": "read" } ] }"#,
+        )
+        .unwrap();
+        let a = bare.adaptive().unwrap().unwrap();
+        assert_eq!(a.candidates, PolicyKind::ALL.to_vec());
+        let (spec, _) = bare.to_spec().unwrap();
+        assert_eq!(spec.cache.as_ref().unwrap().epoch_accesses, DEFAULT_EPOCH_ACCESSES);
+
+        // A static-policy config ignores the adaptive section entirely.
+        let stat = ExperimentConfig::from_json(
+            r#"{ "cluster": { "policy": "arc" },
+                 "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
+                             "request_kb": 64, "mode": "read" } ] }"#,
+        )
+        .unwrap();
+        assert!(stat.adaptive().unwrap().is_none());
+        assert!(stat.to_spec().unwrap().0.cache.as_ref().unwrap().adaptive.is_none());
+
+        // Unknown candidates are rejected.
+        let bad = ExperimentConfig::from_json(
+            r#"{ "cluster": { "policy": "adaptive",
+                              "adaptive": { "candidates": ["nope"] } },
+                 "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
+                             "request_kb": 64, "mode": "read" } ] }"#,
+        )
+        .unwrap();
+        assert!(bad.adaptive().is_err());
+        assert!(bad.to_spec().is_err());
+    }
+
+    #[test]
     fn json_round_trip_preserves_quotas() {
         let mut cfg = ExperimentConfig {
             cluster: ClusterCfg { partitioning: "soft".into(), ..ClusterCfg::default() },
@@ -258,6 +434,7 @@ mod tests {
                 hotspot: 0.9,
                 start_delay_ms: 3,
                 quota_blocks: 123,
+                phases: Vec::new(),
             }],
         };
         cfg.cluster.seed = 99;

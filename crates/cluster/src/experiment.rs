@@ -1,7 +1,7 @@
 //! Experiment execution and result extraction.
 
 use crate::builder::{build, Cluster, ClusterSpec};
-use kcache::{CacheModule, CacheStats, ModuleStats, PolicyStats};
+use kcache::{AdaptiveStats, CacheModule, CacheStats, ModuleStats, PolicyStats};
 use pvfs::{Iod, IodStats};
 use serde::Serialize;
 use sim_core::{Dur, SimTime, StopReason};
@@ -64,6 +64,9 @@ pub struct ExperimentResult {
     pub partitioning: Option<String>,
     /// The policy subsystem's own event ledger, summed over all modules.
     pub policy_stats: Option<PolicyStats>,
+    /// The adaptive meta-policy's ledger (epoch/switch/ghost/quota-move
+    /// counters merged over all modules; adaptive caching runs only).
+    pub adaptive: Option<AdaptiveStats>,
     /// Per-application occupancy and attributed traffic, summed over all
     /// modules (caching runs only; ascending by app id).
     pub app_usage: Option<Vec<AppCacheUsage>>,
@@ -176,6 +179,7 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     let mut cache_total: Option<CacheStats> = None;
     let mut module_total: Option<ModuleStats> = None;
     let mut policy_total: Option<PolicyStats> = None;
+    let mut adaptive_total: Option<AdaptiveStats> = None;
     let mut app_total: BTreeMap<u32, AppCacheUsage> = BTreeMap::new();
     for m in cluster.modules.iter().flatten() {
         let module = cluster.engine.actor_as::<CacheModule>(*m).expect("module downcast");
@@ -183,8 +187,13 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
         let ps = module.cache().policy_stats();
         let ms = module.stats().clone();
         policy_total.get_or_insert_with(PolicyStats::default).merge(&ps);
+        if let Some(ast) = module.cache().adaptive_stats() {
+            adaptive_total.get_or_insert_with(AdaptiveStats::default).merge(&ast);
+        }
         for (id, u) in module.cache().app_usage() {
-            let quota = module.cache().partitioning().quota_of(id).map(|q| q as u64).unwrap_or(0);
+            // Effective (possibly tuner-adjusted) quota, not the static
+            // config value — what residency is actually measured against.
+            let quota = module.cache().quota_of(id).map(|q| q as u64).unwrap_or(0);
             let acc = app_total.entry(id.0).or_insert_with(|| AppCacheUsage {
                 app: id.0,
                 quota: 0,
@@ -256,9 +265,10 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     ExperimentResult {
         instances,
         cache: cache_total,
-        policy: spec.cache.as_ref().map(|c| c.policy.kind.name().to_string()),
+        policy: spec.cache.as_ref().map(|c| c.policy_label().to_string()),
         partitioning: spec.cache.as_ref().map(|c| c.partitioning.mode.name().to_string()),
         policy_stats: policy_total,
+        adaptive: adaptive_total,
         app_usage: spec
             .cache
             .is_some()

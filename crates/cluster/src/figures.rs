@@ -123,6 +123,7 @@ fn single_app(grid: &Grid, d: u32, p: u32, mode: Mode, locality: f64) -> AppSpec
         start_delay: Dur::ZERO,
         // Per-request latency figures need steady state, not cold start.
         min_requests: 32,
+        phases: Vec::new(),
     }
 }
 
@@ -148,6 +149,7 @@ fn two_apps(
         file_size: grid.file_size,
         start_delay: Dur::ZERO,
         min_requests: 1,
+        phases: Vec::new(),
     };
     vec![mk("appA", nodes_a), mk("appB", nodes_b)]
 }

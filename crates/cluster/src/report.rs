@@ -2,6 +2,7 @@
 //! the per-run cache-efficiency summary experiment runs emit.
 
 use crate::experiment::{AppCacheUsage, ExperimentResult};
+use kcache::AdaptiveStats;
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -35,6 +36,88 @@ impl AppEfficiency {
     }
 }
 
+/// One candidate's lifetime ghost hit rate in the JSON summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct GhostRateReport {
+    pub policy: String,
+    pub hits: u64,
+    pub misses: u64,
+    pub rate: f64,
+}
+
+/// One policy switch in the JSON summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct SwitchReport {
+    pub epoch: u64,
+    pub from: String,
+    pub to: String,
+    pub from_rate: f64,
+    pub to_rate: f64,
+}
+
+/// One quota transfer in the JSON summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct QuotaMoveReport {
+    pub epoch: u64,
+    pub from_app: u32,
+    pub to_app: u32,
+    pub frames: u64,
+}
+
+/// The adaptive meta-policy's slice of [`CacheEfficiency`]: epoch and
+/// switch counts, the per-epoch switch log, lifetime ghost hit rates per
+/// candidate, and the quota-tuner move log.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdaptiveReport {
+    pub epochs: u64,
+    pub switches: u64,
+    pub quota_moves: u64,
+    pub ghost_hit_rates: Vec<GhostRateReport>,
+    pub switch_log: Vec<SwitchReport>,
+    pub quota_log: Vec<QuotaMoveReport>,
+}
+
+impl AdaptiveReport {
+    fn from_stats(s: &AdaptiveStats) -> AdaptiveReport {
+        AdaptiveReport {
+            epochs: s.epochs,
+            switches: s.switches,
+            quota_moves: s.quota_moves,
+            ghost_hit_rates: s
+                .ghost_rates
+                .iter()
+                .map(|g| GhostRateReport {
+                    policy: g.kind.name().to_string(),
+                    hits: g.hits,
+                    misses: g.misses,
+                    rate: g.rate(),
+                })
+                .collect(),
+            switch_log: s
+                .switch_log
+                .iter()
+                .map(|r| SwitchReport {
+                    epoch: r.epoch,
+                    from: r.from.name().to_string(),
+                    to: r.to.name().to_string(),
+                    from_rate: r.from_rate,
+                    to_rate: r.to_rate,
+                })
+                .collect(),
+            quota_log: s
+                .quota_log
+                .iter()
+                .map(|r| QuotaMoveReport {
+                    epoch: r.epoch,
+                    from_app: r.from.0,
+                    to_app: r.to.0,
+                    frames: r.frames as u64,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Cache-efficiency summary of one caching run: the replacement policy and
 /// partitioning mode in effect, the hit/miss/eviction ledger, and the
 /// per-application breakdown, serialized into experiment JSON output so
@@ -56,6 +139,8 @@ pub struct CacheEfficiency {
     pub invalidated: u64,
     /// Per-application occupancy and hit ratios (ascending by app id).
     pub apps: Vec<AppEfficiency>,
+    /// Meta-policy observability (adaptive runs only).
+    pub adaptive: Option<AdaptiveReport>,
 }
 
 impl CacheEfficiency {
@@ -84,6 +169,7 @@ impl CacheEfficiency {
                 .iter()
                 .map(AppEfficiency::from_usage)
                 .collect(),
+            adaptive: r.adaptive.as_ref().map(AdaptiveReport::from_stats),
         })
     }
 }

@@ -1,6 +1,7 @@
 //! Cache module configuration.
 
 use crate::manager::EvictPolicy;
+use kcache_adaptive::AdaptiveConfig;
 use kcache_policy::AppId;
 use sim_core::Dur;
 use std::collections::BTreeMap;
@@ -141,6 +142,16 @@ pub struct CacheConfig {
     /// Per-application frame quotas (shared pool — no quotas — by
     /// default, as in the paper).
     pub partitioning: PartitionConfig,
+    /// `Some` replaces the static `policy.kind` with the
+    /// `kcache-adaptive` meta-policy over the listed candidates: ghost
+    /// caches per candidate, epoch-based live switching, marginal-utility
+    /// quota tuning. `None` (the default) keeps the static policy.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Cache accesses per epoch: every `epoch_accesses` hits+misses the
+    /// buffer manager drives one `epoch_tick` through the policy (the
+    /// adaptive controller's clock, and `SharingAware`'s referent decay).
+    /// `0` (the default, the paper's behavior) disables epochs entirely.
+    pub epoch_accesses: usize,
     /// Harvester wake-up threshold: free list below this many frames.
     pub low_watermark: usize,
     /// Harvester target: free frames after a sweep.
@@ -164,12 +175,25 @@ impl CacheConfig {
             capacity_blocks: 300,
             policy: EvictPolicy::default(),
             partitioning: PartitionConfig::shared(),
+            adaptive: None,
+            epoch_accesses: 0,
             low_watermark: 30,
             high_watermark: 75,
             harvester_wakeup: Dur::millis(1),
             flush_interval: Dur::millis(500),
             flush_batch: 64,
             write_behind: true,
+        }
+    }
+
+    /// The policy name this configuration runs — the static kind's name,
+    /// or `"adaptive"` when the meta-policy wraps the candidates (what
+    /// reports and figure series are labeled with).
+    pub fn policy_label(&self) -> &'static str {
+        if self.adaptive.is_some() {
+            "adaptive"
+        } else {
+            self.policy.kind.name()
         }
     }
 

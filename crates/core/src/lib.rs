@@ -33,4 +33,12 @@ pub use module::{CacheModule, ModuleStats};
 /// The replacement-policy subsystem, re-exported for consumers that select
 /// or inspect policies (configs, ablations, experiment binaries).
 pub use kcache_policy as policy;
-pub use kcache_policy::{AppId, AppUsage, PolicyKind, PolicyStats, ReplacementPolicy};
+pub use kcache_policy::{
+    AdaptiveStats, AppId, AppUsage, GhostRate, PolicyKind, PolicyStats, QuotaMoveRecord,
+    QuotaUpdate, ReplacementPolicy, SwitchRecord,
+};
+
+/// The adaptive meta-policy subsystem (ghost caches, epoch switching,
+/// quota tuning), re-exported for configuration downstream.
+pub use kcache_adaptive as adaptive;
+pub use kcache_adaptive::{AdaptiveConfig, AdaptivePolicy};

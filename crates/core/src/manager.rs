@@ -29,7 +29,8 @@
 
 use crate::block::{BlockKey, Span, CACHE_BLOCK_SIZE};
 use crate::config::{PartitionConfig, PartitionMode};
-use kcache_policy::{AppId, AppUsage, PolicyKind, PolicyStats, ReplacementPolicy};
+use kcache_adaptive::{AdaptiveConfig, AdaptivePolicy};
+use kcache_policy::{AdaptiveStats, AppId, AppUsage, PolicyKind, PolicyStats, ReplacementPolicy};
 use parking_lot::Mutex;
 use sim_net::NodeId;
 use std::collections::{HashMap, VecDeque};
@@ -178,6 +179,15 @@ pub struct BufferManager {
     /// app's count by one transiently (the same benign-race class as the
     /// pre-existing candidate/pin revalidation).
     charges: Mutex<HashMap<u32, usize>>,
+    /// Leaf lock: quota overrides installed by the adaptive tuner's
+    /// epoch recommendations. Consulted before the static
+    /// `partitioning.quotas`; only ever holds apps that were quota'd in
+    /// config (the tuner redistributes, it never invents partitions).
+    tuned_quotas: Mutex<HashMap<u32, usize>>,
+    /// Accesses (hits + misses) per policy epoch; 0 disables epochs.
+    epoch_accesses: usize,
+    /// Access counter driving the epoch clock.
+    accesses: AtomicU64,
     stats: AtomicStats,
 }
 
@@ -208,10 +218,41 @@ impl BufferManager {
         high_watermark: usize,
         partitioning: PartitionConfig,
     ) -> BufferManager {
+        Self::with_full_config(
+            capacity,
+            policy,
+            low_watermark,
+            high_watermark,
+            partitioning,
+            None,
+            0,
+        )
+    }
+
+    /// The full constructor: everything [`BufferManager::with_config`]
+    /// takes, plus the adaptive meta-policy configuration and the epoch
+    /// length. With `adaptive: Some(..)` the candidate ranking is the
+    /// `kcache-adaptive` wrapper instead of the static `policy.kind`;
+    /// with `epoch_accesses > 0` the manager drives one policy
+    /// `epoch_tick` every that many accesses (hits + misses) and applies
+    /// any quota updates the tick recommends.
+    pub fn with_full_config(
+        capacity: usize,
+        policy: EvictPolicy,
+        low_watermark: usize,
+        high_watermark: usize,
+        partitioning: PartitionConfig,
+        adaptive: Option<AdaptiveConfig>,
+        epoch_accesses: usize,
+    ) -> BufferManager {
         assert!(capacity > 0);
         assert!(low_watermark <= high_watermark && high_watermark <= capacity);
         partitioning.validate(capacity).unwrap_or_else(|e| panic!("bad partitioning: {e}"));
         let n_buckets = (capacity / 4).next_power_of_two().max(16);
+        let ranked: Box<dyn ReplacementPolicy> = match adaptive {
+            Some(cfg) => Box::new(AdaptivePolicy::new(capacity, cfg)),
+            None => policy.kind.build(capacity),
+        };
         BufferManager {
             capacity,
             policy_cfg: policy,
@@ -222,8 +263,11 @@ impl BufferManager {
             buckets: (0..n_buckets).map(|_| Mutex::new(Vec::new())).collect(),
             free: Mutex::new((0..capacity as u32).rev().collect()),
             dirty: Mutex::new(VecDeque::new()),
-            policy: Mutex::new(policy.kind.build(capacity)),
+            policy: Mutex::new(ranked),
             charges: Mutex::new(HashMap::new()),
+            tuned_quotas: Mutex::new(HashMap::new()),
+            epoch_accesses,
+            accesses: AtomicU64::new(0),
             stats: AtomicStats::default(),
         }
     }
@@ -256,6 +300,19 @@ impl BufferManager {
     /// the policy subsystem saw them).
     pub fn policy_stats(&self) -> PolicyStats {
         *self.policy.lock().stats()
+    }
+
+    /// The adaptive meta-policy's observability ledger (switch log, ghost
+    /// hit rates, quota moves); `None` when a static policy runs.
+    pub fn adaptive_stats(&self) -> Option<AdaptiveStats> {
+        self.policy.lock().adaptive_stats()
+    }
+
+    /// The [`PolicyKind`] currently ranking candidates — for a static
+    /// policy the configured kind, for the adaptive meta-policy whichever
+    /// candidate is live right now.
+    pub fn live_policy_kind(&self) -> PolicyKind {
+        self.policy.lock().kind()
     }
 
     /// Per-application occupancy and attributed traffic (ascending by app
@@ -292,17 +349,66 @@ impl BufferManager {
     /// Hit accounting + recency refresh.
     fn record_hit(&self, idx: u32, key: BlockKey, app: AppId) {
         self.stats.hits.fetch_add(1, Ordering::Relaxed);
-        let mut p = self.policy.lock();
-        p.stats_mut().hits += 1;
-        p.note_app_hit(app);
-        p.on_access(idx, key.hash(), app);
+        {
+            let mut p = self.policy.lock();
+            p.stats_mut().hits += 1;
+            p.note_app_hit(app);
+            p.on_access(idx, key.hash(), app);
+        }
+        self.note_epoch_access();
     }
 
     fn record_miss(&self, app: AppId) {
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        let mut p = self.policy.lock();
-        p.stats_mut().misses += 1;
-        p.note_app_miss(app);
+        {
+            let mut p = self.policy.lock();
+            p.stats_mut().misses += 1;
+            p.note_app_miss(app);
+        }
+        self.note_epoch_access();
+    }
+
+    /// The epoch clock: every `epoch_accesses` hits+misses, drive one
+    /// policy `epoch_tick` (adaptive switch decisions, `SharingAware`
+    /// referent decay) and apply any quota updates the tick recommends.
+    /// Locks are taken one at a time (policy, then tuned_quotas — both
+    /// leaves), never nested.
+    fn note_epoch_access(&self) {
+        if self.epoch_accesses == 0 {
+            return;
+        }
+        let n = self.accesses.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(self.epoch_accesses as u64) {
+            return;
+        }
+        let quotas: Vec<(AppId, usize)> = if self.partitioning.mode == PartitionMode::Shared {
+            Vec::new()
+        } else {
+            self.partitioning
+                .quotas
+                .keys()
+                .filter_map(|&id| self.quota_of(AppId(id)).map(|q| (AppId(id), q)))
+                .collect()
+        };
+        let updates = self.policy.lock().epoch_tick(&quotas);
+        if !updates.is_empty() {
+            // The tuner redistributes existing partitions; it may never
+            // invent a quota, zero one out, or exceed the pool — and a
+            // transfer applies in full or not at all (applying only one
+            // side of a grow/shrink pair would leak total quota).
+            let valid = updates.iter().all(|u| {
+                u.app != AppId::UNKNOWN
+                    && u.quota >= 1
+                    && u.quota <= self.capacity
+                    && self.partitioning.quotas.contains_key(&u.app.0)
+            });
+            if valid {
+                let mut tuned = self.tuned_quotas.lock();
+                for u in updates {
+                    tuned.insert(u.app.0, u.quota);
+                }
+            }
+        }
     }
 
     /// Recency-only refresh (no hit accounting): sync-write refreshes and
@@ -405,14 +511,29 @@ impl BufferManager {
     // Quota charging (per-app frame accounting)
     // -----------------------------------------------------------------
 
+    /// Effective frame quota of `app`: the adaptive tuner's override when
+    /// one has been applied, the static [`PartitionConfig`] quota
+    /// otherwise, `None` when unconstrained. This — not
+    /// `partitioning().quota_of` — is what admission, reclaim and
+    /// reporting measure against once online tuning is running.
+    pub fn quota_of(&self, app: AppId) -> Option<usize> {
+        if self.partitioning.mode == PartitionMode::Shared || app == AppId::UNKNOWN {
+            return None;
+        }
+        if let Some(&q) = self.tuned_quotas.lock().get(&app.0) {
+            return Some(q);
+        }
+        self.partitioning.quotas.get(&app.0).copied()
+    }
+
     /// Does quota accounting apply to `app` at all?
     fn quota_applies(&self, app: AppId) -> bool {
-        self.partitioning.quota_of(app).is_some()
+        self.quota_of(app).is_some()
     }
 
     /// Quota gate: charge one frame to `app` if it is under quota.
     fn admit(&self, app: AppId) -> Admission {
-        let Some(quota) = self.partitioning.quota_of(app) else {
+        let Some(quota) = self.quota_of(app) else {
             return Admission::Unlimited;
         };
         let mut c = self.charges.lock();
@@ -450,11 +571,33 @@ impl BufferManager {
         if self.partitioning.mode != PartitionMode::Soft {
             return None;
         }
+        self.most_over_quota_any_mode()
+    }
+
+    /// [`BufferManager::most_over_quota`] without the soft-mode gate —
+    /// the harvester's victim preference. Measured against *effective*
+    /// (tuned) quotas; after a quota transfer the app whose quota just
+    /// shrank is over it and becomes the preferred reclaim source, which
+    /// is exactly how tuner decisions take physical effect.
+    fn most_over_quota_any_mode(&self) -> Option<AppId> {
+        if self.partitioning.mode == PartitionMode::Shared {
+            return None;
+        }
+        // Resolve every effective quota under one tuned-lock acquisition
+        // (this runs once per harvest-loop iteration — per-app `quota_of`
+        // calls would take the lock k times).
+        let quotas: Vec<(u32, usize)> = {
+            let tuned = self.tuned_quotas.lock();
+            self.partitioning
+                .quotas
+                .iter()
+                .map(|(&id, &q)| (id, tuned.get(&id).copied().unwrap_or(q)))
+                .collect()
+        };
         let c = self.charges.lock();
-        self.partitioning
-            .quotas
-            .iter()
-            .filter_map(|(&id, &q)| {
+        quotas
+            .into_iter()
+            .filter_map(|(id, q)| {
                 let n = c.get(&id).copied().unwrap_or(0);
                 (n > q).then(|| (n - q, id))
             })
@@ -943,7 +1086,9 @@ impl BufferManager {
             let owner = {
                 let mut p = self.policy.lock();
                 let owner = p.owner_of(idx);
-                p.on_remove(idx, key.hash());
+                // Coherence drop, not capacity pressure: meta-policies
+                // keep it out of their refault memory.
+                p.on_remove_invalidated(idx, key.hash());
                 owner
             };
             self.uncharge(owner);
@@ -964,12 +1109,24 @@ impl BufferManager {
     /// Harvester sweep: free clean blocks until the high watermark is
     /// reached; dirty blocks encountered are snapshot for urgent flushing
     /// (they become clean and harvestable next sweep).
+    ///
+    /// The sweep is **quota-aware**: while any application holds more
+    /// frames than its (effective) quota, candidates are drawn from the
+    /// most over-quota owner first via the policy's owner-filtered scan —
+    /// an idle tenant is no longer drained below its quota just because a
+    /// busy neighbor filled the pool. Only when no over-quota owner has an
+    /// evictable frame does the sweep fall back to the victim-agnostic
+    /// scan.
     pub fn harvest(&self) -> Vec<FlushItem> {
         let mut flush = Vec::new();
         let mut guard = 0;
         while self.free_frames() < self.high_watermark && guard < 2 * self.capacity {
             guard += 1;
-            match self.evict_one(false) {
+            let evicted = self
+                .most_over_quota_any_mode()
+                .and_then(|borrower| self.evict_one_owned(false, Some(borrower)))
+                .or_else(|| self.evict_one(false));
+            match evicted {
                 Some((idx, fl)) => {
                     debug_assert!(fl.is_none());
                     self.push_free(idx);
@@ -1502,6 +1659,174 @@ mod tests {
                 "{kind}: policy ledger diverged"
             );
         }
+    }
+
+    #[test]
+    fn harvest_drains_over_quota_owners_before_idle_tenants() {
+        // An idle victim sits at its quota; an active scanner borrowed
+        // past its own. The harvester must reclaim the scanner's borrowed
+        // frames, not drain the victim below quota (the pre-PR-4 sweep
+        // was victim-agnostic and would).
+        let (victim, scanner) = (AppId(0), AppId(1));
+        let m = BufferManager::with_config(
+            8,
+            EvictPolicy::default(),
+            0,
+            2,
+            crate::config::PartitionConfig::soft([(0, 4), (1, 2)]),
+        );
+        for i in 0..4 {
+            m.insert_clean_by(key(i), NodeId(0), Span::FULL, &full_block(0), victim);
+        }
+        for i in 0..4 {
+            m.insert_clean_by(key(100 + i), NodeId(0), Span::FULL, &full_block(1), scanner);
+        }
+        assert_eq!(m.free_frames(), 0);
+        assert_eq!(m.resident_of(scanner), 4, "scanner borrowed past its quota of 2");
+        let flush = m.harvest();
+        assert!(flush.is_empty(), "all clean");
+        assert!(m.free_frames() >= 2);
+        assert_eq!(m.resident_of(victim), 4, "idle victim must not be drained below quota");
+        assert_eq!(m.resident_of(scanner), 2, "the over-quota borrower pays for the sweep");
+        for i in 0..4 {
+            assert!(m.contains(key(i)), "victim block {i} was harvested");
+        }
+    }
+
+    fn adaptive_mgr(kind: PolicyKind, epoch: usize) -> BufferManager {
+        BufferManager::with_full_config(
+            8,
+            EvictPolicy::of(kind),
+            0,
+            2,
+            crate::config::PartitionConfig::shared(),
+            Some(AdaptiveConfig::new([kind])),
+            epoch,
+        )
+    }
+
+    #[test]
+    fn adaptive_with_one_candidate_matches_static_byte_for_byte() {
+        // The meta-policy differential: ghosts observe, the controller has
+        // nothing to switch to, so every observable of the manager must
+        // match the static policy exactly — epoch ticks included.
+        for kind in PolicyKind::ALL {
+            let adaptive = adaptive_mgr(kind, 64);
+            let stat = BufferManager::with_full_config(
+                8,
+                EvictPolicy::of(kind),
+                0,
+                2,
+                crate::config::PartitionConfig::shared(),
+                None,
+                64,
+            );
+            let mut buf = vec![0u8; 4096];
+            for step in 0..500u64 {
+                let k = key((step * 7919) % 23);
+                let app = AppId((step % 3) as u32);
+                match step % 5 {
+                    0 | 3 => {
+                        for m in [&stat, &adaptive] {
+                            m.insert_clean_by(
+                                k,
+                                NodeId(0),
+                                Span::FULL,
+                                &full_block(step as u8),
+                                app,
+                            );
+                        }
+                    }
+                    1 => {
+                        for m in [&stat, &adaptive] {
+                            let _ =
+                                m.write_by(k, NodeId(0), Span::FULL, &full_block(step as u8), app);
+                        }
+                    }
+                    2 => {
+                        for m in [&stat, &adaptive] {
+                            let _ = m.try_read_by(k, Span::FULL, &mut buf, app);
+                        }
+                    }
+                    _ => {
+                        let xs = stat.take_dirty(3);
+                        let ys = adaptive.take_dirty(3);
+                        assert_eq!(xs.len(), ys.len(), "{kind}: flush divergence");
+                        for it in xs {
+                            stat.flush_complete(it.key, it.span);
+                        }
+                        for it in ys {
+                            adaptive.flush_complete(it.key, it.span);
+                        }
+                    }
+                }
+                assert_eq!(
+                    stat.resident_keys(),
+                    adaptive.resident_keys(),
+                    "{kind}: resident set diverged at step {step}"
+                );
+            }
+            assert_eq!(stat.policy_stats(), adaptive.policy_stats(), "{kind}: ledger diverged");
+            let (s, a) = (stat.stats(), adaptive.stats());
+            assert_eq!(
+                (s.hits, s.misses, s.evictions_clean, s.evictions_dirty),
+                (a.hits, a.misses, a.evictions_clean, a.evictions_dirty),
+                "{kind}: stats diverged"
+            );
+            let ast = adaptive.adaptive_stats().expect("adaptive manager reports stats");
+            assert_eq!(ast.switches, 0, "{kind}: single candidate must never switch");
+            assert!(ast.epochs > 0, "{kind}: epochs must have ticked");
+            assert!(stat.adaptive_stats().is_none(), "static manager has no adaptive stats");
+        }
+    }
+
+    #[test]
+    fn epoch_tuner_grows_the_refaulting_apps_quota() {
+        // Strict halves; app 0 re-references a working set one frame
+        // bigger than its quota (constant refaults), app 1 streams fresh
+        // blocks it never revisits. The tuner must shift quota 0 ← 1, and
+        // enforcement must follow the *tuned* quotas.
+        let (hot, cold) = (AppId(0), AppId(1));
+        let m = BufferManager::with_full_config(
+            8,
+            EvictPolicy::of(PolicyKind::ExactLru),
+            0,
+            2,
+            crate::config::PartitionConfig::strict([(0, 4), (1, 4)]),
+            Some(AdaptiveConfig { quota_step: 1, ..AdaptiveConfig::new([PolicyKind::ExactLru]) }),
+            32,
+        );
+        let mut buf = vec![0u8; 4096];
+        let mut fresh = 1000u64;
+        for round in 0..400u64 {
+            let k = key(round % 5); // working set of 5 > quota of 4
+            if !m.try_read_by(k, Span::FULL, &mut buf, hot) {
+                m.insert_clean_by(k, NodeId(0), Span::FULL, &full_block(1), hot);
+            }
+            if round % 2 == 0 {
+                m.insert_clean_by(key(fresh), NodeId(0), Span::FULL, &full_block(2), cold);
+                fresh += 1;
+            }
+        }
+        let hq = m.quota_of(hot).unwrap();
+        let cq = m.quota_of(cold).unwrap();
+        assert!(hq > 4, "hot app's tuned quota must grow past 4, got {hq}");
+        assert!(cq < 4, "cold app's tuned quota must shrink below 4, got {cq}");
+        let stats = m.adaptive_stats().unwrap();
+        assert!(stats.quota_moves > 0);
+        assert!(stats.quota_log.iter().all(|q| q.to == hot && q.from == cold));
+        // Tuned quotas are enforced going forward: the hot app's residency
+        // tracks its grown quota (strict mode never let it past the cap at
+        // any intermediate step either).
+        assert!(m.resident_of(hot) <= hq);
+        // And the cold app, now over its shrunk quota, is the harvester's
+        // preferred reclaim source.
+        let before = m.resident_of(cold);
+        let _ = m.harvest();
+        assert!(
+            m.resident_of(cold) <= before.min(cq.max(1)) || m.resident_of(cold) < before,
+            "harvest must reclaim from the over-quota cold app first"
+        );
     }
 
     #[test]

@@ -118,12 +118,14 @@ impl CacheModule {
         costs: CostModel,
         cfg: CacheConfig,
     ) -> CacheModule {
-        let cache = Arc::new(BufferManager::with_config(
+        let cache = Arc::new(BufferManager::with_full_config(
             cfg.capacity_blocks,
             cfg.policy,
             cfg.low_watermark,
             cfg.high_watermark,
             cfg.partitioning.clone(),
+            cfg.adaptive.clone(),
+            cfg.epoch_accesses,
         ));
         CacheModule {
             node,

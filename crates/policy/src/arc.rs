@@ -90,7 +90,7 @@ impl ReplacementPolicy for Arc {
     }
 
     fn on_insert(&mut self, frame: u32, key: u64, app: AppId) {
-        self.table.insert(frame, app);
+        self.table.insert(frame, key, app);
         self.detach(frame);
         if let Some(pos) = self.b1.iter().position(|&k| k == key) {
             // Recency ghost hit: T1 was evicted too aggressively.

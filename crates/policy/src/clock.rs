@@ -46,8 +46,8 @@ impl ReplacementPolicy for Clock {
         self.refbit[frame as usize] = true;
     }
 
-    fn on_insert(&mut self, frame: u32, _key: u64, app: AppId) {
-        self.table.insert(frame, app);
+    fn on_insert(&mut self, frame: u32, key: u64, app: AppId) {
+        self.table.insert(frame, key, app);
         self.refbit[frame as usize] = false;
     }
 

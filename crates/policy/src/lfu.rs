@@ -52,8 +52,8 @@ impl ReplacementPolicy for Lfu {
         self.stamp(frame);
     }
 
-    fn on_insert(&mut self, frame: u32, _key: u64, app: AppId) {
-        self.table.insert(frame, app);
+    fn on_insert(&mut self, frame: u32, key: u64, app: AppId) {
+        self.table.insert(frame, key, app);
         self.freq[frame as usize] = 1;
         self.stamp(frame);
     }

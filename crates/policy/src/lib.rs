@@ -132,6 +132,100 @@ impl PolicyStats {
     }
 }
 
+/// A quota adjustment recommended by a meta-policy's tuner: set `app`'s
+/// frame quota to `quota`. The buffer manager — the only component with
+/// authority over the charge ledger — validates and applies these at the
+/// epoch boundary that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaUpdate {
+    pub app: AppId,
+    pub quota: usize,
+}
+
+/// One live policy switch performed by a meta-policy at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchRecord {
+    /// Epoch index (1-based; the tick that decided the switch).
+    pub epoch: u64,
+    pub from: PolicyKind,
+    pub to: PolicyKind,
+    /// The outgoing policy's ghost hit rate over the deciding epoch.
+    pub from_rate: f64,
+    /// The incoming policy's ghost hit rate over the deciding epoch.
+    pub to_rate: f64,
+}
+
+/// One quota transfer performed by a meta-policy's marginal-utility tuner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaMoveRecord {
+    pub epoch: u64,
+    /// The app whose quota shrank (lowest marginal utility).
+    pub from: AppId,
+    /// The app whose quota grew (highest marginal utility).
+    pub to: AppId,
+    pub frames: usize,
+}
+
+/// Lifetime hit/miss ledger of one candidate's ghost cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GhostRate {
+    pub kind: PolicyKind,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl GhostRate {
+    /// Hits over total simulated accesses (0.0 before any traffic).
+    pub fn rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Observability ledger of an adaptive meta-policy: epoch/switch counts,
+/// the per-epoch switch log, lifetime ghost hit rates per candidate, and
+/// the quota-tuner move log. Defined here (next to [`PolicyStats`]) so the
+/// `ReplacementPolicy` trait can expose it without depending on any
+/// particular meta-policy implementation.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct AdaptiveStats {
+    /// Epoch ticks observed.
+    pub epochs: u64,
+    /// Live policy switches performed.
+    pub switches: u64,
+    pub switch_log: Vec<SwitchRecord>,
+    /// Lifetime ghost ledgers, one per candidate (candidate order).
+    pub ghost_rates: Vec<GhostRate>,
+    /// Quota transfers performed by the tuner.
+    pub quota_moves: u64,
+    pub quota_log: Vec<QuotaMoveRecord>,
+}
+
+impl AdaptiveStats {
+    /// Field-wise accumulation across cache modules (ghost ledgers merge
+    /// by kind so per-node candidate lists may differ).
+    pub fn merge(&mut self, other: &AdaptiveStats) {
+        self.epochs += other.epochs;
+        self.switches += other.switches;
+        self.switch_log.extend(other.switch_log.iter().copied());
+        for g in &other.ghost_rates {
+            match self.ghost_rates.iter_mut().find(|m| m.kind == g.kind) {
+                Some(m) => {
+                    m.hits += g.hits;
+                    m.misses += g.misses;
+                }
+                None => self.ghost_rates.push(*g),
+            }
+        }
+        self.quota_moves += other.quota_moves;
+        self.quota_log.extend(other.quota_log.iter().copied());
+    }
+}
+
 /// A replacement policy: residency/recency bookkeeping plus ranked
 /// eviction candidates.
 ///
@@ -173,6 +267,15 @@ pub trait ReplacementPolicy: Send {
     /// `frame` was vacated (eviction or invalidation); `key` identifies the
     /// departing block so ghost-list policies can remember it.
     fn on_remove(&mut self, frame: u32, key: u64);
+
+    /// `frame` was dropped by **coherence invalidation** rather than
+    /// capacity pressure. Defaults to [`on_remove`](Self::on_remove);
+    /// meta-policies override it to keep invalidations out of the
+    /// refault memory their quota tuner reads (an invalidated block
+    /// re-read later says nothing about partition sizing).
+    fn on_remove_invalidated(&mut self, frame: u32, key: u64) {
+        self.on_remove(frame, key);
+    }
 
     /// Start a fresh eviction scan. Candidate order is decided here (or
     /// lazily in [`next_candidate`](ReplacementPolicy::next_candidate));
@@ -231,6 +334,44 @@ pub trait ReplacementPolicy: Send {
     fn stats_mut(&mut self) -> &mut PolicyStats {
         &mut self.table_mut().stats
     }
+
+    // ------------------------------------------------------------------
+    // Epoch protocol (driven by the buffer manager).
+    // ------------------------------------------------------------------
+
+    /// An epoch boundary: the manager calls this every `epoch_accesses`
+    /// cache accesses (when epochs are enabled at all). `quotas` is the
+    /// current effective frame quota of every quota'd application — the
+    /// tuner's starting point. The returned [`QuotaUpdate`]s are
+    /// *recommendations*; the manager validates and applies them to its
+    /// charge ledger. Static policies may use the tick for time-based
+    /// aging ([`SharingAware`]'s referent decay); the default is a no-op.
+    fn epoch_tick(&mut self, quotas: &[(AppId, usize)]) -> Vec<QuotaUpdate> {
+        let _ = quotas;
+        Vec::new()
+    }
+
+    /// The meta-policy observability ledger (`None` for static policies).
+    fn adaptive_stats(&self) -> Option<AdaptiveStats> {
+        None
+    }
+}
+
+/// Live-migrate a policy's frame state into a fresh policy of `to`'s kind:
+/// every resident frame is replayed through the new policy's `on_insert`
+/// (rebuilding its ranking metadata with identical residency, in frame
+/// order — recency *order* within the resident set is approximated, which
+/// is the price of a switch), then the shared [`FrameTable`] is carried
+/// over verbatim so pins, ownership, the per-application ledger and the
+/// [`PolicyStats`] counters all survive the switch unchanged.
+pub fn migrate(old: &dyn ReplacementPolicy, to: PolicyKind) -> Box<dyn ReplacementPolicy> {
+    let table = old.table();
+    let mut new = to.build(table.capacity());
+    for (frame, key, owner) in table.resident_entries() {
+        new.on_insert(frame, key, owner);
+    }
+    *new.table_mut() = table.clone();
+    new
 }
 
 /// Selector for the built-in policies — what configs, JSON experiment
@@ -357,6 +498,43 @@ mod tests {
                 assert!(all.len() <= 8, "{kind}: unfiltered scan did not terminate");
             }
             assert!(!all.is_empty(), "{kind}: unfiltered scan found no candidate");
+        }
+    }
+
+    #[test]
+    fn migrate_preserves_residency_pins_and_ledger() {
+        for from in PolicyKind::ALL {
+            for to in PolicyKind::ALL {
+                let mut p = from.build(8);
+                for f in 0..6u32 {
+                    p.on_insert(f, 500 + f as u64, AppId(f % 2));
+                }
+                p.on_access(1, 501, AppId(1));
+                p.note_app_hit(AppId(1));
+                p.note_app_miss(AppId(0));
+                p.set_pinned(2, true);
+                p.on_remove(5, 505);
+                let new = migrate(p.as_ref(), to);
+                assert_eq!(new.kind(), to, "{from}->{to}");
+                assert_eq!(
+                    new.table().resident_frames(),
+                    p.table().resident_frames(),
+                    "{from}->{to}: residency changed"
+                );
+                assert_eq!(
+                    new.table().resident_entries(),
+                    p.table().resident_entries(),
+                    "{from}->{to}: keys/owners changed"
+                );
+                assert!(new.table().is_pinned(2), "{from}->{to}: pin lost");
+                assert_eq!(new.app_usage(), p.app_usage(), "{from}->{to}: app ledger changed");
+                assert_eq!(new.stats(), p.stats(), "{from}->{to}: stats changed");
+                // The migrated policy must still run a working scan.
+                let mut new = new;
+                new.begin_scan();
+                let c = new.next_candidate(None).expect("migrated policy must find a victim");
+                assert!(new.table().evictable(c), "{from}->{to}: bad candidate {c}");
+            }
         }
     }
 

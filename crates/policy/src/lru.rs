@@ -97,8 +97,8 @@ impl ReplacementPolicy for ExactLru {
         self.touch(frame);
     }
 
-    fn on_insert(&mut self, frame: u32, _key: u64, app: AppId) {
-        self.table.insert(frame, app);
+    fn on_insert(&mut self, frame: u32, key: u64, app: AppId) {
+        self.table.insert(frame, key, app);
         self.touch(frame);
     }
 

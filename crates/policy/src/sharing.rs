@@ -8,17 +8,28 @@ use crate::table::FrameTable;
 use crate::{AppId, PolicyKind, ReplacementPolicy};
 
 /// Per-frame referent set (a 64-bit app bitmask) plus a logical access
-/// clock. Eviction offers single-application frames first, LRU within the
-/// class, then shared frames, again LRU — so the policy degrades to exact
-/// LRU when no sharing exists and to "protect the shared hot set" when it
-/// does.
+/// clock. Eviction ranks frames by **referent count** ascending (fewer
+/// distinct applications ⇒ evicted earlier), LRU within each count class —
+/// so the policy degrades to exact LRU when no sharing exists and
+/// protection scales with how widely a block is actually shared, not the
+/// old binary shared/private split (a 3-app block now outlives a 2-app
+/// one).
+///
+/// Sharing observed long ago is not sharing now: the referent mask is
+/// **aged on every epoch tick** (driven by the buffer manager when epochs
+/// are enabled) with a two-generation scheme — the current-epoch mask
+/// rolls into an aged generation and a fresh one starts; a referent that
+/// does not re-touch the block within two epochs stops protecting it.
 pub struct SharingAware {
     table: FrameTable,
-    /// Bit `app % 64` per distinct known referent. Unknown origins
-    /// contribute no bit at all: an unattributed touch (direct manager
-    /// API use, sync-write refreshes) must never make a block look
-    /// shared.
+    /// Bit `app % 64` per distinct known referent observed in the current
+    /// epoch. Unknown origins contribute no bit at all: an unattributed
+    /// touch (direct manager API use, sync-write refreshes) must never
+    /// make a block look shared.
     apps: Vec<u64>,
+    /// Referents from the previous epoch (union'd with `apps` for
+    /// ranking; dropped at the next tick unless refreshed).
+    aged: Vec<u64>,
     last: Vec<u64>,
     tick: u64,
     scan: Vec<u32>,
@@ -38,6 +49,7 @@ impl SharingAware {
         SharingAware {
             table: FrameTable::new(capacity),
             apps: vec![0; capacity],
+            aged: vec![0; capacity],
             last: vec![0; capacity],
             tick: 0,
             scan: Vec::new(),
@@ -45,10 +57,11 @@ impl SharingAware {
         }
     }
 
-    /// Number of distinct *known* applications observed on `frame`
-    /// (tests; unattributed accesses count zero).
+    /// Number of distinct *known* applications currently protecting
+    /// `frame` — the union of the live and aged generations (unattributed
+    /// accesses count zero).
     pub fn referents(&self, frame: u32) -> u32 {
-        self.apps[frame as usize].count_ones()
+        (self.apps[frame as usize] | self.aged[frame as usize]).count_ones()
     }
 
     fn stamp(&mut self, frame: u32) {
@@ -75,22 +88,26 @@ impl ReplacementPolicy for SharingAware {
         self.stamp(frame);
     }
 
-    fn on_insert(&mut self, frame: u32, _key: u64, app: AppId) {
-        self.table.insert(frame, app);
+    fn on_insert(&mut self, frame: u32, key: u64, app: AppId) {
+        self.table.insert(frame, key, app);
         self.apps[frame as usize] = app_bit(app);
+        self.aged[frame as usize] = 0;
         self.stamp(frame);
     }
 
     fn on_remove(&mut self, frame: u32, _key: u64) {
         self.table.remove(frame);
         self.apps[frame as usize] = 0;
+        self.aged[frame as usize] = 0;
     }
 
     fn begin_scan(&mut self) {
         self.scan = self.table.resident_frames();
-        let (apps, last) = (&self.apps, &self.last);
-        // Unshared before shared, oldest before newest within each class.
-        self.scan.sort_by_key(|&f| (apps[f as usize].count_ones() > 1, last[f as usize]));
+        let (apps, aged, last) = (&self.apps, &self.aged, &self.last);
+        // Fewest referents first, oldest before newest within each class.
+        self.scan.sort_by_key(|&f| {
+            ((apps[f as usize] | aged[f as usize]).count_ones(), last[f as usize])
+        });
         self.scan_pos = 0;
     }
 
@@ -103,6 +120,17 @@ impl ReplacementPolicy for SharingAware {
             }
         }
         None
+    }
+
+    fn epoch_tick(&mut self, _quotas: &[(AppId, usize)]) -> Vec<crate::QuotaUpdate> {
+        // Age the referent masks: the live generation becomes the aged one
+        // and a fresh epoch starts. A referent seen two epochs ago is
+        // forgotten entirely.
+        for f in 0..self.apps.len() {
+            self.aged[f] = self.apps[f];
+            self.apps[f] = 0;
+        }
+        Vec::new()
     }
 }
 
@@ -137,6 +165,45 @@ mod tests {
         s.on_insert(1, 1, AppId(0));
         s.on_access(1, 1, AppId::UNKNOWN);
         assert_eq!(s.referents(1), 1, "unknown touch must not fake sharing on an owned block");
+    }
+
+    #[test]
+    fn more_referents_outlive_fewer() {
+        let mut s = SharingAware::new(3);
+        for f in 0..3 {
+            s.on_insert(f, f as u64, AppId(0));
+        }
+        // Frame 1: 3 referents; frame 2: 2 referents; frame 0: private,
+        // touched last (most recent) — count dominates recency.
+        s.on_access(1, 1, AppId(1));
+        s.on_access(1, 1, AppId(2));
+        s.on_access(2, 2, AppId(1));
+        s.on_access(0, 0, AppId(0));
+        s.begin_scan();
+        assert_eq!(s.next_candidate(None), Some(0), "private frame first despite recency");
+        assert_eq!(s.next_candidate(None), Some(2), "2-referent frame next");
+        assert_eq!(s.next_candidate(None), Some(1), "3-referent frame survives longest");
+    }
+
+    #[test]
+    fn epoch_tick_decays_stale_sharing() {
+        use crate::ReplacementPolicy as _;
+        let mut s = SharingAware::new(2);
+        s.on_insert(0, 0, AppId(0));
+        s.on_access(0, 0, AppId(1));
+        assert_eq!(s.referents(0), 2);
+        // One tick: the observation ages but still protects.
+        assert!(s.epoch_tick(&[]).is_empty());
+        assert_eq!(s.referents(0), 2, "aged generation still counts");
+        // A second tick with no re-reference forgets it entirely.
+        s.epoch_tick(&[]);
+        assert_eq!(s.referents(0), 0, "sharing observed two epochs ago is gone");
+        // Re-referenced blocks keep their protection across ticks.
+        s.on_insert(1, 1, AppId(0));
+        s.on_access(1, 1, AppId(1));
+        s.epoch_tick(&[]);
+        s.on_access(1, 1, AppId(1));
+        assert_eq!(s.referents(1), 2, "refresh during the epoch survives the tick");
     }
 
     #[test]

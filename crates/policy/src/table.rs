@@ -23,6 +23,10 @@ pub struct FrameTable {
     resident: Vec<bool>,
     pinned: Vec<bool>,
     owner: Vec<AppId>,
+    /// Fingerprint of the block resident in each frame (0 for vacant
+    /// frames). What lets ghost simulators and live-migration replay
+    /// reconstruct a policy's contents from the table alone.
+    key: Vec<u64>,
     n_resident: usize,
     per_app: BTreeMap<u32, AppUsage>,
     pub stats: PolicyStats,
@@ -34,6 +38,7 @@ impl FrameTable {
             resident: vec![false; capacity],
             pinned: vec![false; capacity],
             owner: vec![AppId::UNKNOWN; capacity],
+            key: vec![0; capacity],
             n_resident: 0,
             per_app: BTreeMap::new(),
             stats: PolicyStats::default(),
@@ -75,22 +80,28 @@ impl FrameTable {
         self.evictable(frame) && filter.is_none_or(|o| self.owner_of(frame) == o)
     }
 
-    /// Mark `frame` resident and owned by `app` (idempotent; counts one
-    /// insert per new residency and keeps the first owner on re-inserts).
-    /// Panics on out-of-pool frames — an out-of-range index is a manager
-    /// bug, not a policy decision.
-    pub fn insert(&mut self, frame: u32, app: AppId) {
+    /// Mark `frame` resident, holding block `key`, owned by `app`
+    /// (idempotent; counts one insert per new residency and keeps the first
+    /// owner on re-inserts). Panics on out-of-pool frames — an out-of-range
+    /// index is a manager bug, not a policy decision.
+    pub fn insert(&mut self, frame: u32, key: u64, app: AppId) {
         let f = &mut self.resident[frame as usize];
         if !*f {
             *f = true;
             self.n_resident += 1;
             self.stats.inserts += 1;
             self.owner[frame as usize] = app;
+            self.key[frame as usize] = key;
             if app != AppId::UNKNOWN {
                 self.per_app.entry(app.0).or_default().resident += 1;
             }
         }
         debug_assert!(self.n_resident <= self.capacity());
+    }
+
+    /// Fingerprint of the block resident in `frame` (0 for vacant frames).
+    pub fn key_of(&self, frame: u32) -> u64 {
+        self.key.get(frame as usize).copied().unwrap_or(0)
     }
 
     /// Mark `frame` vacated; clears any pin (an invalidation may remove a
@@ -109,6 +120,7 @@ impl FrameTable {
             }
         }
         self.owner[frame as usize] = AppId::UNKNOWN;
+        self.key[frame as usize] = 0;
         self.pinned[frame as usize] = false;
     }
 
@@ -155,6 +167,17 @@ impl FrameTable {
     pub fn resident_frames(&self) -> Vec<u32> {
         (0..self.capacity() as u32).filter(|&f| self.resident[f as usize]).collect()
     }
+
+    /// `(frame, key, owner)` for every resident frame, ascending by frame —
+    /// the export half of live policy migration: replaying these through a
+    /// fresh policy's `on_insert` rebuilds its ranking metadata with the
+    /// same residency.
+    pub fn resident_entries(&self) -> Vec<(u32, u64, AppId)> {
+        (0..self.capacity() as u32)
+            .filter(|&f| self.resident[f as usize])
+            .map(|f| (f, self.key[f as usize], self.owner[f as usize]))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -164,9 +187,9 @@ mod tests {
     #[test]
     fn insert_remove_counts() {
         let mut t = FrameTable::new(4);
-        t.insert(1, AppId(0));
-        t.insert(1, AppId(1)); // idempotent; owner stays with the installer
-        t.insert(3, AppId(1));
+        t.insert(1, 101, AppId(0));
+        t.insert(1, 999, AppId(1)); // idempotent; owner and key stay with the installer
+        t.insert(3, 103, AppId(1));
         assert_eq!(t.resident_count(), 2);
         assert_eq!(t.stats.inserts, 2);
         assert_eq!(t.owner_of(1), AppId(0));
@@ -185,9 +208,9 @@ mod tests {
     #[test]
     fn owner_filter_narrows_evictability() {
         let mut t = FrameTable::new(4);
-        t.insert(0, AppId(0));
-        t.insert(1, AppId(1));
-        t.insert(2, AppId::UNKNOWN);
+        t.insert(0, 100, AppId(0));
+        t.insert(1, 101, AppId(1));
+        t.insert(2, 102, AppId::UNKNOWN);
         assert!(t.evictable(0) && t.evictable(1) && t.evictable(2));
         let f = Some(AppId(1));
         assert!(!t.evictable_for(0, f), "other app's frame filtered out");
@@ -199,9 +222,9 @@ mod tests {
     #[test]
     fn per_app_ledger_tracks_residency_and_events() {
         let mut t = FrameTable::new(4);
-        t.insert(0, AppId(7));
-        t.insert(1, AppId(7));
-        t.insert(2, AppId(3));
+        t.insert(0, 100, AppId(7));
+        t.insert(1, 101, AppId(7));
+        t.insert(2, 102, AppId(3));
         assert_eq!(t.resident_of(AppId(7)), 2);
         assert_eq!(t.resident_of(AppId(3)), 1);
         assert_eq!(t.resident_of(AppId::UNKNOWN), 0);

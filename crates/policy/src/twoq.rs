@@ -92,7 +92,7 @@ impl ReplacementPolicy for TwoQ {
     }
 
     fn on_insert(&mut self, frame: u32, key: u64, app: AppId) {
-        self.table.insert(frame, app);
+        self.table.insert(frame, key, app);
         self.detach(frame);
         if let Some(pos) = self.a1out.iter().position(|&k| k == key) {
             // Seen recently and re-requested: proven hot, straight to Am.

@@ -18,5 +18,5 @@ pub mod stream;
 
 pub use coordinator::Coordinator;
 pub use process::{AppProcess, Kickoff, ProcDone, ProcPlan, ProcResult};
-pub use spec::{default_file_size, AppSpec, Mode};
+pub use spec::{default_file_size, AppSpec, Mode, PhaseSpec};
 pub use stream::{partition_of, AccessStream};

@@ -1,7 +1,7 @@
 //! The application-process actor: one OS process of a micro-benchmark
 //! instance, with libpvfs linked in.
 
-use crate::spec::Mode;
+use crate::spec::{Mode, PhaseSpec};
 use crate::stream::AccessStream;
 use pvfs::{Completion, Fid, PvfsClient};
 use sim_core::{Actor, ActorId, Ctx, DetRng, Dur, Msg, SimTime, Tally};
@@ -52,6 +52,9 @@ pub struct ProcPlan {
     /// Locality window sizing (see [`AccessStream`]).
     pub window_bytes: u64,
     pub start_delay: Dur,
+    /// Phase schedule (empty = the instance-level knobs for the whole
+    /// run; see [`PhaseSpec`]).
+    pub phases: Vec<PhaseSpec>,
 }
 
 enum Phase {
@@ -71,6 +74,15 @@ pub struct AppProcess {
     shared: Option<(Fid, AccessStream)>,
     private: Option<(Fid, AccessStream)>,
     issued: u64,
+    /// Index into `plan.phases` (phase-shifting runs only).
+    phase_idx: usize,
+    /// Requests left in the current phase.
+    phase_left: u64,
+    /// Effective knobs for the current phase (the plan's instance-level
+    /// values when no schedule is set).
+    cur_locality: f64,
+    cur_sharing: f64,
+    cur_hotspot: f64,
     result: ProcResult,
 }
 
@@ -94,6 +106,10 @@ impl AppProcess {
             finished: SimTime::ZERO,
             verify_failures: 0,
         };
+        let (phase_left, cur_locality, cur_sharing, cur_hotspot) = match plan.phases.first() {
+            Some(p) => (p.requests, p.locality, p.sharing, p.hotspot),
+            None => (0, plan.locality, plan.sharing, plan.hotspot),
+        };
         AppProcess {
             client,
             plan,
@@ -103,6 +119,11 @@ impl AppProcess {
             shared: None,
             private: None,
             issued: 0,
+            phase_idx: 0,
+            phase_left,
+            cur_locality,
+            cur_sharing,
+            cur_hotspot,
             result,
         }
     }
@@ -115,12 +136,33 @@ impl AppProcess {
         &self.client
     }
 
+    /// Advance the phase schedule by one completed request; on a phase
+    /// boundary, cycle to the next phase and re-skew both access streams.
+    fn advance_phase(&mut self) {
+        if self.plan.phases.is_empty() {
+            return;
+        }
+        self.phase_left = self.phase_left.saturating_sub(1);
+        if self.phase_left > 0 {
+            return;
+        }
+        self.phase_idx = (self.phase_idx + 1) % self.plan.phases.len();
+        let p = self.plan.phases[self.phase_idx];
+        self.phase_left = p.requests;
+        self.cur_locality = p.locality;
+        self.cur_sharing = p.sharing;
+        self.cur_hotspot = p.hotspot;
+        for slot in [self.shared.as_mut(), self.private.as_mut()].into_iter().flatten() {
+            slot.1.set_hotspot(p.hotspot);
+        }
+    }
+
     fn issue_next(&mut self, ctx: &mut Ctx<'_>) {
         let use_shared = {
-            let s = self.plan.sharing;
+            let s = self.cur_sharing;
             self.rng.chance(s)
         };
-        let l = self.plan.locality;
+        let l = self.cur_locality;
         let (fid, offset, len) = {
             let slot = if use_shared { self.shared.as_mut() } else { self.private.as_mut() };
             let (fid, stream) = slot.expect("file not opened before issue");
@@ -149,7 +191,7 @@ impl AppProcess {
                     self.plan.partition,
                     self.plan.d_proc,
                     self.plan.window_bytes,
-                    self.plan.hotspot,
+                    self.cur_hotspot,
                 );
                 if self.shared.is_none() {
                     self.shared = Some((handle.fid, stream));
@@ -183,6 +225,7 @@ impl AppProcess {
         self.issued += 1;
         self.result.requests += 1;
         self.result.bytes += bytes;
+        self.advance_phase();
         if self.issued >= self.plan.n_requests {
             self.phase = Phase::Done;
             self.result.finished = at;

@@ -12,6 +12,43 @@ pub enum Mode {
     SyncWrite,
 }
 
+/// One phase of a phase-shifting workload: for `requests` per-process
+/// requests the instance runs with these locality/sharing/hotspot knobs,
+/// then moves to the next phase (cycling). Built to exercise adaptive
+/// replacement: a schedule alternating a Zipf-skewed phase, a sequential
+/// scan phase, and a shared-file phase changes which replacement policy is
+/// best every few thousand accesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSpec {
+    /// Per-process requests before the next phase starts (≥ 1).
+    pub requests: u64,
+    /// Degree of locality `l` ∈ [0, 1] during this phase.
+    pub locality: f64,
+    /// Degree of inter-application sharing `s` ∈ [0, 1] during this phase.
+    pub sharing: f64,
+    /// Zipf skew of fresh accesses (0 = sequential walk).
+    pub hotspot: f64,
+}
+
+impl PhaseSpec {
+    /// Sanity-check one phase (same ranges as the instance-level knobs).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.requests == 0 {
+            return Err("phase with zero requests".into());
+        }
+        if !(0.0..=1.0).contains(&self.locality) {
+            return Err(format!("phase locality {} out of range", self.locality));
+        }
+        if !(0.0..=1.0).contains(&self.sharing) {
+            return Err(format!("phase sharing {} out of range", self.sharing));
+        }
+        if !(0.0..=4.0).contains(&self.hotspot) {
+            return Err(format!("phase hotspot {} out of range", self.hotspot));
+        }
+        Ok(())
+    }
+}
+
 /// One application instance of the micro-benchmark.
 ///
 /// An *application-level* request moves `request_size` (`d`) bytes; each of
@@ -51,6 +88,11 @@ pub struct AppSpec {
     /// Floor on the request count (latency-per-request experiments need
     /// enough iterations that cold-start misses wash out).
     pub min_requests: u64,
+    /// Phase schedule: empty (the default — every pre-existing spec
+    /// behaves identically) runs the instance-level `locality` / `sharing`
+    /// / `hotspot` for the whole run; non-empty cycles through the phases,
+    /// overriding those three knobs per phase.
+    pub phases: Vec<PhaseSpec>,
 }
 
 impl AppSpec {
@@ -93,6 +135,9 @@ impl AppSpec {
         if len < self.d_proc() as u64 {
             return Err("file too small for per-process partitions".into());
         }
+        for (i, ph) in self.phases.iter().enumerate() {
+            ph.validate().map_err(|e| format!("phase {i}: {e}"))?;
+        }
         Ok(())
     }
 }
@@ -121,6 +166,7 @@ mod tests {
             file_size: default_file_size(),
             start_delay: Dur::ZERO,
             min_requests: 1,
+            phases: Vec::new(),
         }
     }
 

@@ -61,6 +61,17 @@ impl AccessStream {
         }
     }
 
+    /// Re-skew fresh accesses mid-stream (phase-shifting workloads): `0`
+    /// returns to the sequential walk, `> 0` re-draws fresh offsets
+    /// Zipf(θ)-distributed. The locality window and the sequential cursor
+    /// survive the switch — a phase change redirects *fresh* traffic, it
+    /// does not erase what the process touched recently.
+    pub fn set_hotspot(&mut self, hotspot: f64) {
+        assert!(hotspot >= 0.0, "negative hotspot skew");
+        let slots = (self.partition_len / self.req_len as u64).max(1) as usize;
+        self.zipf = (hotspot > 0.0).then(|| Zipf::new(slots, hotspot));
+    }
+
     /// Next access offset: re-reference with probability `locality`, else a
     /// fresh step (sequential, or Zipf-sampled under a hotspot skew).
     pub fn next(&mut self, locality: f64, rng: &mut DetRng) -> u64 {

@@ -36,6 +36,7 @@ fn main() {
             file_size: 8 << 20,
             start_delay: Dur::ZERO,
             min_requests: 1,
+            phases: Vec::new(),
         };
         let writer = AppSpec {
             name: "writer".into(),
@@ -50,6 +51,7 @@ fn main() {
             file_size: 8 << 20,
             start_delay: Dur::millis(200),
             min_requests: 1,
+            phases: Vec::new(),
         };
         let spec = ClusterSpec::paper(Some(CacheConfig::paper()));
         let r = run_experiment(&spec, &[readers, writer]);

@@ -26,6 +26,7 @@ fn main() {
         file_size: 16 << 20,
         start_delay: Dur::ZERO,
         min_requests: 1,
+        phases: Vec::new(),
     };
 
     println!(

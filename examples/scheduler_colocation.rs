@@ -30,6 +30,7 @@ fn app(name: &str, nodes: Vec<NodeId>, locality: f64) -> AppSpec {
         file_size: 16 << 20,
         start_delay: Dur::ZERO,
         min_requests: 1,
+        phases: Vec::new(),
     }
 }
 

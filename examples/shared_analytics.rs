@@ -31,6 +31,7 @@ fn analysis_app(name: &str, sharing: f64) -> AppSpec {
         file_size: 16 << 20,
         start_delay: Dur::ZERO,
         min_requests: 1,
+        phases: Vec::new(),
     }
 }
 

@@ -37,6 +37,7 @@
 //!     file_size: 8 << 20,
 //!     start_delay: Dur::ZERO,
 //!     min_requests: 1,
+//!     phases: Vec::new(),
 //! }];
 //! let result = run_experiment(&spec, &apps);
 //! assert!(result.completed);

@@ -21,6 +21,7 @@ fn app(name: &str, nodes: &[u16], total: u64, d: u32, mode: Mode, l: f64, s: f64
         file_size: 8 << 20,
         start_delay: Dur::ZERO,
         min_requests: 1,
+        phases: Vec::new(),
     }
 }
 

@@ -30,6 +30,7 @@ fn victim() -> AppSpec {
         file_size: 4 << 20,
         start_delay: Dur::ZERO,
         min_requests: 1,
+        phases: Vec::new(),
     }
 }
 
@@ -50,6 +51,7 @@ fn scanner(total_mb: u64) -> AppSpec {
         file_size: 4 << 20,
         start_delay: Dur::ZERO,
         min_requests: 1,
+        phases: Vec::new(),
     }
 }
 
@@ -124,6 +126,7 @@ fn run_single_app(partitioning: PartitionConfig, kind: PolicyKind, mode: Mode) -
         file_size: 4 << 20,
         start_delay: Dur::ZERO,
         min_requests: 1,
+        phases: Vec::new(),
     }];
     let r = run_experiment(&spec, &apps);
     assert!(r.completed && r.total_verify_failures() == 0);

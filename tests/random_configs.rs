@@ -2,9 +2,11 @@
 //! arbitrary (but deterministic) knob combinations must all complete
 //! without stalls, protocol violations, or data corruption.
 
-use cluster_harness::config::{AppCfg, ClusterCfg, ExperimentConfig};
+use cluster_harness::config::{AdaptiveCfg, AppCfg, ClusterCfg, ExperimentConfig, PhaseCfg};
 use cluster_harness::{run_experiment, ClusterSpec};
-use kcache::{CacheConfig, EvictPolicy, PartitionConfig, PartitionMode, PolicyKind};
+use kcache::{
+    AdaptiveConfig, CacheConfig, EvictPolicy, PartitionConfig, PartitionMode, PolicyKind,
+};
 use sim_core::{DetRng, Dur};
 use sim_net::{NetConfig, NodeId};
 use workload::{AppSpec, Mode};
@@ -29,6 +31,7 @@ fn random_app(rng: &mut DetRng, idx: u32, n_nodes: u16) -> AppSpec {
         file_size: 8 << 20,
         start_delay: Dur::millis(rng.below(50)),
         min_requests: 1,
+        phases: Vec::new(),
     }
 }
 
@@ -66,6 +69,18 @@ fn randomized_configurations_all_complete_cleanly() {
                 },
                 partitioning: random_partitioning(&mut rng, n_apps, capacity_blocks),
                 write_behind: rng.chance(0.8),
+                // A third of the caching runs wrap the policy in the
+                // adaptive meta-policy with a random candidate subset.
+                adaptive: rng.chance(0.33).then(|| {
+                    let n = rng.range_inclusive(1, 4) as usize;
+                    let mut cfg =
+                        AdaptiveConfig::new((0..n).map(|_| PolicyKind::ALL[rng.below(6) as usize]));
+                    cfg.hysteresis = rng.f64() * 0.1;
+                    cfg.quota_tuning = rng.chance(0.5);
+                    cfg.quota_step = rng.range_inclusive(1, 16) as usize;
+                    cfg
+                }),
+                epoch_accesses: [0, 32, 128, 512][rng.below(4) as usize],
                 ..CacheConfig::paper()
             }
         }));
@@ -117,6 +132,7 @@ fn degenerate_cache_sizes_survive() {
             file_size: 4 << 20,
             start_delay: Dur::ZERO,
             min_requests: 1,
+            phases: Vec::new(),
         }];
         let r = run_experiment(&spec, &apps);
         assert!(r.completed, "cap={cap} stalled");
@@ -149,6 +165,7 @@ fn write_saturation_under_tiny_cache_throttles_not_stalls() {
         file_size: 4 << 20,
         start_delay: Dur::ZERO,
         min_requests: 1,
+        phases: Vec::new(),
     }];
     let r = run_experiment(&spec, &apps);
     assert!(r.completed);
@@ -159,22 +176,45 @@ fn write_saturation_under_tiny_cache_throttles_not_stalls() {
     );
 }
 
-/// Random partitioning JSON configs round-trip through serde and lower to
-/// the PartitionConfig they describe; pre-PR-3 configs (no partitioning
-/// fields anywhere) keep parsing to the shared pool.
+/// Random partitioning (and, since PR 4, adaptive-policy) JSON configs
+/// round-trip through serde and lower to the configuration they describe;
+/// pre-PR-3 configs (no partitioning fields anywhere) keep parsing to the
+/// shared pool.
 #[test]
 fn partitioning_configs_round_trip_through_json() {
     for seed in 0..20u64 {
         let mut rng = DetRng::stream(0xCAFE, seed);
         let n_apps = rng.range_inclusive(1, 3) as u32;
         let mode = ["shared", "strict", "soft"][rng.below(3) as usize];
+        // A third of the configs run the adaptive meta-policy with a
+        // random candidate list and epoch/tuner knobs.
+        let adaptive = rng.chance(0.33);
+        let policy: String = if adaptive {
+            "adaptive".into()
+        } else {
+            PolicyKind::ALL[rng.below(6) as usize].name().into()
+        };
+        let adaptive_cfg = if adaptive {
+            AdaptiveCfg {
+                candidates: (0..rng.range_inclusive(0, 3))
+                    .map(|_| PolicyKind::ALL[rng.below(6) as usize].name().to_string())
+                    .collect(),
+                epoch_accesses: [0, 64, 256][rng.below(3) as usize],
+                hysteresis: rng.f64() * 0.1,
+                quota_tuning: rng.chance(0.5),
+                quota_step: rng.range_inclusive(1, 16) as usize,
+            }
+        } else {
+            AdaptiveCfg::default()
+        };
         let cfg = ExperimentConfig {
             cluster: ClusterCfg {
                 nodes: 4,
                 seed,
                 cache_blocks: 300,
-                policy: PolicyKind::ALL[rng.below(6) as usize].name().into(),
+                policy,
                 partitioning: mode.into(),
+                adaptive: adaptive_cfg,
                 ..ClusterCfg::default()
             },
             apps: (0..n_apps)
@@ -192,6 +232,25 @@ fn partitioning_configs_round_trip_through_json() {
                         rng.range_inclusive(1, 300) as usize
                     } else {
                         0
+                    },
+                    // Some apps carry a phase schedule through JSON too.
+                    phases: if rng.chance(0.3) {
+                        vec![
+                            PhaseCfg {
+                                requests: rng.range_inclusive(4, 32),
+                                locality: rng.f64(),
+                                sharing: 0.0,
+                                hotspot: rng.f64(),
+                            },
+                            PhaseCfg {
+                                requests: rng.range_inclusive(4, 32),
+                                locality: 0.0,
+                                sharing: rng.f64(),
+                                hotspot: 0.0,
+                            },
+                        ]
+                    } else {
+                        Vec::new()
                     },
                 })
                 .collect(),
