@@ -34,8 +34,8 @@ pub mod ghost;
 pub use ghost::GhostCache;
 
 use kcache_policy::{
-    AdaptiveStats, AppId, FrameTable, GhostRate, PolicyKind, QuotaMoveRecord, QuotaUpdate,
-    ReplacementPolicy, SwitchRecord,
+    AccessEvent, AccessKind, AdaptiveStats, AppId, FrameTable, GhostRate, PolicyKind,
+    QuotaMoveRecord, QuotaUpdate, ReplacementPolicy, SwitchRecord,
 };
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
@@ -57,6 +57,11 @@ pub struct AdaptiveConfig {
     /// Per-application ghost-list capacity in keys (0 = the cache
     /// capacity: remember about one partition's worth of evictions).
     pub ghost_history: usize,
+    /// The fairness floor: the tuner never shrinks any app's quota below
+    /// this many frames, so a zero-utility tenant cannot be drained to a
+    /// single frame by a refault-heavy neighbor. Values below 1 are
+    /// treated as 1 (the old behavior — the tuner always kept one frame).
+    pub quota_floor: usize,
 }
 
 impl AdaptiveConfig {
@@ -69,6 +74,7 @@ impl AdaptiveConfig {
             quota_tuning: true,
             quota_step: 8,
             ghost_history: 0,
+            quota_floor: 1,
         }
     }
 
@@ -237,13 +243,14 @@ impl AdaptivePolicy {
                 .expect("two quota'd apps");
             if refaults(winner) > refaults(loser) {
                 // Clamp to what both sides can honor: the loser keeps at
-                // least one frame and the winner never exceeds the pool —
-                // a transfer must be applicable in full or not proposed
-                // at all (a half-applied pair would leak quota).
+                // least the fairness floor and the winner never exceeds
+                // the pool — a transfer must be applicable in full or not
+                // proposed at all (a half-applied pair would leak quota).
+                let floor = self.cfg.quota_floor.max(1);
                 let step = self
                     .cfg
                     .quota_step
-                    .min(lq.saturating_sub(1))
+                    .min(lq.saturating_sub(floor))
                     .min(self.capacity.saturating_sub(wq));
                 if step > 0 {
                     updates.push(QuotaUpdate { app: winner, quota: wq + step });
@@ -281,6 +288,23 @@ impl ReplacementPolicy for AdaptivePolicy {
     fn on_access(&mut self, frame: u32, key: u64, app: AppId) {
         self.observe(key, app);
         self.live.on_access(frame, key, app);
+    }
+
+    /// Ghost feeding moves into the drained batch: every deferred hit and
+    /// recency touch is replayed to the candidate simulators and the
+    /// tuner's refault lists here — off the access latency path — and the
+    /// whole batch is then forwarded so the live policy applies its own
+    /// ledger/recency rules (clock skips the `on_access` replay, the
+    /// others take the default). Probe hits and misses reach no ghost,
+    /// matching the eager path where neither ever called `on_access`.
+    fn drain(&mut self, events: &[AccessEvent]) {
+        for ev in events {
+            match ev.kind {
+                AccessKind::Hit | AccessKind::Touch => self.observe(ev.key, ev.app),
+                AccessKind::ProbeHit | AccessKind::Miss => {}
+            }
+        }
+        self.live.drain(events);
     }
 
     fn on_insert(&mut self, frame: u32, key: u64, app: AppId) {
@@ -505,6 +529,65 @@ mod tests {
         let updates = p.epoch_tick(&[(app, 2), (AppId(1), 2)]);
         assert!(updates.is_empty(), "invalidation churn must not look like quota pressure");
         assert_eq!(p.adaptive_stats().unwrap().quota_moves, 0);
+    }
+
+    #[test]
+    fn drained_events_feed_ghosts_like_eager_accesses() {
+        // Two identical wrappers; one sees hits eagerly via on_access, the
+        // other sees the same accesses as a drained batch. The ghost
+        // ledgers (what the epoch controller compares) must agree.
+        let mk =
+            || AdaptivePolicy::new(4, AdaptiveConfig::new([PolicyKind::Clock, PolicyKind::Lfu]));
+        let (mut eager, mut drained) = (mk(), mk());
+        for p in [&mut eager, &mut drained] {
+            for f in 0..4u32 {
+                p.on_insert(f, 100 + f as u64, AppId(f % 2));
+            }
+        }
+        let accesses = [(0u32, 100u64), (1, 101), (0, 100), (3, 103), (2, 102), (0, 100)];
+        for &(f, k) in &accesses {
+            eager.on_access(f, k, AppId(f % 2));
+        }
+        let batch: Vec<AccessEvent> =
+            accesses.iter().map(|&(f, k)| AccessEvent::hit(f, k, AppId(f % 2))).collect();
+        drained.drain(&batch);
+        let (es, ds) = (eager.adaptive_stats().unwrap(), drained.adaptive_stats().unwrap());
+        assert_eq!(es.ghost_rates, ds.ghost_rates, "ghost feeds must not depend on the path");
+        // Probe hits and misses feed no ghost on either path.
+        drained.drain(&[AccessEvent::probe_hit(AppId(0)), AccessEvent::miss(AppId(1))]);
+        assert_eq!(
+            drained.adaptive_stats().unwrap().ghost_rates,
+            ds.ghost_rates,
+            "lookup-only events must stay invisible to the simulators"
+        );
+    }
+
+    #[test]
+    fn tuner_respects_the_quota_floor() {
+        // ghost_history larger than the hot working set, so every hot
+        // re-reference is still remembered as a refault.
+        let mut p = AdaptivePolicy::new(
+            8,
+            AdaptiveConfig {
+                quota_floor: 3,
+                ghost_history: 64,
+                ..AdaptiveConfig::new([PolicyKind::ExactLru])
+            },
+        );
+        let (hot, cold) = (AppId(0), AppId(1));
+        for round in 0..60u64 {
+            feed(&mut p, &[round % 12], hot); // 12-key set over 8 frames: refaults
+            feed(&mut p, &[1000 + round], cold);
+        }
+        let updates = p.epoch_tick(&[(hot, 4), (cold, 4)]);
+        let cu = updates.iter().find(|u| u.app == cold).expect("cold app shrinks");
+        assert_eq!(cu.quota, 3, "shrink stops exactly at the floor");
+        // At the floor already: nothing left to give, no transfer at all.
+        for round in 0..60u64 {
+            feed(&mut p, &[round % 12], hot);
+        }
+        let updates = p.epoch_tick(&[(hot, 5), (cold, 3)]);
+        assert!(updates.is_empty(), "a floored quota has nothing to give: {updates:?}");
     }
 
     #[test]

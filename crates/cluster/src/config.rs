@@ -84,6 +84,9 @@ pub struct AdaptiveCfg {
     pub quota_tuning: bool,
     /// Frames of quota moved per epoch by the tuner.
     pub quota_step: usize,
+    /// Fairness floor: the tuner never shrinks any app's quota below this
+    /// many frames (1 — the old behavior — by default).
+    pub quota_floor: usize,
 }
 
 impl Default for AdaptiveCfg {
@@ -94,6 +97,7 @@ impl Default for AdaptiveCfg {
             hysteresis: 0.02,
             quota_tuning: true,
             quota_step: 8,
+            quota_floor: 1,
         }
     }
 }
@@ -212,6 +216,7 @@ impl ExperimentConfig {
             quota_tuning: a.quota_tuning,
             quota_step: a.quota_step,
             ghost_history: 0,
+            quota_floor: a.quota_floor,
         }))
     }
 
@@ -360,7 +365,8 @@ mod tests {
                 "cluster": { "policy": "adaptive",
                              "adaptive": { "candidates": ["clock", "lfu", "sharing-aware"],
                                            "epoch_accesses": 256, "hysteresis": 0.05,
-                                           "quota_tuning": false, "quota_step": 4 } },
+                                           "quota_tuning": false, "quota_step": 4,
+                                           "quota_floor": 16 } },
                 "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
                             "request_kb": 64, "mode": "read",
                             "phases": [ { "requests": 32, "hotspot": 1.2 },
@@ -376,6 +382,7 @@ mod tests {
         assert_eq!(a.hysteresis, 0.05);
         assert!(!a.quota_tuning);
         assert_eq!(a.quota_step, 4);
+        assert_eq!(a.quota_floor, 16);
         let (spec, apps) = cfg.to_spec().unwrap();
         let cache = spec.cache.as_ref().unwrap();
         assert_eq!(cache.epoch_accesses, 256);

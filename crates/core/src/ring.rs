@@ -1,0 +1,244 @@
+//! The bounded lock-free access-event ring — the side-buffer between the
+//! buffer manager's lock-free hit fast path (producers: every thread
+//! recording a hit, miss, probe or recency touch) and the replacement
+//! policy (consumer: whoever next takes the policy lock drains the ring
+//! in FIFO order via [`ReplacementPolicy::drain`]).
+//!
+//! The design is the classic bounded MPMC sequence-number queue (Vyukov):
+//! each slot carries a sequence word that encodes whether the slot is
+//! writable (seq == pos), readable (seq == pos + 1), or lapped. Producers
+//! claim a slot with one CAS and publish with one release store; a
+//! consumer claims with one CAS and releases the slot for the next lap.
+//! The payload fields are plain atomics rather than an `UnsafeCell` —
+//! events are three words, the protocol already orders the accesses, and
+//! it keeps the implementation `forbid(unsafe_code)`-clean.
+//!
+//! When the ring fills (a long pure-hit run with nothing draining it),
+//! the *producer becomes the drainer*: the manager takes the policy lock,
+//! drains, and applies its own event inline. Nothing is ever dropped —
+//! that is what keeps drained accounting observation-equivalent to the
+//! eager path — and memory stays bounded at `CAPACITY` events.
+//!
+//! [`ReplacementPolicy::drain`]: kcache_policy::ReplacementPolicy::drain
+
+use kcache_policy::{AccessEvent, AccessKind, AppId};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Events the ring holds before a producer is forced to drain inline.
+/// 1024 events ≈ one drain per thousand pure hits worst-case — the
+/// amortized lock traffic the fast path is allowed to keep. Also the
+/// per-call pop budget of the manager's `drain_locked`: a drainer that
+/// kept popping while producers kept publishing could hold the policy
+/// lock (and grow its batch) without bound.
+pub(crate) const CAPACITY: usize = 1024;
+
+struct Slot {
+    /// Vyukov sequence word (see module docs).
+    seq: AtomicUsize,
+    key: AtomicU64,
+    /// `frame` in the high 32 bits, `app` in the low 32.
+    frame_app: AtomicU64,
+    /// `AccessKind` as a small integer.
+    kind: AtomicU32,
+}
+
+fn encode_kind(kind: AccessKind) -> u32 {
+    match kind {
+        AccessKind::Hit => 0,
+        AccessKind::ProbeHit => 1,
+        AccessKind::Miss => 2,
+        AccessKind::Touch => 3,
+    }
+}
+
+fn decode_kind(raw: u32) -> AccessKind {
+    match raw {
+        0 => AccessKind::Hit,
+        1 => AccessKind::ProbeHit,
+        2 => AccessKind::Miss,
+        _ => AccessKind::Touch,
+    }
+}
+
+pub(crate) struct EventRing {
+    slots: Vec<Slot>,
+    enqueue: AtomicUsize,
+    dequeue: AtomicUsize,
+}
+
+impl EventRing {
+    pub(crate) fn new() -> EventRing {
+        EventRing {
+            slots: (0..CAPACITY)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    key: AtomicU64::new(0),
+                    frame_app: AtomicU64::new(0),
+                    kind: AtomicU32::new(0),
+                })
+                .collect(),
+            enqueue: AtomicUsize::new(0),
+            dequeue: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueue `ev`; `false` means the ring is full and the caller must
+    /// drain (producer-becomes-drainer, see module docs).
+    pub(crate) fn push(&self, ev: AccessEvent) -> bool {
+        let mask = CAPACITY - 1;
+        let mut pos = self.enqueue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        slot.key.store(ev.key, Ordering::Relaxed);
+                        slot.frame_app
+                            .store(((ev.frame as u64) << 32) | ev.app.0 as u64, Ordering::Relaxed);
+                        slot.kind.store(encode_kind(ev.kind), Ordering::Relaxed);
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return false; // full lap: the queue is full
+            } else {
+                pos = self.enqueue.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeue the oldest event, `None` when empty. FIFO per producer and
+    /// globally consistent with the sequence protocol; the manager only
+    /// pops while holding the policy lock, so batches apply in order.
+    pub(crate) fn pop(&self) -> Option<AccessEvent> {
+        let mask = CAPACITY - 1;
+        let mut pos = self.dequeue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos + 1) as isize;
+            if diff == 0 {
+                match self.dequeue.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let key = slot.key.load(Ordering::Relaxed);
+                        let fa = slot.frame_app.load(Ordering::Relaxed);
+                        let kind = decode_kind(slot.kind.load(Ordering::Relaxed));
+                        slot.seq.store(pos + CAPACITY, Ordering::Release);
+                        return Some(AccessEvent {
+                            kind,
+                            frame: (fa >> 32) as u32,
+                            key,
+                            app: AppId(fa as u32),
+                        });
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None; // empty (or the publishing store is in flight)
+            } else {
+                pos = self.dequeue.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_round_trip() {
+        let r = EventRing::new();
+        assert!(r.pop().is_none());
+        assert!(r.push(AccessEvent::hit(7, 1234, AppId(3))));
+        assert!(r.push(AccessEvent::miss(AppId(1))));
+        assert!(r.push(AccessEvent::touch(9, 88, AppId::UNKNOWN)));
+        assert!(r.push(AccessEvent::probe_hit(AppId(2))));
+        assert_eq!(r.pop(), Some(AccessEvent::hit(7, 1234, AppId(3))));
+        assert_eq!(r.pop(), Some(AccessEvent::miss(AppId(1))));
+        assert_eq!(r.pop(), Some(AccessEvent::touch(9, 88, AppId::UNKNOWN)));
+        assert_eq!(r.pop(), Some(AccessEvent::probe_hit(AppId(2))));
+        assert!(r.pop().is_none());
+    }
+
+    #[test]
+    fn fills_and_recovers() {
+        let r = EventRing::new();
+        for i in 0..CAPACITY {
+            assert!(r.push(AccessEvent::hit(i as u32, i as u64, AppId(0))), "push {i}");
+        }
+        assert!(!r.push(AccessEvent::miss(AppId(0))), "full ring must refuse");
+        // Drain half, refill: the ring wraps cleanly.
+        for i in 0..CAPACITY / 2 {
+            assert_eq!(r.pop().unwrap().frame, i as u32);
+        }
+        for i in 0..CAPACITY / 2 {
+            assert!(r.push(AccessEvent::touch(i as u32, 0, AppId(1))));
+        }
+        assert!(!r.push(AccessEvent::miss(AppId(0))));
+        let mut n = 0;
+        while r.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, CAPACITY);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumer_lose_nothing() {
+        use std::sync::atomic::AtomicU64 as Counter;
+        let r = EventRing::new();
+        let produced = Counter::new(0);
+        let consumed = Counter::new(0);
+        let per_thread = 20_000u64;
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let (r, produced) = (&r, &produced);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let ev = AccessEvent::hit(t, i, AppId(t));
+                        loop {
+                            if r.push(ev) {
+                                produced.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            // Full: in the manager the producer would
+                            // drain; here the consumer thread catches up.
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let (r, consumed, produced) = (&r, &consumed, &produced);
+            s.spawn(move || loop {
+                match r.pop() {
+                    Some(_) => {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        if produced.load(Ordering::Relaxed) == 4 * per_thread
+                            && consumed.load(Ordering::Relaxed) == 4 * per_thread
+                        {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), 4 * per_thread);
+    }
+}

@@ -2,17 +2,19 @@
 //! seed buffer manager without behavioral change.
 
 use crate::table::FrameTable;
-use crate::{AppId, PolicyKind, ReplacementPolicy};
+use crate::{AccessEvent, AccessKind, AppId, PolicyKind, ReplacementPolicy};
 
-/// Reference-bit clock. Hits set the frame's reference bit; inserts clear
-/// it (a block earns its second chance by being *re*-read). An eviction
-/// scan sweeps the hand over at most `2 * capacity` frames: the first
-/// encounter of a referenced frame consumes its bit, the first
+/// Reference-bit clock. The reference bits live in the table's atomic
+/// [`RefWords`](crate::RefWords): hits set the frame's word (one relaxed
+/// `fetch_or` — on the buffer manager's fast path this happens **without
+/// the policy lock**, which is the seed's store-only hit cost); inserts
+/// clear it (a block earns its second chance by being *re*-read). An
+/// eviction scan sweeps the hand over at most `2 * capacity` frames: the
+/// first encounter of a referenced frame consumes its bit, the first
 /// unreferenced evictable frame becomes the candidate. The hand persists
 /// across scans, exactly like the seed manager's `clock_hand`.
 pub struct Clock {
     table: FrameTable,
-    refbit: Vec<bool>,
     hand: usize,
     /// Remaining steps in the current scan (armed by `begin_scan`).
     budget: usize,
@@ -20,12 +22,7 @@ pub struct Clock {
 
 impl Clock {
     pub fn new(capacity: usize) -> Clock {
-        Clock {
-            table: FrameTable::new(capacity),
-            refbit: vec![false; capacity],
-            hand: 0,
-            budget: 0,
-        }
+        Clock { table: FrameTable::new(capacity), hand: 0, budget: 0 }
     }
 }
 
@@ -42,17 +39,41 @@ impl ReplacementPolicy for Clock {
         &mut self.table
     }
 
-    fn on_access(&mut self, frame: u32, _key: u64, _app: AppId) {
-        self.refbit[frame as usize] = true;
+    fn on_access(&mut self, frame: u32, _key: u64, app: AppId) {
+        self.table.ref_words().touch(frame, app);
     }
 
     fn on_insert(&mut self, frame: u32, key: u64, app: AppId) {
         self.table.insert(frame, key, app);
-        self.refbit[frame as usize] = false;
+        self.table.ref_words().clear(frame);
     }
 
     fn on_remove(&mut self, frame: u32, _key: u64) {
         self.table.remove(frame);
+    }
+
+    fn ranks_from_ref_words(&self) -> bool {
+        true
+    }
+
+    /// Clock ranks directly from the atomic ref words, which the event
+    /// producer already stored at access time; replaying `on_access` here
+    /// would resurrect a bit an eviction scan may have legitimately
+    /// consumed since. Only the deferred ledger updates remain.
+    fn drain(&mut self, events: &[AccessEvent]) {
+        for ev in events {
+            match ev.kind {
+                AccessKind::Hit | AccessKind::ProbeHit => {
+                    self.table.stats.hits += 1;
+                    self.table.note_app_hit(ev.app);
+                }
+                AccessKind::Miss => {
+                    self.table.stats.misses += 1;
+                    self.table.note_app_miss(ev.app);
+                }
+                AccessKind::Touch => {}
+            }
+        }
     }
 
     fn begin_scan(&mut self) {
@@ -74,7 +95,7 @@ impl ReplacementPolicy for Clock {
             }
             // Consume the reference bit first (second chance), matching the
             // seed's `swap(false)`-then-skip order.
-            if std::mem::take(&mut self.refbit[idx as usize]) {
+            if self.table.ref_words().take(idx) {
                 continue;
             }
             if self.table.evictable_for(idx, filter) {
@@ -118,6 +139,35 @@ mod tests {
         let mut c = Clock::new(8);
         c.begin_scan();
         assert_eq!(c.next_candidate(None), None);
+    }
+
+    #[test]
+    fn lock_free_ref_word_grants_second_chance() {
+        // The fast path: a producer touches the atomic word directly (no
+        // on_access call) and the scan honors it exactly like a hit.
+        let mut c = Clock::new(2);
+        c.on_insert(0, 10, AppId::UNKNOWN);
+        c.on_insert(1, 11, AppId::UNKNOWN);
+        c.table().ref_words().touch(0, AppId(3));
+        c.begin_scan();
+        assert_eq!(c.next_candidate(None), Some(1), "frame 0's atomic bit protects it");
+    }
+
+    #[test]
+    fn drain_updates_ledgers_without_touching_recency() {
+        let mut c = Clock::new(2);
+        c.on_insert(0, 10, AppId(1));
+        // The producer stored the recency word at access time...
+        c.table().ref_words().touch(0, AppId(1));
+        // ...and an eviction scan consumed it before the drain arrived.
+        c.begin_scan();
+        assert_eq!(c.next_candidate(None), Some(0));
+        c.drain(&[AccessEvent::hit(0, 10, AppId(1)), AccessEvent::miss(AppId(1))]);
+        assert_eq!((c.stats().hits, c.stats().misses), (1, 1));
+        assert!(
+            !c.table().ref_words().is_referenced(0),
+            "drain must not resurrect a consumed reference bit"
+        );
     }
 
     #[test]

@@ -42,6 +42,17 @@
 //! lock order (bucket → frame → policy). The trait is `Send` (not `Sync`);
 //! the manager wraps the boxed policy in a `Mutex` and never holds that
 //! lock while acquiring a bucket or frame lock.
+//!
+//! The **hit fast path does not take that lock at all**: hits and recency
+//! touches store into the table's per-frame atomic [`RefWords`] (ref bit +
+//! app-touch mask) and enqueue an [`AccessEvent`] into the manager's
+//! bounded side-buffer. The policy sees the deferred events in batches via
+//! [`ReplacementPolicy::drain`] — applied before anything that ranks or
+//! reports (eviction scans, inserts, epoch ticks, stats reads), so under a
+//! single thread the drained path is observation-equivalent to calling the
+//! eager hooks at access time (pinned by differential tests). [`Clock`]
+//! never needs the replayed `on_access` at all: it ranks directly from the
+//! atomic ref bits, recovering the seed's store-only per-hit cost.
 
 pub mod arc;
 pub mod clock;
@@ -56,7 +67,7 @@ pub use clock::Clock;
 pub use lfu::Lfu;
 pub use lru::ExactLru;
 pub use sharing::SharingAware;
-pub use table::FrameTable;
+pub use table::{FrameTable, RefWords};
 pub use twoq::TwoQ;
 
 /// Identity of the application instance performing an access.
@@ -129,6 +140,60 @@ impl PolicyStats {
         self.evictions_clean += evictions_clean;
         self.evictions_dirty += evictions_dirty;
         self.scans += scans;
+    }
+}
+
+/// What kind of access a deferred [`AccessEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A data-serving hit: hit ledgers + recency refresh.
+    Hit,
+    /// A lookup-only hit (`probe`): hit ledgers, **no** recency refresh —
+    /// planning a request split is not a use of the block.
+    ProbeHit,
+    /// A miss: miss ledgers only (the eventual install arrives as an
+    /// eager `on_insert`).
+    Miss,
+    /// A recency-only touch (sync-write refresh, secondary-waiter
+    /// attribution, merge into a resident block): recency refresh, no
+    /// hit/miss ledger.
+    Touch,
+}
+
+/// One deferred access, produced lock-free on the buffer manager's hit
+/// fast path and applied to the policy in batches via
+/// [`ReplacementPolicy::drain`]. `frame`/`key` are meaningless for
+/// [`AccessKind::ProbeHit`]/[`AccessKind::Miss`] (no frame is involved).
+///
+/// Producer contract: for `Hit` and `Touch` events the producer has
+/// already updated the table's [`RefWords`] at access time — that *is*
+/// the lock-free recency store. `drain` applies everything that was
+/// deferred: the [`PolicyStats`] hit/miss counters, the per-app
+/// [`AppUsage`] ledger, and (for policies that do not rank from the
+/// atomic words) the `on_access` recency replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    pub kind: AccessKind,
+    pub frame: u32,
+    pub key: u64,
+    pub app: AppId,
+}
+
+impl AccessEvent {
+    pub fn hit(frame: u32, key: u64, app: AppId) -> AccessEvent {
+        AccessEvent { kind: AccessKind::Hit, frame, key, app }
+    }
+
+    pub fn probe_hit(app: AppId) -> AccessEvent {
+        AccessEvent { kind: AccessKind::ProbeHit, frame: u32::MAX, key: 0, app }
+    }
+
+    pub fn miss(app: AppId) -> AccessEvent {
+        AccessEvent { kind: AccessKind::Miss, frame: u32::MAX, key: 0, app }
+    }
+
+    pub fn touch(frame: u32, key: u64, app: AppId) -> AccessEvent {
+        AccessEvent { kind: AccessKind::Touch, frame, key, app }
     }
 }
 
@@ -259,7 +324,68 @@ pub trait ReplacementPolicy: Send {
     fn table_mut(&mut self) -> &mut FrameTable;
 
     /// A resident frame was hit by `app`; `key` is the block's fingerprint.
+    ///
+    /// Callers that defer hit bookkeeping (the buffer manager's lock-free
+    /// fast path) do not call this directly — they enqueue an
+    /// [`AccessEvent`] and the default [`drain`](Self::drain) replays it
+    /// here. Either way, an implementation must tolerate `frame` having
+    /// been vacated or re-assigned since the access (the manager's
+    /// drop-the-lock-between-steps discipline always allowed that race):
+    /// stale recency on a non-resident frame is reset by the next
+    /// `on_insert`.
     fn on_access(&mut self, frame: u32, key: u64, app: AppId);
+
+    /// Does this policy rank eviction candidates directly from the
+    /// table's atomic [`RefWords`] (clock), never needing the deferred
+    /// `on_access` replay? Producers use this to collapse *unattributed*
+    /// hit/miss/touch events — whose only other deferred effect is a
+    /// counter bump, since [`AppId::UNKNOWN`] never enters the per-app
+    /// ledger — into plain atomic counters instead of ring traffic.
+    /// Meta-policies that feed ghost simulators from the event stream
+    /// must leave this `false` even when their live candidate is clock.
+    fn ranks_from_ref_words(&self) -> bool {
+        false
+    }
+
+    /// Credit `hits`/`misses` collapsed count-only events (see
+    /// [`ranks_from_ref_words`](Self::ranks_from_ref_words)) into the
+    /// stats ledger. Order relative to drained batches is irrelevant:
+    /// counters commute, and count-only events carry no recency or
+    /// per-app information by construction.
+    fn credit_counts(&mut self, hits: u64, misses: u64) {
+        self.stats_mut().hits += hits;
+        self.stats_mut().misses += misses;
+    }
+
+    /// Apply a batch of deferred access events, oldest first. The
+    /// provided default replays each event through the eager hooks —
+    /// hit/miss counters, the per-app ledger, `on_access` for recency —
+    /// so a policy that implements only the eager surface is drain-ready.
+    /// Policies that rank from the table's atomic [`RefWords`] (clock)
+    /// override this to skip the `on_access` replay: the producer already
+    /// stored the recency word at access time, and replaying it later
+    /// could resurrect a reference bit an eviction scan legitimately
+    /// consumed in between.
+    fn drain(&mut self, events: &[AccessEvent]) {
+        for ev in events {
+            match ev.kind {
+                AccessKind::Hit => {
+                    self.stats_mut().hits += 1;
+                    self.note_app_hit(ev.app);
+                    self.on_access(ev.frame, ev.key, ev.app);
+                }
+                AccessKind::ProbeHit => {
+                    self.stats_mut().hits += 1;
+                    self.note_app_hit(ev.app);
+                }
+                AccessKind::Miss => {
+                    self.stats_mut().misses += 1;
+                    self.note_app_miss(ev.app);
+                }
+                AccessKind::Touch => self.on_access(ev.frame, ev.key, ev.app),
+            }
+        }
+    }
 
     /// A new block (fingerprint `key`) was installed into `frame`.
     fn on_insert(&mut self, frame: u32, key: u64, app: AppId);
@@ -363,7 +489,11 @@ pub trait ReplacementPolicy: Send {
 /// order — recency *order* within the resident set is approximated, which
 /// is the price of a switch), then the shared [`FrameTable`] is carried
 /// over verbatim so pins, ownership, the per-application ledger and the
-/// [`PolicyStats`] counters all survive the switch unchanged.
+/// [`PolicyStats`] counters all survive the switch unchanged. The table
+/// carries its atomic [`RefWords`] with it (shared `Arc`), so reference
+/// bits set before the switch keep protecting their frames when the
+/// incoming policy is clock — a partial answer to recency-preserving
+/// migration.
 pub fn migrate(old: &dyn ReplacementPolicy, to: PolicyKind) -> Box<dyn ReplacementPolicy> {
     let table = old.table();
     let mut new = to.build(table.capacity());

@@ -2,6 +2,78 @@
 
 use crate::{AppId, AppUsage, PolicyStats};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-frame atomic ref/recency words — the lock-free half of the hit
+/// fast path. Each frame owns one `AtomicU64`: bit 63 is the **reference
+/// bit** (set by every hit or recency touch, consumed by clock-style
+/// scans), bits 0..=62 are the **app-touch mask** (bit `app % 63` per
+/// distinct known accessor since the word was last consumed — advisory
+/// recency attribution for diagnostics and future mask-consuming
+/// policies).
+///
+/// The words are shared by `Arc`: the buffer manager clones the handle
+/// out of its policy's [`FrameTable`] once at construction and then
+/// updates recency with a single relaxed `fetch_or` per hit — no policy
+/// lock — which is exactly the seed clock's store-only hit cost. Cloning
+/// a `FrameTable` (live policy migration) carries the same physical
+/// words, so reference bits survive an adaptive policy switch.
+#[derive(Debug, Clone)]
+pub struct RefWords(Arc<Vec<AtomicU64>>);
+
+impl RefWords {
+    /// The reference bit (bit 63); bits 0..=62 form the app-touch mask.
+    pub const REF: u64 = 1 << 63;
+
+    pub fn new(capacity: usize) -> RefWords {
+        RefWords(Arc::new((0..capacity).map(|_| AtomicU64::new(0)).collect()))
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.0.len()
+    }
+
+    fn bit(app: AppId) -> u64 {
+        if app == AppId::UNKNOWN {
+            0
+        } else {
+            1 << (app.0 % 63)
+        }
+    }
+
+    /// Record a hit / recency touch by `app`: one relaxed `fetch_or`.
+    pub fn touch(&self, frame: u32, app: AppId) {
+        if let Some(w) = self.0.get(frame as usize) {
+            w.fetch_or(Self::REF | Self::bit(app), Ordering::Relaxed);
+        }
+    }
+
+    /// Consume the word (second chance): returns whether the frame was
+    /// referenced since the last consume/clear, zeroing the whole word —
+    /// ref bit and app mask — like the seed clock's `swap(false)`.
+    pub fn take(&self, frame: u32) -> bool {
+        self.0.get(frame as usize).is_some_and(|w| w.swap(0, Ordering::Relaxed) & Self::REF != 0)
+    }
+
+    /// Non-consuming read of the reference bit.
+    pub fn is_referenced(&self, frame: u32) -> bool {
+        self.0.get(frame as usize).is_some_and(|w| w.load(Ordering::Relaxed) & Self::REF != 0)
+    }
+
+    /// Non-consuming read of the app-touch mask (bits 0..=62).
+    pub fn app_mask(&self, frame: u32) -> u64 {
+        self.0.get(frame as usize).map_or(0, |w| w.load(Ordering::Relaxed) & !Self::REF)
+    }
+
+    /// Reset the word (fresh insert: a block earns its second chance by
+    /// being *re*-accessed).
+    pub fn clear(&self, frame: u32) {
+        if let Some(w) = self.0.get(frame as usize) {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+}
 
 /// Dense per-frame residency, pin and **owner** flags plus the policy's
 /// stat counters and the per-application usage ledger. Policies layer
@@ -29,6 +101,9 @@ pub struct FrameTable {
     key: Vec<u64>,
     n_resident: usize,
     per_app: BTreeMap<u32, AppUsage>,
+    /// The lock-free recency words (shared with the buffer manager; see
+    /// [`RefWords`]). Cloning the table shares the same physical words.
+    ref_words: RefWords,
     pub stats: PolicyStats,
 }
 
@@ -41,8 +116,14 @@ impl FrameTable {
             key: vec![0; capacity],
             n_resident: 0,
             per_app: BTreeMap::new(),
+            ref_words: RefWords::new(capacity),
             stats: PolicyStats::default(),
         }
+    }
+
+    /// The table's atomic ref/recency words (shared handle).
+    pub fn ref_words(&self) -> &RefWords {
+        &self.ref_words
     }
 
     pub fn capacity(&self) -> usize {
@@ -203,6 +284,32 @@ mod tests {
         t.remove(1); // idempotent
         assert_eq!(t.stats.removes, 1);
         assert_eq!(t.resident_frames(), vec![3]);
+    }
+
+    #[test]
+    fn ref_words_set_consume_and_mask() {
+        let t = FrameTable::new(4);
+        let w = t.ref_words();
+        assert!(!w.is_referenced(1));
+        w.touch(1, AppId(2));
+        w.touch(1, AppId(5));
+        w.touch(1, AppId::UNKNOWN); // unknown sets REF but no app bit
+        assert!(w.is_referenced(1));
+        assert_eq!(w.app_mask(1), (1 << 2) | (1 << 5));
+        assert!(w.take(1), "consume returns the referenced flag");
+        assert!(!w.is_referenced(1), "consume zeroes the word");
+        assert_eq!(w.app_mask(1), 0);
+        assert!(!w.take(1), "second consume sees nothing");
+        w.touch(2, AppId(0));
+        w.clear(2);
+        assert!(!w.is_referenced(2));
+        // Out-of-pool frames are ignored, not a panic.
+        w.touch(99, AppId(0));
+        assert!(!w.take(99));
+        // A cloned table shares the same physical words.
+        let t2 = t.clone();
+        t2.ref_words().touch(3, AppId(1));
+        assert!(t.ref_words().is_referenced(3));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! extracted Clock/ExactLru implementations to the seed buffer manager's
 //! behavior.
 
-use kcache_policy::{AppId, PolicyKind, ReplacementPolicy};
+use kcache_policy::{AccessEvent, AppId, PolicyKind, ReplacementPolicy};
 use proptest::prelude::*;
 
 const CAP: usize = 8;
@@ -164,6 +164,112 @@ proptest! {
     ) {
         for kind in PolicyKind::ALL {
             drive(kind, &ops);
+        }
+    }
+}
+
+/// Drive two instances of one policy through the same access stream — one
+/// applying every event eagerly at access time (a drain batch of one,
+/// exactly the manager's eager mode), one buffering events and draining
+/// them only at decision points (scans) and checkpoints — and require
+/// identical stats, per-app ledgers, and candidate sequences. This is the
+/// policy-level half of the drained-equals-eager contract; the producer
+/// obligation (store the ref word at event time) is honored for both.
+fn drive_drain(kind: PolicyKind, ops: &[(u8, u64)]) {
+    let mut eager = kind.build(CAP);
+    let mut drained = kind.build(CAP);
+    let mut pending: Vec<AccessEvent> = Vec::new();
+    let mut resident = [false; CAP];
+    let mut key_of = [0u64; CAP];
+    for &(op, arg) in ops {
+        let frame = (arg % CAP as u64) as u32;
+        let app = AppId((arg % 3) as u32);
+        let emit = |eager: &mut Box<dyn ReplacementPolicy>,
+                    pending: &mut Vec<AccessEvent>,
+                    ev: AccessEvent| {
+            // The producer contract: ref words stored at access time on
+            // BOTH sides (the manager does this lock-free in either mode).
+            if matches!(ev.kind, kcache_policy::AccessKind::Hit | kcache_policy::AccessKind::Touch)
+            {
+                eager.table().ref_words().touch(ev.frame, ev.app);
+                drained.table().ref_words().touch(ev.frame, ev.app);
+            }
+            eager.drain(std::slice::from_ref(&ev));
+            pending.push(ev);
+        };
+        match op {
+            0 => {
+                if resident[frame as usize] {
+                    emit(
+                        &mut eager,
+                        &mut pending,
+                        AccessEvent::hit(frame, key_of[frame as usize], app),
+                    );
+                } else {
+                    resident[frame as usize] = true;
+                    key_of[frame as usize] = arg;
+                    // Inserts are eager on both sides, after a drain —
+                    // the manager's note_insert discipline.
+                    drained.drain(&pending);
+                    pending.clear();
+                    eager.on_insert(frame, arg, app);
+                    drained.on_insert(frame, arg, app);
+                }
+            }
+            // A hit/touch may target a frame that was vacated since the
+            // access (the manager's benign race class) — policies must
+            // treat it identically on both paths.
+            1 => {
+                emit(&mut eager, &mut pending, AccessEvent::hit(frame, key_of[frame as usize], app))
+            }
+            2 => emit(
+                &mut eager,
+                &mut pending,
+                AccessEvent::touch(frame, key_of[frame as usize], app),
+            ),
+            3 => emit(&mut eager, &mut pending, AccessEvent::miss(app)),
+            4 => emit(&mut eager, &mut pending, AccessEvent::probe_hit(app)),
+            _ => {
+                // Decision point: drain, then both sides run one eviction
+                // scan and must offer the same full candidate sequence.
+                drained.drain(&pending);
+                pending.clear();
+                eager.begin_scan();
+                drained.begin_scan();
+                let mut first = true;
+                loop {
+                    let (a, b) = (eager.next_candidate(None), drained.next_candidate(None));
+                    prop_assert_eq!(a, b, "{} candidate order diverged", kind);
+                    let Some(v) = a else { break };
+                    if first {
+                        // The manager takes the first workable candidate.
+                        first = false;
+                        resident[v as usize] = false;
+                        eager.on_remove(v, key_of[v as usize]);
+                        drained.on_remove(v, key_of[v as usize]);
+                    }
+                }
+            }
+        }
+    }
+    drained.drain(&pending);
+    prop_assert_eq!(eager.stats(), drained.stats(), "{} stats diverged", kind);
+    prop_assert_eq!(eager.app_usage(), drained.app_usage(), "{} app ledger diverged", kind);
+    prop_assert_eq!(
+        eager.table().resident_frames(),
+        drained.table().resident_frames(),
+        "{} residency diverged",
+        kind
+    );
+}
+
+proptest! {
+    #[test]
+    fn drained_batches_match_eager_application(
+        ops in collection::vec((0u8..6, 0u64..1024), 1..250),
+    ) {
+        for kind in PolicyKind::ALL {
+            drive_drain(kind, &ops);
         }
     }
 }

@@ -203,6 +203,7 @@ fn partitioning_configs_round_trip_through_json() {
                 hysteresis: rng.f64() * 0.1,
                 quota_tuning: rng.chance(0.5),
                 quota_step: rng.range_inclusive(1, 16) as usize,
+                quota_floor: rng.range_inclusive(1, 8) as usize,
             }
         } else {
             AdaptiveCfg::default()
