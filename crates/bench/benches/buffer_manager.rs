@@ -6,7 +6,7 @@
 //! Beyond the criterion groups, this target owns the **hit-path
 //! arbitration** (`BENCH_hitpath.json`): multi-threaded pure-hit
 //! throughput of the drained lock-free fast path against the eager
-//! leaf-lock path ([`BufferManager::with_eager_accounting`]), for the
+//! leaf-lock path (`BufferManager::builder(..).eager_accounting(true)`), for the
 //! static clock policy and the single-candidate adaptive wrapper (whose
 //! eager mode additionally feeds one ghost per candidate inside the
 //! lock). Run with `--quick` for the CI smoke variant; the JSON is
@@ -27,7 +27,7 @@ fn key(b: u64) -> BlockKey {
 }
 
 fn filled_manager(policy: EvictPolicy, cap: usize) -> BufferManager {
-    let m = BufferManager::new(cap, policy);
+    let m = BufferManager::builder(cap).policy(policy).build();
     let buf = vec![0xABu8; 4096];
     for b in 0..cap as u64 {
         m.insert_clean(key(b), NodeId(0), Span::FULL, &buf);
@@ -82,7 +82,7 @@ fn bench_write_absorb(c: &mut Criterion) {
     let buf = vec![0xEFu8; 4096];
     g.bench_function("absorb_then_flush_cycle", |b| {
         b.iter_batched(
-            || BufferManager::new(300, EvictPolicy::default()),
+            || BufferManager::builder(300).build(),
             |m| {
                 for blk in 0..128u64 {
                     let _ = m.write(key(blk), NodeId(0), Span::FULL, &buf);
@@ -184,16 +184,13 @@ fn hitpath_manager(policy: &str, eager: bool) -> BufferManager {
         "adaptive" => Some(AdaptiveConfig::new([PolicyKind::Clock])),
         _ => None,
     };
-    let m = BufferManager::with_full_config(
-        HITPATH_CAPACITY,
-        EvictPolicy::default(),
-        0,
-        HITPATH_CAPACITY / 4,
-        PartitionConfig::strict([(CHURN_APP.0, CHURN_QUOTA)]),
-        adaptive,
-        0,
-    );
-    let m = if eager { m.with_eager_accounting() } else { m };
+    let m = BufferManager::builder(HITPATH_CAPACITY)
+        .watermarks(0, HITPATH_CAPACITY / 4)
+        .partitioning(PartitionConfig::strict([(CHURN_APP.0, CHURN_QUOTA)]))
+        .adaptive(adaptive)
+        .epoch_accesses(0)
+        .eager_accounting(eager)
+        .build();
     let buf = vec![0xABu8; 4096];
     for b in 0..READ_SET {
         m.insert_clean(key(b), NodeId(0), Span::FULL, &buf);

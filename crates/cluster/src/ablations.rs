@@ -7,7 +7,8 @@ use crate::figures::Grid;
 use crate::report::FigureData;
 use crate::sweep::parallel_map;
 use kcache::{
-    AdaptiveConfig, CacheConfig, EvictPolicy, PartitionConfig, PartitionMode, PolicyKind,
+    AdaptiveConfig, CacheConfig, CooperativeConfig, DirectoryMode, EvictPolicy, PartitionConfig,
+    PartitionMode, PolicyKind,
 };
 use sim_core::Dur;
 use sim_net::{NetConfig, NodeId};
@@ -499,6 +500,157 @@ pub fn ablation_adaptive(grid: &Grid) -> Vec<FigureData> {
     vec![ablation_adaptive_switching(grid), ablation_adaptive_quota(grid)]
 }
 
+fn coop_cache(directory: DirectoryMode, singleton_preserving: bool) -> CacheConfig {
+    CacheConfig {
+        cooperative: Some(CooperativeConfig { directory, singleton_preserving }),
+        ..CacheConfig::paper()
+    }
+}
+
+/// Two skewed read instances striped across the four client nodes — in
+/// *opposite* orders, so partition `k` of the shared file is read by
+/// instance A on node `k` and by instance B on node `3-k`. That puts the
+/// sharing-degree overlap on *different* nodes (the paper's default
+/// striping co-locates both instances' partition-`k` processes, which a
+/// node-local cache already covers) — the regime where only a remote-hit
+/// tier can turn the second copy's misses into cache traffic.
+fn coop_apps(grid: &Grid, d: u32, s: f64) -> Vec<AppSpec> {
+    let mut a = app(grid, d, 4, Mode::Read, 0.2, s, "appA");
+    let mut b = app(grid, d, 4, Mode::Read, 0.2, s, "appB");
+    b.nodes.reverse();
+    a.hotspot = 0.9;
+    b.hotspot = 0.9;
+    a.min_requests = 64;
+    b.min_requests = 64;
+    vec![a, b]
+}
+
+/// Tentpole ablation, part (a): the cooperative remote-hit tier against
+/// the node-local baseline across sharing degrees. Metric is the
+/// **aggregate** hit ratio — local hits plus blocks a peer cache served —
+/// so the figure measures what the cluster's caches absorbed, not just
+/// one node's. Series cover both directory modes and the naive
+/// (duplicate-oblivious) eviction variant.
+pub fn ablation_cooperative_hit_ratio(grid: &Grid) -> FigureData {
+    let sharings = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let d = *grid.d_values.iter().find(|&&d| d >= 64 << 10).unwrap_or(&grid.d_values[0]);
+    let variants = [
+        CacheConfig::paper(),
+        coop_cache(DirectoryMode::Authoritative, true),
+        coop_cache(DirectoryMode::Hint, true),
+        coop_cache(DirectoryMode::Authoritative, false),
+    ];
+    let mut configs = Vec::new();
+    for &s in &sharings {
+        for cfg in &variants {
+            configs.push((cfg.clone(), coop_apps(grid, d, s)));
+        }
+    }
+    let vals = parallel_map(configs, |(cache, apps)| {
+        let mut spec = ClusterSpec::paper(Some(cache.clone()));
+        spec.seed = grid.seed;
+        let r = run_experiment(&spec, apps);
+        assert!(r.completed && r.total_verify_failures() == 0);
+        r.aggregate_hit_ratio().unwrap_or(0.0)
+    });
+    let mut fig = FigureData::new(
+        "ablation_cooperative",
+        format!("cooperative caching vs node-local baseline (two read instances, d={d}, zipf 0.9)"),
+        "sharing degree s (%)",
+        "aggregate (local+remote) hit ratio",
+        vec![
+            "local-only".into(),
+            "coop authoritative".into(),
+            "coop hint".into(),
+            "coop naive-eviction".into(),
+        ],
+    );
+    let n = variants.len();
+    for (i, &s) in sharings.iter().enumerate() {
+        fig.push(s * 100.0, (0..n).map(|k| vals[n * i + k]).collect());
+    }
+    fig
+}
+
+/// Tentpole ablation, part (b): what a remote hit costs versus a disk
+/// fetch, under both fabric models. Runs with `preload_warm = false` so
+/// iod reads pay real disk latency, full sharing so the peer tier sees
+/// traffic, and the grid's *smallest* request size: scattered small
+/// reads pay a disk seek per request, which is the cost a remote hit's
+/// network round trip undercuts. (At large request sizes the iod
+/// amortizes one seek over a long coalesced read and wire transfer
+/// dominates both tiers equally — there a remote hit merely breaks
+/// even, which is why this figure isolates the small-read regime.)
+/// Rows are fabrics (0 = hub, 1 = switch); values are mean per-block
+/// fetch latency in milliseconds by tier.
+pub fn ablation_cooperative_latency(grid: &Grid) -> FigureData {
+    let d = *grid.d_values.iter().min().expect("non-empty grid");
+    let nets = [NetConfig::hub_100mbps(), NetConfig::switch_100mbps()];
+    let configs: Vec<(NetConfig, Vec<AppSpec>)> =
+        nets.iter().map(|net| (net.clone(), coop_apps(grid, d, 1.0))).collect();
+    let vals = parallel_map(configs, |(net, apps)| {
+        let mut spec = ClusterSpec::paper(Some(coop_cache(DirectoryMode::Authoritative, true)));
+        spec.net = net.clone();
+        spec.seed = grid.seed;
+        spec.preload_warm = false;
+        let r = run_experiment(&spec, apps);
+        assert!(r.completed && r.total_verify_failures() == 0);
+        vec![r.mean_remote_fetch_ms().unwrap_or(0.0), r.mean_disk_fetch_ms().unwrap_or(0.0)]
+    });
+    let mut fig = FigureData::new(
+        "ablation_cooperative_latency",
+        format!("remote-hit vs disk fetch latency (cold disks, s=100%, d={d})"),
+        "fabric (0 = hub, 1 = switch)",
+        "mean block fetch latency (ms)",
+        vec!["remote fetch (ms)".into(), "disk fetch (ms)".into()],
+    );
+    for (i, v) in vals.into_iter().enumerate() {
+        fig.push(i as f64, v);
+    }
+    fig
+}
+
+/// Tentpole ablation, part (c): what singleton-preserving eviction buys.
+/// Both runs use the authoritative directory; only the eviction
+/// preference differs. Rows are end-of-run cluster residency metrics
+/// (0 = distinct blocks cached anywhere, 1 = total resident copies) —
+/// preferring duplicates for eviction should leave the cluster covering
+/// **more distinct data** with the same aggregate capacity.
+pub fn ablation_cooperative_residency(grid: &Grid) -> FigureData {
+    let d = *grid.d_values.iter().find(|&&d| d >= 64 << 10).unwrap_or(&grid.d_values[0]);
+    let configs = vec![
+        (coop_cache(DirectoryMode::Authoritative, true), coop_apps(grid, d, 0.5)),
+        (coop_cache(DirectoryMode::Authoritative, false), coop_apps(grid, d, 0.5)),
+    ];
+    let vals = parallel_map(configs, |(cache, apps)| {
+        let mut spec = ClusterSpec::paper(Some(cache.clone()));
+        spec.seed = grid.seed;
+        let r = run_experiment(&spec, apps);
+        assert!(r.completed && r.total_verify_failures() == 0);
+        vec![r.distinct_resident_blocks as f64, r.resident_block_copies as f64]
+    });
+    let mut fig = FigureData::new(
+        "ablation_cooperative_residency",
+        format!("singleton-preserving vs naive cooperative eviction (s=50%, d={d})"),
+        "metric (0 = distinct resident blocks, 1 = resident copies)",
+        "blocks",
+        vec!["singleton-preserving".into(), "naive".into()],
+    );
+    for (metric, (&singleton, &naive)) in vals[0].iter().zip(&vals[1]).enumerate() {
+        fig.push(metric as f64, vec![singleton, naive]);
+    }
+    fig
+}
+
+/// All three cooperative-caching figures (the `--fig cooperative` bundle).
+pub fn ablation_cooperative(grid: &Grid) -> Vec<FigureData> {
+    vec![
+        ablation_cooperative_hit_ratio(grid),
+        ablation_cooperative_latency(grid),
+        ablation_cooperative_residency(grid),
+    ]
+}
+
 /// The full-grid policy-comparison study: every policy across **capacity ×
 /// hotspot × sharing** (the DESIGN.md table). One figure per (capacity,
 /// hotspot) pair, sharing on the x axis — `figures --fig policy-grid
@@ -569,6 +721,7 @@ pub fn all_ablations(grid: &Grid) -> Vec<FigureData> {
     ]
     .into_iter()
     .chain(ablation_adaptive(grid))
+    .chain(ablation_cooperative(grid))
     .collect()
 }
 
@@ -635,6 +788,116 @@ mod tests {
         );
         // The fixed run's shares echo the misconfiguration.
         assert!((fixed[2] - 0.2).abs() < 1e-9 && (fixed[3] - 0.8).abs() < 1e-9);
+    }
+
+    /// The acceptance bar for the cooperative tier, part (a): once real
+    /// sharing exists (`s ≥ 0.5`), the aggregate (local + remote) hit
+    /// ratio must strictly beat the node-local baseline — in both
+    /// directory modes. At `s = 0` nothing is shareable, so the
+    /// cooperative runs must at least not regress.
+    #[test]
+    fn cooperative_lifts_aggregate_hit_ratio_when_sharing() {
+        let fig = ablation_cooperative_hit_ratio(&Grid::smoke());
+        let local = fig.column("local-only").unwrap();
+        let auth = fig.column("coop authoritative").unwrap();
+        let hint = fig.column("coop hint").unwrap();
+        for (i, row) in fig.rows.iter().enumerate() {
+            let s = row.x / 100.0;
+            if s >= 0.5 {
+                assert!(
+                    auth[i] > local[i],
+                    "s={s}: authoritative aggregate hit ratio {} must beat local-only {}",
+                    auth[i],
+                    local[i]
+                );
+                assert!(
+                    hint[i] > local[i],
+                    "s={s}: hint aggregate hit ratio {} must beat local-only {}",
+                    hint[i],
+                    local[i]
+                );
+            }
+        }
+    }
+
+    /// Acceptance part (b): a remote hit must be cheaper than a disk
+    /// fetch under both the hub and the switch fabric — and both tiers
+    /// must actually have seen traffic (a zero mean means no evidence).
+    #[test]
+    fn remote_hits_cheaper_than_disk_on_both_fabrics() {
+        let fig = ablation_cooperative_latency(&Grid::smoke());
+        let remote = fig.column("remote fetch (ms)").unwrap();
+        let disk = fig.column("disk fetch (ms)").unwrap();
+        for (i, fabric) in ["hub", "switch"].iter().enumerate() {
+            assert!(remote[i] > 0.0, "{fabric}: no remote hits recorded");
+            assert!(disk[i] > 0.0, "{fabric}: no disk fetches recorded");
+            assert!(
+                remote[i] < disk[i],
+                "{fabric}: remote fetch {}ms must be cheaper than disk {}ms",
+                remote[i],
+                disk[i]
+            );
+        }
+    }
+
+    /// Acceptance part (c): with the same aggregate capacity,
+    /// singleton-preserving eviction must leave the cluster caching more
+    /// distinct blocks than the duplicate-oblivious variant.
+    #[test]
+    fn singleton_preserving_widens_cluster_residency() {
+        let fig = ablation_cooperative_residency(&Grid::smoke());
+        let singleton = fig.column("singleton-preserving").unwrap();
+        let naive = fig.column("naive").unwrap();
+        // Row 0 is distinct resident blocks.
+        assert!(
+            singleton[0] > naive[0],
+            "singleton-preserving distinct residency {} must exceed naive {}",
+            singleton[0],
+            naive[0]
+        );
+    }
+
+    /// Acceptance part (d): the experiment JSON carries the
+    /// local/remote/disk breakdown for cooperative runs, and the tiers
+    /// account for real traffic.
+    #[test]
+    fn cooperative_breakdown_lands_in_summary() {
+        use crate::report::CacheEfficiency;
+        let grid = Grid::smoke();
+        let d = *grid.d_values.iter().find(|&&d| d >= 64 << 10).unwrap();
+        let mut spec = ClusterSpec::paper(Some(coop_cache(DirectoryMode::Authoritative, true)));
+        spec.seed = grid.seed;
+        let r = run_experiment(&spec, &coop_apps(&grid, d, 0.75));
+        assert!(r.completed && r.total_verify_failures() == 0);
+        let eff = CacheEfficiency::from_run(&r).unwrap();
+        let coop = eff.cooperative.clone().expect("cooperative section missing from summary");
+        assert_eq!(coop.directory, "authoritative");
+        assert!(coop.local_hit_blocks > 0);
+        assert!(coop.remote_hit_blocks > 0, "no remote hits at s=75%");
+        assert!(coop.disk_fetch_blocks > 0, "cold misses must reach disk");
+        assert!(coop.aggregate_hit_ratio >= r.hit_ratio().unwrap());
+        // Authoritative directory: staleness is bounded by the in-flight
+        // window (an eviction notice racing a concurrent query), a small
+        // fraction of the peer traffic — unlike hint mode, where the
+        // directory only ever grows.
+        assert!(
+            coop.remote_stale_blocks <= coop.remote_hit_blocks / 10,
+            "authoritative staleness {} out of proportion to {} remote hits",
+            coop.remote_stale_blocks,
+            coop.remote_hit_blocks
+        );
+        let json = serde_json::to_string(&eff).unwrap();
+        assert!(json.contains("\"remote_hit_blocks\""));
+        // An uncached run has no cooperative section.
+        let baseline = run_experiment(
+            &{
+                let mut s = ClusterSpec::paper(Some(CacheConfig::paper()));
+                s.seed = grid.seed;
+                s
+            },
+            &coop_apps(&grid, d, 0.75),
+        );
+        assert!(CacheEfficiency::from_run(&baseline).unwrap().cooperative.is_none());
     }
 
     /// The acceptance bar for the policy subsystem: under skewed workloads

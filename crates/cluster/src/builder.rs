@@ -153,13 +153,20 @@ pub fn build(spec: &ClusterSpec, apps: &[AppSpec]) -> Cluster {
     let mut modules: Vec<Option<ActorId>> = vec![None; n];
     if let Some(cache_cfg) = &spec.cache {
         for &node in &client_nodes {
-            let m = eng.add_actor(Box::new(CacheModule::new(
+            let mut module = CacheModule::new(
                 NodeId(node),
                 fabric_id,
                 cpus[node as usize].clone(),
                 spec.costs.clone(),
                 cache_cfg.clone(),
-            )));
+            );
+            // The block location directory lives with the mgr on node 0;
+            // telling the module where it is arms the remote-hit tier
+            // (a no-op unless the config enables cooperative caching).
+            if cache_cfg.cooperative.is_some() {
+                module.set_directory_home(NodeId(0));
+            }
+            let m = eng.add_actor(Box::new(module));
             modules[node as usize] = Some(m);
         }
     }

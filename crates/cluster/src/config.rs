@@ -27,7 +27,8 @@
 
 use crate::builder::ClusterSpec;
 use kcache::{
-    AdaptiveConfig, CacheConfig, EvictPolicy, PartitionConfig, PartitionMode, PolicyKind,
+    AdaptiveConfig, CacheConfig, CooperativeConfig, DirectoryMode, EvictPolicy, PartitionConfig,
+    PartitionMode, PolicyKind,
 };
 use serde::{Deserialize, Serialize};
 use sim_core::Dur;
@@ -66,6 +67,31 @@ pub struct ClusterCfg {
     /// decay under static policies). All defaulted: pre-adaptive configs
     /// parse unchanged.
     pub adaptive: AdaptiveCfg,
+    /// Cooperative cluster-wide caching (the remote-hit tier). Defaulted
+    /// off: pre-cooperative configs parse unchanged.
+    pub cooperative: CooperativeCfg,
+}
+
+/// The `cooperative` section of the cluster config.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct CooperativeCfg {
+    /// Enable the remote-hit tier (directory at the mgr, peer fetches).
+    pub enabled: bool,
+    /// Directory consistency regime: "authoritative" or "hint".
+    pub directory: String,
+    /// Singleton-preserving (cluster-aware) eviction preference.
+    pub singleton_preserving: bool,
+}
+
+impl Default for CooperativeCfg {
+    fn default() -> Self {
+        CooperativeCfg {
+            enabled: false,
+            directory: DirectoryMode::Authoritative.name().into(),
+            singleton_preserving: true,
+        }
+    }
 }
 
 /// The `adaptive` section of the cluster config.
@@ -119,6 +145,7 @@ impl Default for ClusterCfg {
             clean_first: true,
             partitioning: "shared".into(),
             adaptive: AdaptiveCfg::default(),
+            cooperative: CooperativeCfg::default(),
         }
     }
 }
@@ -220,9 +247,23 @@ impl ExperimentConfig {
         }))
     }
 
+    /// The cooperative-caching configuration this config describes:
+    /// `Some` when the `cooperative` section is enabled.
+    pub fn cooperative(&self) -> Result<Option<CooperativeConfig>, String> {
+        let c = &self.cluster.cooperative;
+        if !c.enabled {
+            return Ok(None);
+        }
+        let directory = DirectoryMode::parse(&c.directory).ok_or_else(|| {
+            format!("unknown directory mode {:?} (use \"authoritative\" or \"hint\")", c.directory)
+        })?;
+        Ok(Some(CooperativeConfig { directory, singleton_preserving: c.singleton_preserving }))
+    }
+
     /// Lower the config into a runnable `(ClusterSpec, Vec<AppSpec>)`.
     pub fn to_spec(&self) -> Result<(ClusterSpec, Vec<AppSpec>), String> {
         let adaptive = self.adaptive()?;
+        let cooperative = self.cooperative()?;
         let kind = match &adaptive {
             // The first candidate starts live; `EvictPolicy.kind` echoes it.
             Some(a) => a.candidates[0],
@@ -248,6 +289,7 @@ impl ExperimentConfig {
             partitioning,
             adaptive: adaptive.clone(),
             epoch_accesses,
+            cooperative,
             ..CacheConfig::paper()
         }));
         spec.n_nodes = self.cluster.nodes;
@@ -423,6 +465,45 @@ mod tests {
         )
         .unwrap();
         assert!(bad.adaptive().is_err());
+        assert!(bad.to_spec().is_err());
+    }
+
+    #[test]
+    fn cooperative_config_lowers_and_round_trips() {
+        // Pre-cooperative configs parse unchanged and stay node-local.
+        let old = ExperimentConfig::from_json(
+            r#"{ "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
+                             "request_kb": 64, "mode": "read" } ] }"#,
+        )
+        .unwrap();
+        assert!(old.cooperative().unwrap().is_none());
+        assert!(old.to_spec().unwrap().0.cache.unwrap().cooperative.is_none());
+
+        let cfg = ExperimentConfig::from_json(
+            r#"{ "cluster": { "cooperative": { "enabled": true, "directory": "hint",
+                                               "singleton_preserving": false } },
+                 "apps": [ { "name": "a", "nodes": [0, 1], "total_mb": 1,
+                             "request_kb": 64, "mode": "read", "sharing": 1.0 } ] }"#,
+        )
+        .unwrap();
+        let c = cfg.cooperative().unwrap().expect("cooperative enabled");
+        assert_eq!(c.directory, DirectoryMode::Hint);
+        assert!(!c.singleton_preserving);
+        let (spec, _) = cfg.to_spec().unwrap();
+        assert_eq!(spec.cache.unwrap().cooperative, Some(c));
+
+        // serialize → parse is the identity.
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        assert_eq!(ExperimentConfig::from_json(&json).unwrap(), cfg);
+
+        // Bad directory mode is rejected.
+        let bad = ExperimentConfig::from_json(
+            r#"{ "cluster": { "cooperative": { "enabled": true, "directory": "psychic" } },
+                 "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
+                             "request_kb": 64, "mode": "read" } ] }"#,
+        )
+        .unwrap();
+        assert!(bad.cooperative().is_err());
         assert!(bad.to_spec().is_err());
     }
 

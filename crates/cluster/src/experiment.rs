@@ -60,6 +60,9 @@ pub struct ExperimentResult {
     pub cache: Option<CacheStats>,
     /// Name of the replacement policy in effect (caching runs only).
     pub policy: Option<String>,
+    /// Directory mode of the cooperative remote-hit tier
+    /// ("authoritative"/"hint"), when enabled.
+    pub cooperative: Option<String>,
     /// Frame-quota mode in effect (caching runs only).
     pub partitioning: Option<String>,
     /// The policy subsystem's own event ledger, summed over all modules.
@@ -74,6 +77,12 @@ pub struct ExperimentResult {
     pub iod: IodStats,
     pub fabric: FabricStats,
     pub medium_utilization: f64,
+    /// Distinct blocks resident anywhere in the cluster's caches at the
+    /// end of the run (caching runs; 0 otherwise).
+    pub distinct_resident_blocks: u64,
+    /// Total resident copies across all caches; `copies - distinct` is
+    /// the duplication the singleton-preserving policy suppresses.
+    pub resident_block_copies: u64,
     pub events: u64,
     pub sim_end: SimTime,
     pub completed: bool,
@@ -123,6 +132,35 @@ impl ExperimentResult {
 
     pub fn total_verify_failures(&self) -> u64 {
         self.instances.iter().map(|i| i.verify_failures).sum()
+    }
+
+    /// Aggregate (local + remote) hit ratio: the fraction of block
+    /// lookups served from *any* cache in the cluster. Local misses that
+    /// a peer cache satisfied count as hits here; only blocks that went
+    /// to disk remain misses.
+    pub fn aggregate_hit_ratio(&self) -> Option<f64> {
+        let c = self.cache.as_ref()?;
+        let total = c.hits + c.misses;
+        if total == 0 {
+            return None;
+        }
+        let remote = self.module.as_ref().map_or(0, |m| m.remote_hit_blocks);
+        Some((c.hits + remote) as f64 / total as f64)
+    }
+
+    /// Mean block-fetch latency from the disk tier (iod round trip),
+    /// milliseconds.
+    pub fn mean_disk_fetch_ms(&self) -> Option<f64> {
+        let m = self.module.as_ref()?;
+        (m.disk_fetch_blocks > 0).then(|| m.disk_fetch_ns as f64 / m.disk_fetch_blocks as f64 / 1e6)
+    }
+
+    /// Mean block-fetch latency from the remote-cache tier (directory +
+    /// peer round trip), milliseconds.
+    pub fn mean_remote_fetch_ms(&self) -> Option<f64> {
+        let m = self.module.as_ref()?;
+        (m.remote_hit_blocks > 0)
+            .then(|| m.remote_fetch_ns as f64 / m.remote_hit_blocks as f64 / 1e6)
     }
 
     /// Cache hit ratio attributed to one application instance (caching
@@ -181,6 +219,11 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     let mut policy_total: Option<PolicyStats> = None;
     let mut adaptive_total: Option<AdaptiveStats> = None;
     let mut app_total: BTreeMap<u32, AppCacheUsage> = BTreeMap::new();
+    // End-of-run cluster-wide residency: how many caches hold each block.
+    // Distinct blocks vs total copies is the singleton-preservation
+    // evidence — fewer duplicate copies means more of the cluster's
+    // aggregate capacity covers distinct data.
+    let mut cluster_residency: BTreeMap<kcache::BlockKey, u64> = BTreeMap::new();
     for m in cluster.modules.iter().flatten() {
         let module = cluster.engine.actor_as::<CacheModule>(*m).expect("module downcast");
         let cs = module.cache().stats();
@@ -240,7 +283,25 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
         macc.flush_msgs += ms.flush_msgs;
         macc.urgent_flush_blocks += ms.urgent_flush_blocks;
         macc.harvest_runs += ms.harvest_runs;
+        macc.dir_queries += ms.dir_queries;
+        macc.dir_updates += ms.dir_updates;
+        macc.dir_located_blocks += ms.dir_located_blocks;
+        macc.dir_unlocated_blocks += ms.dir_unlocated_blocks;
+        macc.remote_hit_blocks += ms.remote_hit_blocks;
+        macc.remote_stale_blocks += ms.remote_stale_blocks;
+        macc.remote_bytes_fetched += ms.remote_bytes_fetched;
+        macc.peer_reqs_served += ms.peer_reqs_served;
+        macc.peer_blocks_served += ms.peer_blocks_served;
+        macc.peer_bytes_served += ms.peer_bytes_served;
+        macc.disk_fetch_blocks += ms.disk_fetch_blocks;
+        macc.disk_fetch_ns += ms.disk_fetch_ns;
+        macc.remote_fetch_ns += ms.remote_fetch_ns;
+        for key in module.cache().resident_keys() {
+            *cluster_residency.entry(key).or_insert(0u64) += 1;
+        }
     }
+    let distinct_resident_blocks = cluster_residency.len() as u64;
+    let resident_block_copies: u64 = cluster_residency.values().sum();
 
     let mut iod_total = IodStats::default();
     for &i in &cluster.iods {
@@ -266,6 +327,11 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
         instances,
         cache: cache_total,
         policy: spec.cache.as_ref().map(|c| c.policy_label().to_string()),
+        cooperative: spec
+            .cache
+            .as_ref()
+            .and_then(|c| c.cooperative)
+            .map(|c| c.directory.name().to_string()),
         partitioning: spec.cache.as_ref().map(|c| c.partitioning.mode.name().to_string()),
         policy_stats: policy_total,
         adaptive: adaptive_total,
@@ -277,6 +343,8 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
         iod: iod_total,
         fabric: fabric_stats,
         medium_utilization,
+        distinct_resident_blocks,
+        resident_block_copies,
         events: report.events,
         sim_end: report.end_time,
         completed,

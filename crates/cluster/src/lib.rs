@@ -25,5 +25,7 @@ pub use builder::{build, Cluster, ClusterSpec};
 pub use config::ExperimentConfig;
 pub use experiment::{run_experiment, AppCacheUsage, ExperimentResult, InstanceResult};
 pub use figures::{all_figures, fig4, fig5, fig6, fig7, fig8, Grid};
-pub use report::{write_outputs, AppEfficiency, CacheEfficiency, FigRow, FigureData};
+pub use report::{
+    write_outputs, AppEfficiency, CacheEfficiency, CooperativeReport, FigRow, FigureData,
+};
 pub use sweep::parallel_map;

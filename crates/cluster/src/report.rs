@@ -118,6 +118,67 @@ impl AdaptiveReport {
     }
 }
 
+/// The cooperative remote-hit tier's slice of [`CacheEfficiency`]: every
+/// block lookup resolves to exactly one of three tiers — local cache,
+/// a peer's cache, or disk — and this records the split plus the
+/// directory/peer traffic and latency evidence behind it.
+#[derive(Debug, Clone, Serialize)]
+pub struct CooperativeReport {
+    /// Directory mode: "authoritative" or "hint".
+    pub directory: String,
+    /// Blocks served from this node's own cache.
+    pub local_hit_blocks: u64,
+    /// Blocks served from a peer cache over the fabric.
+    pub remote_hit_blocks: u64,
+    /// Blocks that went all the way to the iod's disk.
+    pub disk_fetch_blocks: u64,
+    /// Fraction of lookups served from *any* cache (local or peer).
+    pub aggregate_hit_ratio: f64,
+    /// Peer blocks the directory promised but the peer had evicted
+    /// (hint-mode staleness; falls through to disk, never wrong data).
+    pub remote_stale_blocks: u64,
+    pub dir_queries: u64,
+    pub dir_updates: u64,
+    pub dir_located_blocks: u64,
+    pub dir_unlocated_blocks: u64,
+    pub peer_reqs_served: u64,
+    pub peer_blocks_served: u64,
+    /// Mean per-block fetch latency by tier, milliseconds (0 when the
+    /// tier saw no traffic).
+    pub mean_remote_fetch_ms: f64,
+    pub mean_disk_fetch_ms: f64,
+    /// End-of-run cluster residency: distinct blocks vs total copies.
+    /// The gap is the duplication singleton-preserving eviction trims.
+    pub distinct_resident_blocks: u64,
+    pub resident_block_copies: u64,
+}
+
+impl CooperativeReport {
+    fn from_run(r: &ExperimentResult) -> Option<CooperativeReport> {
+        let directory = r.cooperative.clone()?;
+        let cache = r.cache.as_ref()?;
+        let m = r.module.as_ref()?;
+        Some(CooperativeReport {
+            directory,
+            local_hit_blocks: cache.hits,
+            remote_hit_blocks: m.remote_hit_blocks,
+            disk_fetch_blocks: m.disk_fetch_blocks,
+            aggregate_hit_ratio: r.aggregate_hit_ratio().unwrap_or(0.0),
+            remote_stale_blocks: m.remote_stale_blocks,
+            dir_queries: m.dir_queries,
+            dir_updates: m.dir_updates,
+            dir_located_blocks: m.dir_located_blocks,
+            dir_unlocated_blocks: m.dir_unlocated_blocks,
+            peer_reqs_served: m.peer_reqs_served,
+            peer_blocks_served: m.peer_blocks_served,
+            mean_remote_fetch_ms: r.mean_remote_fetch_ms().unwrap_or(0.0),
+            mean_disk_fetch_ms: r.mean_disk_fetch_ms().unwrap_or(0.0),
+            distinct_resident_blocks: r.distinct_resident_blocks,
+            resident_block_copies: r.resident_block_copies,
+        })
+    }
+}
+
 /// Cache-efficiency summary of one caching run: the replacement policy and
 /// partitioning mode in effect, the hit/miss/eviction ledger, and the
 /// per-application breakdown, serialized into experiment JSON output so
@@ -141,6 +202,8 @@ pub struct CacheEfficiency {
     pub apps: Vec<AppEfficiency>,
     /// Meta-policy observability (adaptive runs only).
     pub adaptive: Option<AdaptiveReport>,
+    /// Local/remote/disk tier breakdown (cooperative runs only).
+    pub cooperative: Option<CooperativeReport>,
 }
 
 impl CacheEfficiency {
@@ -170,6 +233,7 @@ impl CacheEfficiency {
                 .map(AppEfficiency::from_usage)
                 .collect(),
             adaptive: r.adaptive.as_ref().map(AdaptiveReport::from_stats),
+            cooperative: CooperativeReport::from_run(r),
         })
     }
 }

@@ -129,6 +129,62 @@ impl PartitionConfig {
     }
 }
 
+/// How the mgr's block location directory is kept in sync with the
+/// per-node caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectoryMode {
+    /// Modules push both inserts and evictions: the directory is an exact
+    /// view of cluster residency, every located peer fetch hits.
+    #[default]
+    Authoritative,
+    /// Modules push inserts only — eviction removals stay off the hot path
+    /// (the "Cache is King" argument). Directory entries go stale; a
+    /// misdirected peer fetch comes back a miss and falls through to the
+    /// iod disk. Staleness costs latency, never correctness.
+    Hint,
+}
+
+impl DirectoryMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            DirectoryMode::Authoritative => "authoritative",
+            DirectoryMode::Hint => "hint",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<DirectoryMode> {
+        match s {
+            "authoritative" => Some(DirectoryMode::Authoritative),
+            "hint" => Some(DirectoryMode::Hint),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DirectoryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cooperative cluster-wide caching: the remote-hit tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CooperativeConfig {
+    /// Directory consistency regime at the mgr.
+    pub directory: DirectoryMode,
+    /// Cluster-aware eviction preference: evict duplicated copies of
+    /// shared blocks before the last cached copy, keeping cluster-wide
+    /// residency of the shared working set high. Off = naive cooperative
+    /// caching (remote hits without eviction cooperation).
+    pub singleton_preserving: bool,
+}
+
+impl Default for CooperativeConfig {
+    fn default() -> Self {
+        CooperativeConfig { directory: DirectoryMode::Authoritative, singleton_preserving: true }
+    }
+}
+
 /// Tunables of the per-node kernel cache module.
 #[derive(Debug, Clone)]
 pub struct CacheConfig {
@@ -166,6 +222,11 @@ pub struct CacheConfig {
     /// Write-behind on (the paper's design) or off (write-through
     /// ablation: every write forwards to the iod synchronously).
     pub write_behind: bool,
+    /// `Some` enables the cooperative remote-hit tier: a block location
+    /// directory at the mgr, peer fetches on local misses, and (when
+    /// `singleton_preserving`) cluster-aware eviction. `None` (the
+    /// default, the paper's behavior) keeps caches node-local.
+    pub cooperative: Option<CooperativeConfig>,
 }
 
 impl CacheConfig {
@@ -183,6 +244,7 @@ impl CacheConfig {
             flush_interval: Dur::millis(500),
             flush_batch: 64,
             write_behind: true,
+            cooperative: None,
         }
     }
 

@@ -44,9 +44,9 @@
 //! memory stays bounded). Under a single thread every drain point
 //! precedes the next policy *decision*, which makes drained accounting
 //! observation-equivalent to the eager path — pinned by a differential
-//! test, with [`BufferManager::with_eager_accounting`] keeping the old
-//! apply-under-the-lock path alive as the reference (and as the bench
-//! baseline).
+//! test, with [`BufferManagerBuilder::eager_accounting`] keeping the
+//! old apply-under-the-lock path alive as the reference (and as the
+//! bench baseline).
 //!
 //! **Epoch participation** is explicit and uniform: every access event —
 //! hit, miss, probe hit, and recency touch — advances the epoch clock.
@@ -59,7 +59,7 @@
 //! already counted at lookup time.
 
 use crate::block::{BlockKey, Span, CACHE_BLOCK_SIZE};
-use crate::config::{PartitionConfig, PartitionMode};
+use crate::config::{CooperativeConfig, PartitionConfig, PartitionMode};
 use crate::ring::EventRing;
 use kcache_adaptive::{AdaptiveConfig, AdaptivePolicy};
 use kcache_policy::{
@@ -95,7 +95,7 @@ impl Default for EvictPolicy {
 }
 
 /// A dirty snapshot handed to the caller for write-back.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlushItem {
     pub key: BlockKey,
     /// iod node owning this block (learned at intercept time).
@@ -116,6 +116,59 @@ pub enum WriteOutcome {
     /// the caller must send the write through to the iod. This is the
     /// paper's "writes may need to block for availability of cache space".
     PassThrough,
+}
+
+/// What one [`BufferManager::access`] call should do to the block.
+///
+/// One variant per access method the cache module needs; adding a new
+/// access flavor (the peer-fetch tier, say) extends this enum instead of
+/// growing another parallel `*_by` method family.
+pub enum AccessKind<'a> {
+    /// Serve `span` into `out` (`out.len() == span.len()`). Counts a hit
+    /// (refreshing recency) or a miss.
+    Read { span: Span, out: &'a mut [u8] },
+    /// Hit check without copying (request-split planning). Counts the
+    /// same hit/miss accounting as a read but does not refresh recency —
+    /// planning a split is not a use of the block.
+    Probe { span: Span },
+    /// Write-behind absorb: on [`WriteOutcome::Absorbed`] the block is
+    /// dirty in cache and the write can be acknowledged locally.
+    Write { home: NodeId, span: Span, bytes: &'a [u8] },
+    /// Install fetched (clean) bytes — the tail of a miss, so no hit/miss
+    /// is counted. May evict; a sacrificed dirty frame comes back as a
+    /// flush snapshot.
+    InsertClean { home: NodeId, span: Span, bytes: &'a [u8] },
+}
+
+/// One attributed cache access: which application, doing what.
+pub struct Access<'a> {
+    pub app: AppId,
+    pub kind: AccessKind<'a>,
+}
+
+impl<'a> Access<'a> {
+    /// An unattributed access (no per-app accounting).
+    pub fn unattributed(kind: AccessKind<'a>) -> Access<'a> {
+        Access { app: AppId::UNKNOWN, kind }
+    }
+}
+
+/// What an [`BufferManager::access`] call produced, by request kind:
+/// `Read`/`Probe` yield `Hit`/`Miss`, `Write` yields `Write(..)`,
+/// `InsertClean` yields `Inserted(..)`.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    Hit,
+    Miss,
+    Write(WriteOutcome),
+    Inserted(Option<FlushItem>),
+}
+
+impl AccessOutcome {
+    /// Did a read/probe hit?
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
 }
 
 #[derive(Debug)]
@@ -239,9 +292,10 @@ pub struct BufferManager {
     /// possible fast path for the paper's default configuration.
     count_only_unattributed: bool,
     /// Store the ref word on hits/touches at all: true when the policy
-    /// ranks from it (clock) or could migrate to one that does (any
-    /// adaptive wrapper). A static LRU/LFU/2Q/ARC/sharing-aware manager
-    /// never consumes the words, so it skips the per-hit `fetch_or`.
+    /// ranks from it (clock), consumes the app-touch mask at scan time
+    /// (sharing-aware), or could migrate to either (any adaptive
+    /// wrapper). A static LRU/LFU/2Q/ARC manager never consumes the
+    /// words, so it skips the per-hit `fetch_or`.
     touch_words: bool,
     pending_hits: AtomicU64,
     pending_misses: AtomicU64,
@@ -253,63 +307,128 @@ pub struct BufferManager {
     /// here — the manager owns the charge ledger — as the backstop behind
     /// the tuner's own clamp).
     quota_floor: usize,
+    /// Leaf lock, cooperative authoritative mode only: keys evicted or
+    /// invalidated since the last [`BufferManager::take_evicted`] drain.
+    /// The cache module turns the drained batch into directory-removal
+    /// updates to the mgr. `None` keeps the hot path untouched.
+    evicted_log: Option<Mutex<Vec<BlockKey>>>,
+    /// Leaf lock, singleton-preserving mode only: blocks believed to be
+    /// duplicated in a peer's cache (learned from peer transfers). The
+    /// eviction scan prefers these — a duplicate is cheap to lose, the
+    /// last cluster-wide copy is not. Advisory: a peer may have evicted
+    /// its copy since, which costs one disk fetch, never correctness.
+    duplicate_hints: Option<Mutex<std::collections::HashSet<BlockKey>>>,
     stats: AtomicStats,
 }
 
-impl BufferManager {
-    pub fn new(capacity: usize, policy: EvictPolicy) -> BufferManager {
-        Self::with_watermarks(capacity, policy, capacity / 10, capacity / 4)
-    }
+/// Builder for [`BufferManager`] — the canonical construction surface.
+///
+/// Every knob defaults to the paper's behavior: clock + clean-first
+/// replacement, watermarks at capacity/10 and capacity/4, a shared
+/// (unpartitioned) pool, no adaptive meta-policy, no epochs, drained
+/// accounting, node-local (non-cooperative) caching.
+///
+/// ```
+/// # use kcache::{BufferManager, EvictPolicy};
+/// # use kcache::policy::PolicyKind;
+/// let m = BufferManager::builder(300)
+///     .policy(EvictPolicy::of(PolicyKind::ExactLru))
+///     .watermarks(30, 75)
+///     .build();
+/// # assert_eq!(m.capacity(), 300);
+/// ```
+#[derive(Clone)]
+pub struct BufferManagerBuilder {
+    capacity: usize,
+    policy: EvictPolicy,
+    low_watermark: usize,
+    high_watermark: usize,
+    partitioning: PartitionConfig,
+    adaptive: Option<AdaptiveConfig>,
+    epoch_accesses: usize,
+    eager: bool,
+    cooperative: Option<CooperativeConfig>,
+}
 
-    pub fn with_watermarks(
-        capacity: usize,
-        policy: EvictPolicy,
-        low_watermark: usize,
-        high_watermark: usize,
-    ) -> BufferManager {
-        Self::with_config(
+impl BufferManagerBuilder {
+    fn new(capacity: usize) -> BufferManagerBuilder {
+        BufferManagerBuilder {
             capacity,
-            policy,
-            low_watermark,
-            high_watermark,
-            PartitionConfig::shared(),
-        )
+            policy: EvictPolicy::default(),
+            low_watermark: capacity / 10,
+            high_watermark: capacity / 4,
+            partitioning: PartitionConfig::shared(),
+            adaptive: None,
+            epoch_accesses: 0,
+            eager: false,
+            cooperative: None,
+        }
     }
 
-    pub fn with_config(
-        capacity: usize,
-        policy: EvictPolicy,
-        low_watermark: usize,
-        high_watermark: usize,
-        partitioning: PartitionConfig,
-    ) -> BufferManager {
-        Self::with_full_config(
+    /// Replacement policy (ranking kind + clean-first preference).
+    pub fn policy(mut self, policy: EvictPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Harvester thresholds: wake below `low` free frames, sweep until
+    /// `high` are free.
+    pub fn watermarks(mut self, low: usize, high: usize) -> Self {
+        self.low_watermark = low;
+        self.high_watermark = high;
+        self
+    }
+
+    /// Per-application frame quotas.
+    pub fn partitioning(mut self, partitioning: PartitionConfig) -> Self {
+        self.partitioning = partitioning;
+        self
+    }
+
+    /// `Some` wraps the candidates in the `kcache-adaptive` meta-policy
+    /// (ghost caches, epoch switching, quota tuning).
+    pub fn adaptive(mut self, adaptive: Option<AdaptiveConfig>) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Accesses per policy epoch (`0` disables epochs).
+    pub fn epoch_accesses(mut self, n: usize) -> Self {
+        self.epoch_accesses = n;
+        self
+    }
+
+    /// **Eager accounting**: apply every access event to the policy under
+    /// its leaf lock at access time, exactly the pre-fast-path behavior.
+    /// This is the reference the differential tests compare the drained
+    /// path against, and the baseline the `buffer_manager` bench
+    /// arbitrates with; production callers want the default (drained).
+    pub fn eager_accounting(mut self, eager: bool) -> Self {
+        self.eager = eager;
+        self
+    }
+
+    /// Cooperative cluster-wide caching. [`DirectoryMode::Authoritative`]
+    /// enables the evicted-key log (the module pushes removals to the
+    /// mgr's directory); `singleton_preserving` enables the duplicate
+    /// eviction preference. `None` keeps every hot path untouched.
+    pub fn cooperative(mut self, cooperative: Option<CooperativeConfig>) -> Self {
+        self.cooperative = cooperative;
+        self
+    }
+
+    pub fn build(self) -> BufferManager {
+        let BufferManagerBuilder {
             capacity,
             policy,
             low_watermark,
             high_watermark,
             partitioning,
-            None,
-            0,
-        )
-    }
-
-    /// The full constructor: everything [`BufferManager::with_config`]
-    /// takes, plus the adaptive meta-policy configuration and the epoch
-    /// length. With `adaptive: Some(..)` the candidate ranking is the
-    /// `kcache-adaptive` wrapper instead of the static `policy.kind`;
-    /// with `epoch_accesses > 0` the manager drives one policy
-    /// `epoch_tick` every that many accesses (hits + misses) and applies
-    /// any quota updates the tick recommends.
-    pub fn with_full_config(
-        capacity: usize,
-        policy: EvictPolicy,
-        low_watermark: usize,
-        high_watermark: usize,
-        partitioning: PartitionConfig,
-        adaptive: Option<AdaptiveConfig>,
-        epoch_accesses: usize,
-    ) -> BufferManager {
+            adaptive,
+            epoch_accesses,
+            eager,
+            cooperative,
+        } = self;
         assert!(capacity > 0);
         assert!(low_watermark <= high_watermark && high_watermark <= capacity);
         partitioning.validate(capacity).unwrap_or_else(|e| panic!("bad partitioning: {e}"));
@@ -322,7 +441,10 @@ impl BufferManager {
         };
         let ref_words = ranked.table().ref_words().clone();
         let count_only_unattributed = ranked.ranks_from_ref_words();
-        let touch_words = count_only_unattributed || is_adaptive;
+        let touch_words = count_only_unattributed || is_adaptive || ranked.consumes_app_mask();
+        let track_evictions =
+            cooperative.is_some_and(|c| c.directory == crate::config::DirectoryMode::Authoritative);
+        let singleton = cooperative.is_some_and(|c| c.singleton_preserving);
         BufferManager {
             capacity,
             policy_cfg: policy,
@@ -344,18 +466,72 @@ impl BufferManager {
             touch_words,
             pending_hits: AtomicU64::new(0),
             pending_misses: AtomicU64::new(0),
-            eager: false,
+            eager,
             quota_floor,
+            evicted_log: track_evictions.then(|| Mutex::new(Vec::new())),
+            duplicate_hints: singleton.then(|| Mutex::new(std::collections::HashSet::new())),
             stats: AtomicStats::default(),
         }
     }
+}
 
-    /// Switch this manager to **eager accounting**: every access event is
-    /// applied to the policy under its leaf lock at access time, exactly
-    /// the pre-fast-path behavior. This is the reference the differential
-    /// tests compare the drained path against, and the baseline the
-    /// `buffer_manager` bench arbitrates with; production callers want
-    /// the default (drained) mode.
+impl BufferManager {
+    /// Start building a manager with `capacity` 4 KB frames. See
+    /// [`BufferManagerBuilder`] for the knobs and their defaults.
+    pub fn builder(capacity: usize) -> BufferManagerBuilder {
+        BufferManagerBuilder::new(capacity)
+    }
+
+    #[deprecated(note = "use BufferManager::builder(capacity).build()")]
+    pub fn new(capacity: usize, policy: EvictPolicy) -> BufferManager {
+        Self::builder(capacity).policy(policy).build()
+    }
+
+    #[deprecated(note = "use BufferManager::builder(..).watermarks(..)")]
+    pub fn with_watermarks(
+        capacity: usize,
+        policy: EvictPolicy,
+        low_watermark: usize,
+        high_watermark: usize,
+    ) -> BufferManager {
+        Self::builder(capacity).policy(policy).watermarks(low_watermark, high_watermark).build()
+    }
+
+    #[deprecated(note = "use BufferManager::builder(..).partitioning(..)")]
+    pub fn with_config(
+        capacity: usize,
+        policy: EvictPolicy,
+        low_watermark: usize,
+        high_watermark: usize,
+        partitioning: PartitionConfig,
+    ) -> BufferManager {
+        Self::builder(capacity)
+            .policy(policy)
+            .watermarks(low_watermark, high_watermark)
+            .partitioning(partitioning)
+            .build()
+    }
+
+    #[deprecated(note = "use BufferManager::builder(..)")]
+    pub fn with_full_config(
+        capacity: usize,
+        policy: EvictPolicy,
+        low_watermark: usize,
+        high_watermark: usize,
+        partitioning: PartitionConfig,
+        adaptive: Option<AdaptiveConfig>,
+        epoch_accesses: usize,
+    ) -> BufferManager {
+        Self::builder(capacity)
+            .policy(policy)
+            .watermarks(low_watermark, high_watermark)
+            .partitioning(partitioning)
+            .adaptive(adaptive)
+            .epoch_accesses(epoch_accesses)
+            .build()
+    }
+
+    #[deprecated(note = "use BufferManagerBuilder::eager_accounting(true)")]
     pub fn with_eager_accounting(mut self) -> BufferManager {
         self.eager = true;
         self
@@ -632,6 +808,58 @@ impl BufferManager {
         b.iter().any(|(k, _)| *k == key)
     }
 
+    /// Copy `span` of `key` into `out` if it is resident and valid,
+    /// **without** touching any accounting: no hit/miss counters, no
+    /// recency refresh, no per-app ledger, no epoch tick. This is the
+    /// read the cooperative tier serves *peer* fetches with — remote
+    /// traffic must not distort this node's local hit ratio or promote
+    /// blocks its own applications are not using.
+    pub fn read_resident(&self, key: BlockKey, span: Span, out: &mut [u8]) -> bool {
+        debug_assert_eq!(out.len(), span.len() as usize);
+        let b = self.buckets[self.bucket_of(&key)].lock();
+        let Some(&(_, idx)) = b.iter().find(|(k, _)| *k == key) else {
+            return false;
+        };
+        let f = self.frames[idx as usize].lock();
+        if f.key == Some(key) && f.valid.covers(span) {
+            out.copy_from_slice(&f.data[span.start as usize..span.end as usize]);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The canonical access entry point: one attributed request
+    /// ([`Access`]) covering reads, probes, write-behind absorbs and
+    /// clean installs. The `try_read`/`probe`/`write`/`insert_clean`
+    /// method families (and their `*_by` forms) are trivial wrappers
+    /// around this.
+    pub fn access(&self, key: BlockKey, req: Access<'_>) -> AccessOutcome {
+        let app = req.app;
+        match req.kind {
+            AccessKind::Read { span, out } => {
+                if self.read_impl(key, span, out, app) {
+                    AccessOutcome::Hit
+                } else {
+                    AccessOutcome::Miss
+                }
+            }
+            AccessKind::Probe { span } => {
+                if self.probe_impl(key, span, app) {
+                    AccessOutcome::Hit
+                } else {
+                    AccessOutcome::Miss
+                }
+            }
+            AccessKind::Write { home, span, bytes } => {
+                AccessOutcome::Write(self.write_impl(key, home, span, bytes, app))
+            }
+            AccessKind::InsertClean { home, span, bytes } => {
+                AccessOutcome::Inserted(self.insert_clean_impl(key, home, span, bytes, app))
+            }
+        }
+    }
+
     /// [`BufferManager::try_read_by`] with an unattributed accessor.
     pub fn try_read(&self, key: BlockKey, span: Span, out: &mut [u8]) -> bool {
         self.try_read_by(key, span, out, AppId::UNKNOWN)
@@ -639,8 +867,12 @@ impl BufferManager {
 
     /// Try to serve `span` of `key` into `out` (`out.len() == span.len()`)
     /// on behalf of application `app`. Counts a hit (and refreshes
-    /// recency) or a miss.
+    /// recency) or a miss. Wrapper over [`BufferManager::access`].
     pub fn try_read_by(&self, key: BlockKey, span: Span, out: &mut [u8], app: AppId) -> bool {
+        self.access(key, Access { app, kind: AccessKind::Read { span, out } }).is_hit()
+    }
+
+    fn read_impl(&self, key: BlockKey, span: Span, out: &mut [u8], app: AppId) -> bool {
         debug_assert_eq!(out.len(), span.len() as usize);
         let idx = {
             let b = self.buckets[self.bucket_of(&key)].lock();
@@ -681,8 +913,12 @@ impl BufferManager {
     /// (planning a split is not a use of the block). Before PR 5 the hit
     /// branch skipped the epoch clock and the app ledger while the miss
     /// branch counted both, so probe-heavy workloads skewed epoch length
-    /// and per-app hit ratios.
+    /// and per-app hit ratios. Wrapper over [`BufferManager::access`].
     pub fn probe_by(&self, key: BlockKey, span: Span, app: AppId) -> bool {
+        self.access(key, Access { app, kind: AccessKind::Probe { span } }).is_hit()
+    }
+
+    fn probe_impl(&self, key: BlockKey, span: Span, app: AppId) -> bool {
         let b = self.buckets[self.bucket_of(&key)].lock();
         let hit = b.iter().any(|(k, idx)| {
             *k == key && {
@@ -887,24 +1123,37 @@ impl BufferManager {
         owner: Option<AppId>,
     ) -> Option<(u32, Option<FlushItem>)> {
         // Pass 0: clean victims only (if clean_first). Pass 1: anything
-        // (subject to allow_dirty).
-        let passes: &[bool] = if self.policy_cfg.clean_first { &[true, false] } else { &[false] };
-        for &clean_only in passes {
-            {
-                let mut p = self.policy.lock();
-                // Rank over up-to-date metadata: apply every deferred
-                // access before the scan decides a victim order.
-                self.drain_locked(&mut p);
-                p.stats_mut().scans += 1;
-                p.begin_scan();
-            }
-            loop {
-                // Leaf lock only while asking; dropped before bucket/frame.
-                let Some(idx) = self.policy.lock().next_candidate(owner) else {
-                    break;
-                };
-                if let Some(got) = self.try_evict_idx(idx, clean_only, allow_dirty) {
-                    return Some(got);
+        // (subject to allow_dirty). With the singleton-preserving
+        // preference live (and any duplicates known), each cleanliness
+        // tier first scans for cluster-duplicated blocks only — a
+        // duplicate is cheap to lose, the last cluster-wide copy is not —
+        // then falls back to the unrestricted scan. The preference is a
+        // manager-side admissibility filter over the policy's own
+        // candidate order, so all six policies and the adaptive wrapper
+        // compose with it unchanged.
+        let clean_passes: &[bool] =
+            if self.policy_cfg.clean_first { &[true, false] } else { &[false] };
+        let have_dups = self.duplicate_hints.as_ref().is_some_and(|h| !h.lock().is_empty());
+        let dup_passes: &[bool] = if have_dups { &[true, false] } else { &[false] };
+        for &clean_only in clean_passes {
+            for &dup_only in dup_passes {
+                {
+                    let mut p = self.policy.lock();
+                    // Rank over up-to-date metadata: apply every deferred
+                    // access before the scan decides a victim order.
+                    self.drain_locked(&mut p);
+                    p.stats_mut().scans += 1;
+                    p.begin_scan();
+                }
+                loop {
+                    // Leaf lock only while asking; dropped before
+                    // bucket/frame.
+                    let Some(idx) = self.policy.lock().next_candidate(owner) else {
+                        break;
+                    };
+                    if let Some(got) = self.try_evict_idx(idx, clean_only, allow_dirty, dup_only) {
+                        return Some(got);
+                    }
                 }
             }
         }
@@ -921,6 +1170,7 @@ impl BufferManager {
         idx: u32,
         clean_only: bool,
         allow_dirty: bool,
+        dup_only: bool,
     ) -> Option<(u32, Option<FlushItem>)> {
         // Read the key briefly, then retake in bucket → frame order.
         let key = {
@@ -941,6 +1191,9 @@ impl BufferManager {
                 None => return None, // free or being reassigned
             }
         };
+        if dup_only && !self.is_duplicate_hint(key) {
+            return None; // this pass only sacrifices cluster-duplicated blocks
+        }
         let mut bucket = self.buckets[self.bucket_of(&key)].lock();
         let mut f = self.frames[idx as usize].lock();
         if f.key != Some(key) {
@@ -988,7 +1241,50 @@ impl BufferManager {
             owner
         };
         self.uncharge(owner);
+        self.note_departure(key);
         Some((idx, flush))
+    }
+
+    /// Cooperative bookkeeping for a block leaving this cache (eviction
+    /// or invalidation): log it for the module's directory-removal push
+    /// and forget any duplicate hint — both advisory, both `None`-gated.
+    fn note_departure(&self, key: BlockKey) {
+        if let Some(log) = &self.evicted_log {
+            log.lock().push(key);
+        }
+        if let Some(hints) = &self.duplicate_hints {
+            hints.lock().remove(&key);
+        }
+    }
+
+    fn is_duplicate_hint(&self, key: BlockKey) -> bool {
+        self.duplicate_hints.as_ref().is_some_and(|h| h.lock().contains(&key))
+    }
+
+    /// Cooperative mode: a peer transfer revealed that `key` now lives in
+    /// (at least) one other node's cache. Duplicated blocks are preferred
+    /// eviction victims under the singleton-preserving preference. No-op
+    /// unless singleton preservation is configured.
+    pub fn note_duplicate(&self, key: BlockKey) {
+        if let Some(hints) = &self.duplicate_hints {
+            hints.lock().insert(key);
+        }
+    }
+
+    /// Blocks currently hinted as cluster-duplicated (diagnostics/tests).
+    pub fn duplicate_hint_count(&self) -> usize {
+        self.duplicate_hints.as_ref().map_or(0, |h| h.lock().len())
+    }
+
+    /// Drain the evicted-key log (cooperative authoritative mode): every
+    /// key evicted or invalidated since the last drain, for the module to
+    /// turn into directory-removal updates. Empty unless eviction
+    /// tracking is configured.
+    pub fn take_evicted(&self) -> Vec<BlockKey> {
+        match &self.evicted_log {
+            Some(log) => std::mem::take(&mut *log.lock()),
+            None => Vec::new(),
+        }
     }
 
     /// [`BufferManager::insert_clean_by`] with an unattributed accessor.
@@ -1005,7 +1301,23 @@ impl BufferManager {
     /// Install fetched (clean) bytes for `key` on behalf of `app`. Fetches
     /// are whole blocks, so `span` is normally [`Span::FULL`]. Returns a
     /// flush snapshot if a dirty frame had to be evicted to make room.
+    /// Wrapper over [`BufferManager::access`].
     pub fn insert_clean_by(
+        &self,
+        key: BlockKey,
+        home: NodeId,
+        span: Span,
+        bytes: &[u8],
+        app: AppId,
+    ) -> Option<FlushItem> {
+        match self.access(key, Access { app, kind: AccessKind::InsertClean { home, span, bytes } })
+        {
+            AccessOutcome::Inserted(fl) => fl,
+            _ => unreachable!("InsertClean yields Inserted"),
+        }
+    }
+
+    fn insert_clean_impl(
         &self,
         key: BlockKey,
         home: NodeId,
@@ -1074,8 +1386,22 @@ impl BufferManager {
 
     /// Write-behind absorb of `span` of `key` on behalf of `app`. On
     /// success the block is dirty in cache and the write can be
-    /// acknowledged locally.
+    /// acknowledged locally. Wrapper over [`BufferManager::access`].
     pub fn write_by(
+        &self,
+        key: BlockKey,
+        home: NodeId,
+        span: Span,
+        bytes: &[u8],
+        app: AppId,
+    ) -> WriteOutcome {
+        match self.access(key, Access { app, kind: AccessKind::Write { home, span, bytes } }) {
+            AccessOutcome::Write(out) => out,
+            _ => unreachable!("Write yields Write"),
+        }
+    }
+
+    fn write_impl(
         &self,
         key: BlockKey,
         home: NodeId,
@@ -1297,6 +1623,7 @@ impl BufferManager {
             };
             self.uncharge(owner);
             self.push_free(idx);
+            self.note_departure(key);
             dropped += 1;
         }
         self.stats.invalidated.fetch_add(dropped, Ordering::Relaxed);
@@ -1373,7 +1700,7 @@ mod tests {
     }
 
     fn mgr(cap: usize) -> BufferManager {
-        BufferManager::new(cap, EvictPolicy::default())
+        BufferManager::builder(cap).build()
     }
 
     #[test]
@@ -1566,7 +1893,7 @@ mod tests {
 
     #[test]
     fn exact_lru_evicts_strictly_oldest() {
-        let m = BufferManager::new(3, EvictPolicy::of(PolicyKind::ExactLru));
+        let m = BufferManager::builder(3).policy(EvictPolicy::of(PolicyKind::ExactLru)).build();
         for i in 0..3 {
             m.insert_clean(key(i), NodeId(0), Span::FULL, &full_block(i as u8));
         }
@@ -1579,7 +1906,7 @@ mod tests {
 
     #[test]
     fn lfu_protects_frequent_blocks() {
-        let m = BufferManager::new(3, EvictPolicy::of(PolicyKind::Lfu));
+        let m = BufferManager::builder(3).policy(EvictPolicy::of(PolicyKind::Lfu)).build();
         for i in 0..3 {
             m.insert_clean(key(i), NodeId(0), Span::FULL, &full_block(i as u8));
         }
@@ -1596,7 +1923,7 @@ mod tests {
 
     #[test]
     fn sharing_aware_protects_multi_app_blocks() {
-        let m = BufferManager::new(3, EvictPolicy::of(PolicyKind::SharingAware));
+        let m = BufferManager::builder(3).policy(EvictPolicy::of(PolicyKind::SharingAware)).build();
         let (a, b) = (AppId(0), AppId(1));
         let mut buf = vec![0u8; 4096];
         m.insert_clean_by(key(0), NodeId(0), Span::FULL, &full_block(0), a);
@@ -1615,7 +1942,7 @@ mod tests {
     #[test]
     fn all_policies_run_the_full_lifecycle() {
         for kind in PolicyKind::ALL {
-            let m = BufferManager::new(4, EvictPolicy::of(kind));
+            let m = BufferManager::builder(4).policy(EvictPolicy::of(kind)).build();
             let mut buf = vec![0u8; 4096];
             for i in 0..16 {
                 if i % 3 == 0 {
@@ -1643,7 +1970,7 @@ mod tests {
 
     #[test]
     fn harvest_reaches_high_watermark() {
-        let m = BufferManager::with_watermarks(10, EvictPolicy::default(), 2, 5);
+        let m = BufferManager::builder(10).watermarks(2, 5).build();
         for i in 0..10 {
             m.insert_clean(key(i), NodeId(0), Span::FULL, &full_block(0));
         }
@@ -1657,7 +1984,7 @@ mod tests {
 
     #[test]
     fn harvest_flushes_dirty_when_no_clean_left() {
-        let m = BufferManager::with_watermarks(4, EvictPolicy::default(), 2, 3);
+        let m = BufferManager::builder(4).watermarks(2, 3).build();
         for i in 0..4 {
             m.write(key(i), NodeId(0), Span::FULL, &full_block(i as u8));
         }
@@ -1682,13 +2009,10 @@ mod tests {
     }
 
     fn strict_mgr(cap: usize, quotas: &[(u32, usize)]) -> BufferManager {
-        BufferManager::with_config(
-            cap,
-            EvictPolicy::default(),
-            0,
-            cap,
-            crate::config::PartitionConfig::strict(quotas.iter().copied()),
-        )
+        BufferManager::builder(cap)
+            .watermarks(0, cap)
+            .partitioning(crate::config::PartitionConfig::strict(quotas.iter().copied()))
+            .build()
     }
 
     #[test]
@@ -1762,13 +2086,10 @@ mod tests {
     #[test]
     fn soft_quota_borrows_free_frames_and_gives_them_back() {
         let (a, b) = (AppId(0), AppId(1));
-        let m = BufferManager::with_config(
-            6,
-            EvictPolicy::default(),
-            0,
-            6,
-            crate::config::PartitionConfig::soft([(0, 2), (1, 4)]),
-        );
+        let m = BufferManager::builder(6)
+            .watermarks(0, 6)
+            .partitioning(crate::config::PartitionConfig::soft([(0, 2), (1, 4)]))
+            .build();
         // a grows past its quota of 2 by borrowing idle (free) frames.
         for i in 0..5 {
             m.insert_clean_by(key(i), NodeId(0), Span::FULL, &full_block(0), a);
@@ -1804,14 +2125,13 @@ mod tests {
         // whole pool must behave byte-for-byte like the unpartitioned
         // manager for every policy.
         for kind in PolicyKind::ALL {
-            let strict = BufferManager::with_config(
-                8,
-                EvictPolicy::of(kind),
-                0,
-                2,
-                crate::config::PartitionConfig::strict([(0, 8)]),
-            );
-            let shared2 = BufferManager::with_watermarks(8, EvictPolicy::of(kind), 0, 2);
+            let strict = BufferManager::builder(8)
+                .policy(EvictPolicy::of(kind))
+                .watermarks(0, 2)
+                .partitioning(crate::config::PartitionConfig::strict([(0, 8)]))
+                .build();
+            let shared2 =
+                BufferManager::builder(8).policy(EvictPolicy::of(kind)).watermarks(0, 2).build();
             let a = AppId(0);
             let mut buf = vec![0u8; 4096];
             for step in 0..400u64 {
@@ -1872,13 +2192,10 @@ mod tests {
         // frames, not drain the victim below quota (the pre-PR-4 sweep
         // was victim-agnostic and would).
         let (victim, scanner) = (AppId(0), AppId(1));
-        let m = BufferManager::with_config(
-            8,
-            EvictPolicy::default(),
-            0,
-            2,
-            crate::config::PartitionConfig::soft([(0, 4), (1, 2)]),
-        );
+        let m = BufferManager::builder(8)
+            .watermarks(0, 2)
+            .partitioning(crate::config::PartitionConfig::soft([(0, 4), (1, 2)]))
+            .build();
         for i in 0..4 {
             m.insert_clean_by(key(i), NodeId(0), Span::FULL, &full_block(0), victim);
         }
@@ -1898,15 +2215,12 @@ mod tests {
     }
 
     fn adaptive_mgr(kind: PolicyKind, epoch: usize) -> BufferManager {
-        BufferManager::with_full_config(
-            8,
-            EvictPolicy::of(kind),
-            0,
-            2,
-            crate::config::PartitionConfig::shared(),
-            Some(AdaptiveConfig::new([kind])),
-            epoch,
-        )
+        BufferManager::builder(8)
+            .policy(EvictPolicy::of(kind))
+            .watermarks(0, 2)
+            .adaptive(Some(AdaptiveConfig::new([kind])))
+            .epoch_accesses(epoch)
+            .build()
     }
 
     #[test]
@@ -1916,15 +2230,11 @@ mod tests {
         // match the static policy exactly — epoch ticks included.
         for kind in PolicyKind::ALL {
             let adaptive = adaptive_mgr(kind, 64);
-            let stat = BufferManager::with_full_config(
-                8,
-                EvictPolicy::of(kind),
-                0,
-                2,
-                crate::config::PartitionConfig::shared(),
-                None,
-                64,
-            );
+            let stat = BufferManager::builder(8)
+                .policy(EvictPolicy::of(kind))
+                .watermarks(0, 2)
+                .epoch_accesses(64)
+                .build();
             let mut buf = vec![0u8; 4096];
             for step in 0..500u64 {
                 let k = key((step * 7919) % 23);
@@ -1991,15 +2301,16 @@ mod tests {
         // blocks it never revisits. The tuner must shift quota 0 ← 1, and
         // enforcement must follow the *tuned* quotas.
         let (hot, cold) = (AppId(0), AppId(1));
-        let m = BufferManager::with_full_config(
-            8,
-            EvictPolicy::of(PolicyKind::ExactLru),
-            0,
-            2,
-            crate::config::PartitionConfig::strict([(0, 4), (1, 4)]),
-            Some(AdaptiveConfig { quota_step: 1, ..AdaptiveConfig::new([PolicyKind::ExactLru]) }),
-            32,
-        );
+        let m = BufferManager::builder(8)
+            .policy(EvictPolicy::of(PolicyKind::ExactLru))
+            .watermarks(0, 2)
+            .partitioning(crate::config::PartitionConfig::strict([(0, 4), (1, 4)]))
+            .adaptive(Some(AdaptiveConfig {
+                quota_step: 1,
+                ..AdaptiveConfig::new([PolicyKind::ExactLru])
+            }))
+            .epoch_accesses(32)
+            .build();
         let mut buf = vec![0u8; 4096];
         let mut fresh = 1000u64;
         for round in 0..400u64 {
@@ -2040,15 +2351,12 @@ mod tests {
         // ledger, while its miss branch counted both. Both branches now
         // run full symmetric accounting — and neither refreshes recency
         // (matching the seed).
-        let m = BufferManager::with_full_config(
-            4,
-            EvictPolicy::of(PolicyKind::ExactLru),
-            0,
-            4,
-            crate::config::PartitionConfig::shared(),
-            Some(AdaptiveConfig::new([PolicyKind::ExactLru])),
-            8,
-        );
+        let m = BufferManager::builder(4)
+            .policy(EvictPolicy::of(PolicyKind::ExactLru))
+            .watermarks(0, 4)
+            .adaptive(Some(AdaptiveConfig::new([PolicyKind::ExactLru])))
+            .epoch_accesses(8)
+            .build();
         let a = AppId(0);
         m.insert_clean_by(key(0), NodeId(0), Span::FULL, &full_block(1), a);
         m.insert_clean_by(key(1), NodeId(0), Span::FULL, &full_block(1), a);
@@ -2080,15 +2388,11 @@ mod tests {
     fn recency_touches_advance_the_epoch_clock() {
         // A sync-write refresh (update_if_present → note_touch) is a real
         // access: before PR 5 it never aged the policies.
-        let m = BufferManager::with_full_config(
-            4,
-            EvictPolicy::default(),
-            0,
-            4,
-            crate::config::PartitionConfig::shared(),
-            Some(AdaptiveConfig::new([PolicyKind::Clock])),
-            4,
-        );
+        let m = BufferManager::builder(4)
+            .watermarks(0, 4)
+            .adaptive(Some(AdaptiveConfig::new([PolicyKind::Clock])))
+            .epoch_accesses(4)
+            .build();
         m.insert_clean(key(0), NodeId(0), Span::FULL, &full_block(1));
         assert_eq!(m.adaptive_stats().unwrap().epochs, 0, "an insert is not an access");
         for _ in 0..4 {
@@ -2123,19 +2427,16 @@ mod tests {
         ));
         for (policy, adaptive) in setups {
             let mk = || {
-                BufferManager::with_full_config(
-                    8,
-                    policy,
-                    0,
-                    2,
-                    crate::config::PartitionConfig::strict([(0, 3), (1, 3)]),
-                    adaptive.clone(),
-                    32,
-                )
+                BufferManager::builder(8)
+                    .policy(policy)
+                    .watermarks(0, 2)
+                    .partitioning(crate::config::PartitionConfig::strict([(0, 3), (1, 3)]))
+                    .adaptive(adaptive.clone())
+                    .epoch_accesses(32)
             };
             let label = adaptive.as_ref().map_or(policy.kind.name(), |_| "adaptive");
-            let eager = mk().with_eager_accounting();
-            let drained = mk();
+            let eager = mk().eager_accounting(true).build();
+            let drained = mk().build();
             let mut buf = vec![0u8; 4096];
             for step in 0..600u64 {
                 let k = key((step * 7919) % 23);
@@ -2219,19 +2520,17 @@ mod tests {
         // 3-frame fairness floor the idle tenant can never be squeezed
         // below — validated by the manager before any update is applied.
         let (hot, cold) = (AppId(0), AppId(1));
-        let m = BufferManager::with_full_config(
-            8,
-            EvictPolicy::of(PolicyKind::ExactLru),
-            0,
-            2,
-            crate::config::PartitionConfig::strict([(0, 4), (1, 4)]),
-            Some(AdaptiveConfig {
+        let m = BufferManager::builder(8)
+            .policy(EvictPolicy::of(PolicyKind::ExactLru))
+            .watermarks(0, 2)
+            .partitioning(crate::config::PartitionConfig::strict([(0, 4), (1, 4)]))
+            .adaptive(Some(AdaptiveConfig {
                 quota_step: 1,
                 quota_floor: 3,
                 ..AdaptiveConfig::new([PolicyKind::ExactLru])
-            }),
-            32,
-        );
+            }))
+            .epoch_accesses(32)
+            .build();
         let mut buf = vec![0u8; 4096];
         let mut fresh = 1000u64;
         for round in 0..400u64 {
@@ -2260,19 +2559,17 @@ mod tests {
         // transfer pair and leave the tuner permanently dead for such
         // configs.
         let (hot, cold) = (AppId(0), AppId(1));
-        let m = BufferManager::with_full_config(
-            8,
-            EvictPolicy::of(PolicyKind::ExactLru),
-            0,
-            2,
-            crate::config::PartitionConfig::strict([(0, 2), (1, 6)]),
-            Some(AdaptiveConfig {
+        let m = BufferManager::builder(8)
+            .policy(EvictPolicy::of(PolicyKind::ExactLru))
+            .watermarks(0, 2)
+            .partitioning(crate::config::PartitionConfig::strict([(0, 2), (1, 6)]))
+            .adaptive(Some(AdaptiveConfig {
                 quota_step: 1,
                 quota_floor: 4,
                 ..AdaptiveConfig::new([PolicyKind::ExactLru])
-            }),
-            32,
-        );
+            }))
+            .epoch_accesses(32)
+            .build();
         let mut buf = vec![0u8; 4096];
         let mut fresh = 1000u64;
         for round in 0..400u64 {
@@ -2312,15 +2609,14 @@ mod tests {
                     ..AdaptiveConfig::new([PolicyKind::Clock, PolicyKind::ExactLru])
                 }),
             ] {
-                let m = Arc::new(BufferManager::with_full_config(
-                    64,
-                    EvictPolicy::default(),
-                    4,
-                    16,
-                    part.clone(),
-                    adaptive.clone(),
-                    256,
-                ));
+                let m = Arc::new(
+                    BufferManager::builder(64)
+                        .watermarks(4, 16)
+                        .partitioning(part.clone())
+                        .adaptive(adaptive.clone())
+                        .epoch_accesses(256)
+                        .build(),
+                );
                 let threads = 8u64;
                 let lookups = AtomicU64::new(0);
                 std::thread::scope(|s| {
@@ -2407,7 +2703,7 @@ mod tests {
     fn concurrent_stress_no_lost_frames() {
         use std::sync::Arc;
         for kind in PolicyKind::ALL {
-            let m = Arc::new(BufferManager::new(64, EvictPolicy::of(kind)));
+            let m = Arc::new(BufferManager::builder(64).policy(EvictPolicy::of(kind)).build());
             let threads = 8;
             std::thread::scope(|s| {
                 for t in 0..threads {

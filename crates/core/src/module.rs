@@ -27,11 +27,12 @@ use crate::manager::{BufferManager, FlushItem, WriteOutcome};
 use bytes::Bytes;
 use kcache_policy::AppId;
 use pvfs::{
-    ByteRange, CostModel, Fid, FlushAck, FlushBlocks, FlushEntry, Invalidate, InvalidateAck,
-    ReadAck, ReadData, ReadReq, WriteAck, WritePart, WriteReq, CACHE_PORT, IOD_FLUSH_PORT,
+    BlockDirQuery, BlockDirReply, BlockDirUpdate, ByteRange, CostModel, Fid, FlushAck, FlushBlocks,
+    FlushEntry, Invalidate, InvalidateAck, PeerReadReply, PeerReadReq, ReadAck, ReadData, ReadReq,
+    WriteAck, WritePart, WriteReq, CACHE_PORT, IOD_FLUSH_PORT, IOD_PORT, MGR_PORT,
 };
 use sim_core::{resource, Actor, ActorId, Ctx, Dur, Msg, SharedResource, SimTime};
-use sim_net::{Deliver, NetMessage, NodeId, Port, Xmit};
+use sim_net::{Deliver, NetMessage, NodeId, Port, TrafficClass, Xmit};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -61,6 +62,30 @@ pub struct ModuleStats {
     pub flush_msgs: u64,
     pub urgent_flush_blocks: u64,
     pub harvest_runs: u64,
+    // --- cooperative remote-hit tier ---
+    /// Directory queries sent on local misses.
+    pub dir_queries: u64,
+    /// Residency-delta messages pushed to the directory.
+    pub dir_updates: u64,
+    /// Missing blocks the directory located in a peer cache.
+    pub dir_located_blocks: u64,
+    /// Missing blocks the directory knew no sharer for (straight to disk).
+    pub dir_unlocated_blocks: u64,
+    /// Blocks actually served out of a peer cache (the remote hits).
+    pub remote_hit_blocks: u64,
+    /// Directory-located blocks the peer no longer had — the stale-hint
+    /// fallthrough; these are re-fetched from the iod, never served wrong.
+    pub remote_stale_blocks: u64,
+    pub remote_bytes_fetched: u64,
+    /// Peer-fetch requests this node answered for others.
+    pub peer_reqs_served: u64,
+    pub peer_blocks_served: u64,
+    pub peer_bytes_served: u64,
+    /// Latency accounting at block granularity, from the moment a fetch
+    /// was initiated to the moment the block's bytes were installed.
+    pub disk_fetch_blocks: u64,
+    pub disk_fetch_ns: u64,
+    pub remote_fetch_ns: u64,
 }
 
 /// A client range still waiting for fetched blocks.
@@ -75,6 +100,28 @@ struct PendingFetch {
     fid: Fid,
     client_port: Port,
     waiting: Vec<WaitingRange>,
+}
+
+/// One in-flight cooperative fetch conversation: the directory query, the
+/// peer fetches it fans out into, and the single deferred iod request
+/// that picks up whatever the peers could not serve. Deferring the disk
+/// request until every peer has answered keeps the client-visible
+/// protocol unchanged: exactly one (possibly faked) iod ack per request.
+struct CoopFetch {
+    fid: Fid,
+    /// Owning iod for the missing blocks: destination of the deferred
+    /// disk request and `home` for installed frames.
+    home: NodeId,
+    /// Original client request id — the deferred iod request reuses it so
+    /// the iod's ack and data flow back through the normal inbound path.
+    client_req: u64,
+    reply_to: (NodeId, Port),
+    /// Every block this conversation is responsible for fetching.
+    blocks: Vec<u64>,
+    outstanding_peers: usize,
+    /// Blocks that must come from the iod after all: directory-unknown
+    /// ones plus stale-hint fallthroughs reported by peers.
+    to_disk: Vec<u64>,
 }
 
 struct FlushTick;
@@ -95,14 +142,22 @@ pub struct CacheModule {
     /// what the sharing-aware policy ranks by.
     client_apps: HashMap<u16, AppId>,
     pending: HashMap<(u16, u64), PendingFetch>,
-    /// Blocks currently being fetched from an iod (the FSM's "transfers
-    /// pending" state); requests for these blocks wait instead of
-    /// re-fetching.
-    fetching: std::collections::HashSet<BlockKey>,
+    /// Blocks currently being fetched — from an iod or a peer cache (the
+    /// FSM's "transfers pending" state); requests for these blocks wait
+    /// instead of re-fetching. The value is the fetch start time, which
+    /// prices the disk-vs-remote tiers when the bytes arrive.
+    fetching: HashMap<BlockKey, SimTime>,
     /// Which pending requests wait on each in-flight block.
     block_waiters: HashMap<BlockKey, Vec<(u16, u64)>>,
     /// Resident blocks in flight per flush request (completed on FlushAck).
     inflight_flushes: HashMap<u64, Vec<(BlockKey, Span)>>,
+    /// Where the block location directory lives (the pvfs mgr's node);
+    /// `None` until the cluster builder wires it, which — together with
+    /// `cfg.cooperative` — gates the whole remote-hit tier.
+    mgr_node: Option<NodeId>,
+    /// In-flight cooperative conversations by directory-query id.
+    coop_pending: HashMap<u64, CoopFetch>,
+    coop_seq: u64,
     flush_seq: u64,
     harvest_scheduled: bool,
     started: bool,
@@ -118,15 +173,16 @@ impl CacheModule {
         costs: CostModel,
         cfg: CacheConfig,
     ) -> CacheModule {
-        let cache = Arc::new(BufferManager::with_full_config(
-            cfg.capacity_blocks,
-            cfg.policy,
-            cfg.low_watermark,
-            cfg.high_watermark,
-            cfg.partitioning.clone(),
-            cfg.adaptive.clone(),
-            cfg.epoch_accesses,
-        ));
+        let cache = Arc::new(
+            BufferManager::builder(cfg.capacity_blocks)
+                .policy(cfg.policy)
+                .watermarks(cfg.low_watermark, cfg.high_watermark)
+                .partitioning(cfg.partitioning.clone())
+                .adaptive(cfg.adaptive.clone())
+                .epoch_accesses(cfg.epoch_accesses)
+                .cooperative(cfg.cooperative)
+                .build(),
+        );
         CacheModule {
             node,
             fabric,
@@ -137,9 +193,12 @@ impl CacheModule {
             clients: HashMap::new(),
             client_apps: HashMap::new(),
             pending: HashMap::new(),
-            fetching: std::collections::HashSet::new(),
+            fetching: HashMap::new(),
             block_waiters: HashMap::new(),
             inflight_flushes: HashMap::new(),
+            mgr_node: None,
+            coop_pending: HashMap::new(),
+            coop_seq: 0,
             flush_seq: 1,
             harvest_scheduled: false,
             started: false,
@@ -154,6 +213,17 @@ impl CacheModule {
     pub fn register_client(&mut self, port: Port, actor: ActorId, app: AppId) {
         self.clients.insert(port.0, actor);
         self.client_apps.insert(port.0, app);
+    }
+
+    /// Tell the module which node hosts the block location directory (the
+    /// pvfs mgr). The remote-hit tier activates only once this is set
+    /// *and* the config carries a [`crate::config::CooperativeConfig`].
+    pub fn set_directory_home(&mut self, mgr: NodeId) {
+        self.mgr_node = Some(mgr);
+    }
+
+    fn cooperative_active(&self) -> bool {
+        self.cfg.cooperative.is_some() && self.mgr_node.is_some()
     }
 
     /// Application owning a client reply port ([`AppId::UNKNOWN`] for
@@ -298,7 +368,7 @@ impl CacheModule {
                 let to_fetch: Vec<u64> = missing
                     .iter()
                     .copied()
-                    .filter(|blk| !self.fetching.contains(&BlockKey::new(rr.fid, *blk)))
+                    .filter(|blk| !self.fetching.contains_key(&BlockKey::new(rr.fid, *blk)))
                     .collect();
                 self.stats.dedup_blocks += (missing.len() - to_fetch.len()) as u64;
                 for blk in &missing {
@@ -320,9 +390,8 @@ impl CacheModule {
                         start * CACHE_BLOCK_SIZE as u64,
                         (n * CACHE_BLOCK_SIZE as u64) as u32,
                     ));
-                    self.fetching.insert(BlockKey::new(rr.fid, start));
                     for b in start..start + n {
-                        self.fetching.insert(BlockKey::new(rr.fid, b));
+                        self.fetching.insert(BlockKey::new(rr.fid, b), now);
                     }
                     runs += 1;
                     i += n as usize;
@@ -402,6 +471,48 @@ impl CacheModule {
             self.send_to_client(ctx, t, client_port, ReadAck { req_id: rr.req_id, bytes: total });
             return;
         }
+        if self.cooperative_active() {
+            // Remote-hit tier: ask the directory who caches the missing
+            // blocks before going to disk. The iod request is deferred
+            // until the directory (and any queried peers) have answered,
+            // so the client still sees exactly one ack per request.
+            let blocks: Vec<u64> =
+                fetch_ranges.iter().flat_map(|r| blocks_of_range(r.offset, r.len)).collect();
+            self.coop_seq += 1;
+            let qid = self.coop_seq;
+            let q = BlockDirQuery {
+                req_id: qid,
+                fid: rr.fid,
+                blocks: blocks.clone(),
+                reply_to: (self.node, CACHE_PORT),
+            };
+            self.coop_pending.insert(
+                qid,
+                CoopFetch {
+                    fid: rr.fid,
+                    home: iod_node,
+                    client_req: rr.req_id,
+                    reply_to: rr.reply_to,
+                    blocks,
+                    outstanding_peers: 0,
+                    to_disk: Vec::new(),
+                },
+            );
+            t = self.charge(t, self.costs.send_overhead);
+            self.tag += 1;
+            let mgr = self.mgr_node.expect("cooperative_active checked mgr_node");
+            let m = NetMessage::new(
+                (self.node, CACHE_PORT),
+                (mgr, MGR_PORT),
+                q.wire_bytes(),
+                self.tag,
+                q,
+            )
+            .with_class(TrafficClass::Peer);
+            self.send_to_net(ctx, t, m);
+            self.stats.dir_queries += 1;
+            return;
+        }
         let reduced = ReadReq {
             req_id: rr.req_id,
             fid: rr.fid,
@@ -471,6 +582,7 @@ impl CacheModule {
         );
 
         let mut passthrough: Vec<WritePart> = Vec::new();
+        let mut absorbed_keys: Vec<BlockKey> = Vec::new();
         let mut absorbed_blocks = 0u64;
         let mut absorbed_bytes = 0u64;
         for part in &wr.parts {
@@ -494,6 +606,7 @@ impl CacheModule {
                     WriteOutcome::Absorbed => {
                         absorbed_blocks += 1;
                         absorbed_bytes += span.len() as u64;
+                        absorbed_keys.push(BlockKey::new(wr.fid, blk));
                         self.maybe_schedule_harvest(ctx);
                     }
                     WriteOutcome::PassThrough => match fail_start {
@@ -521,6 +634,7 @@ impl CacheModule {
             );
         }
         self.stats.bytes_absorbed += absorbed_bytes;
+        self.publish_dir_delta(ctx, t, absorbed_keys);
         if passthrough.is_empty() {
             // Fully absorbed: fake the write ack (write-behind).
             self.stats.fake_write_acks += 1;
@@ -561,12 +675,29 @@ impl CacheModule {
     // Inbound interception (net → libpvfs)
     // -----------------------------------------------------------------
 
-    fn inbound_read_data(&mut self, ctx: &mut Ctx<'_>, net: NetMessage, rd: ReadData) {
+    /// Install arriving block data — from an iod (`remote == false`) or
+    /// out of a peer's cache (`remote == true`) — and complete every
+    /// waiting request. The two tiers share this path so waiters, urgent
+    /// flushes and sharing attribution behave identically; only the
+    /// counters (and the latency accumulator the fetch is priced into)
+    /// differ.
+    fn inbound_read_data(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        net: NetMessage,
+        rd: ReadData,
+        remote: bool,
+    ) {
         let now = ctx.now();
         let home = net.src;
         let nblocks = blocks_of_range(rd.range.offset, rd.range.len).count() as u64;
-        self.stats.blocks_fetched += nblocks;
-        self.stats.bytes_fetched += rd.range.len as u64;
+        if remote {
+            self.stats.remote_hit_blocks += nblocks;
+            self.stats.remote_bytes_fetched += rd.range.len as u64;
+        } else {
+            self.stats.blocks_fetched += nblocks;
+            self.stats.bytes_fetched += rd.range.len as u64;
+        }
         let t = self.charge(
             now,
             self.costs.cache_call_overhead
@@ -576,6 +707,7 @@ impl CacheModule {
         // waiters belonging to *other processes* whose fetches were
         // suppressed by the pending-block state.
         let mut urgent: Vec<FlushItem> = Vec::new();
+        let mut installed: Vec<BlockKey> = Vec::new();
         let mut completed: Vec<(Port, u64, Fid, ByteRange, Vec<u8>)> = Vec::new();
         for blk in blocks_of_range(rd.range.offset, rd.range.len) {
             let key = BlockKey::new(rd.fid, blk);
@@ -601,11 +733,25 @@ impl CacheModule {
             {
                 urgent.push(fl);
             }
+            if remote {
+                // Both the peer's copy and ours are now duplicates —
+                // singleton-preserving eviction may shed ours cheaply.
+                self.cache.note_duplicate(key);
+            }
+            installed.push(key);
             for &a in waiter_apps.iter().skip(1) {
                 self.cache.note_access(key, a);
             }
             self.maybe_schedule_harvest(ctx);
-            self.fetching.remove(&key);
+            if let Some(t0) = self.fetching.remove(&key) {
+                let ns = now.since(t0).as_nanos();
+                if remote {
+                    self.stats.remote_fetch_ns += ns;
+                } else {
+                    self.stats.disk_fetch_blocks += 1;
+                    self.stats.disk_fetch_ns += ns;
+                }
+            }
             let Some(waiters) = self.block_waiters.remove(&key) else {
                 continue;
             };
@@ -643,6 +789,7 @@ impl CacheModule {
                 }
             }
         }
+        self.publish_dir_delta(ctx, t, installed);
         if !urgent.is_empty() {
             self.send_flushes(ctx, t, urgent, true, false);
         }
@@ -656,6 +803,227 @@ impl CacheModule {
                 );
             }
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Cooperative remote-hit tier
+    // -----------------------------------------------------------------
+
+    /// Push this node's residency delta to the block location directory.
+    /// `added` are blocks just installed; evictions recorded by the
+    /// buffer manager since the last publish ride along as removals.
+    /// In hint mode the manager records no departures, so the directory
+    /// decays into an over-approximate hint store — misdirected peer
+    /// fetches then fall through to disk, never return wrong data.
+    fn publish_dir_delta(&mut self, ctx: &mut Ctx<'_>, at: SimTime, added: Vec<BlockKey>) {
+        if !self.cooperative_active() {
+            return;
+        }
+        let mgr = self.mgr_node.expect("cooperative_active checked mgr_node");
+        let mut per_fid: HashMap<Fid, (Vec<u64>, Vec<u64>)> = HashMap::new();
+        for k in added {
+            per_fid.entry(k.fid).or_default().0.push(k.blk);
+        }
+        for k in self.cache.take_evicted() {
+            per_fid.entry(k.fid).or_default().1.push(k.blk);
+        }
+        let mut at = at;
+        for (fid, (added, removed)) in per_fid {
+            at = self.charge(at, self.costs.send_overhead);
+            let u = BlockDirUpdate { fid, node: self.node, added, removed };
+            self.tag += 1;
+            let m = NetMessage::new(
+                (self.node, CACHE_PORT),
+                (mgr, MGR_PORT),
+                u.wire_bytes(),
+                self.tag,
+                u,
+            )
+            .with_class(TrafficClass::Peer);
+            self.send_to_net(ctx, at, m);
+            self.stats.dir_updates += 1;
+        }
+    }
+
+    /// The directory's answer to one of our queries: fan the located
+    /// blocks out to their peer caches, queue the unknown ones for the
+    /// deferred iod request.
+    fn coop_dir_reply(&mut self, ctx: &mut Ctx<'_>, reply: BlockDirReply) {
+        let now = ctx.now();
+        let Some(cf) = self.coop_pending.get_mut(&reply.req_id) else {
+            debug_assert!(false, "directory reply for unknown query");
+            return;
+        };
+        let mut per_peer: HashMap<NodeId, Vec<u64>> = HashMap::new();
+        let mut located = std::collections::HashSet::new();
+        for (blk, node) in &reply.locations {
+            per_peer.entry(*node).or_default().push(*blk);
+            located.insert(*blk);
+        }
+        cf.to_disk.extend(cf.blocks.iter().copied().filter(|b| !located.contains(b)));
+        cf.outstanding_peers = per_peer.len();
+        let fid = cf.fid;
+        let n_total = cf.blocks.len() as u64;
+        let n_located = located.len() as u64;
+        self.stats.dir_located_blocks += n_located;
+        self.stats.dir_unlocated_blocks += n_total - n_located;
+        if per_peer.is_empty() {
+            self.finish_coop(ctx, now, reply.req_id);
+            return;
+        }
+        let mut t = self.charge(now, self.costs.cache_call_overhead);
+        for (peer, blocks) in per_peer {
+            t = self.charge(t, self.costs.send_overhead);
+            let pr = PeerReadReq {
+                req_id: reply.req_id,
+                fid,
+                blocks,
+                reply_to: (self.node, CACHE_PORT),
+            };
+            self.tag += 1;
+            let m = NetMessage::new(
+                (self.node, CACHE_PORT),
+                (peer, CACHE_PORT),
+                pr.wire_bytes(),
+                self.tag,
+                pr,
+            )
+            .with_class(TrafficClass::Peer);
+            self.send_to_net(ctx, t, m);
+        }
+    }
+
+    /// A peer's answer to one of our block fetches: install the hits
+    /// through the normal data-arrival path (waiters — including other
+    /// processes' — complete exactly as for an iod reply), queue the
+    /// stale misses for disk.
+    fn coop_peer_reply(&mut self, ctx: &mut Ctx<'_>, reply: PeerReadReply) {
+        let now = ctx.now();
+        let qid = reply.req_id;
+        let Some(cf) = self.coop_pending.get_mut(&qid) else {
+            debug_assert!(false, "peer reply for unknown query");
+            return;
+        };
+        let home = cf.home;
+        cf.to_disk.extend(reply.misses.iter().copied());
+        cf.outstanding_peers = cf.outstanding_peers.saturating_sub(1);
+        let done = cf.outstanding_peers == 0;
+        self.stats.remote_stale_blocks += reply.misses.len() as u64;
+        for (blk, data) in reply.hits {
+            let rd = ReadData {
+                req_id: 0, // unused: waiters are keyed by block
+                fid: reply.fid,
+                range: ByteRange::new(blk * CACHE_BLOCK_SIZE as u64, CACHE_BLOCK_SIZE as u32),
+                data,
+            };
+            // Synthesized meta: `home` must be the owning iod, not the
+            // peer — a later dirty flush of the block goes to its iod.
+            let net = NetMessage::new((home, IOD_PORT), (self.node, CACHE_PORT), 0, 0, ());
+            self.inbound_read_data(ctx, net, rd, true);
+        }
+        if done {
+            self.finish_coop(ctx, now, qid);
+        }
+    }
+
+    /// Close out a cooperative conversation: everything the peers could
+    /// not serve goes to the iod in one (coalesced) request; if nothing
+    /// is left, fake the iod's ack — the disk tier never hears about
+    /// this request at all.
+    fn finish_coop(&mut self, ctx: &mut Ctx<'_>, at: SimTime, qid: u64) {
+        let Some(cf) = self.coop_pending.remove(&qid) else {
+            return;
+        };
+        let mut to_disk = cf.to_disk;
+        if to_disk.is_empty() {
+            self.stats.fake_read_acks += 1;
+            let bytes = cf.blocks.len() as u64 * CACHE_BLOCK_SIZE as u64;
+            let t = self.charge(at, self.costs.cache_call_overhead);
+            self.send_to_client(ctx, t, cf.reply_to.1, ReadAck { req_id: cf.client_req, bytes });
+            return;
+        }
+        to_disk.sort_unstable();
+        to_disk.dedup();
+        let mut ranges: Vec<ByteRange> = Vec::new();
+        let mut i = 0;
+        while i < to_disk.len() {
+            let start = to_disk[i];
+            let mut n = 1u64;
+            while i + (n as usize) < to_disk.len() && to_disk[i + n as usize] == start + n {
+                n += 1;
+            }
+            ranges.push(ByteRange::new(
+                start * CACHE_BLOCK_SIZE as u64,
+                (n * CACHE_BLOCK_SIZE as u64) as u32,
+            ));
+            i += n as usize;
+        }
+        let rr = ReadReq {
+            req_id: cf.client_req,
+            fid: cf.fid,
+            ranges,
+            reply_to: cf.reply_to,
+            caching: true,
+        };
+        let t = self.charge(at, self.costs.send_overhead);
+        self.tag += 1;
+        let m = NetMessage::new(
+            (self.node, cf.reply_to.1),
+            (cf.home, IOD_PORT),
+            rr.wire_bytes(),
+            self.tag,
+            rr,
+        );
+        self.send_to_net(ctx, t, m);
+    }
+
+    /// Serve a peer's block fetch out of our cache. Reads bypass all
+    /// local accounting ([`BufferManager::read_resident`]): remote
+    /// traffic must not distort this node's hit ratio or recency. Blocks
+    /// we no longer hold are reported as misses — the requester falls
+    /// through to disk.
+    fn serve_peer_read(&mut self, ctx: &mut Ctx<'_>, pr: PeerReadReq) {
+        self.stats.peer_reqs_served += 1;
+        let now = ctx.now();
+        let mut t = self.charge(
+            now,
+            self.costs.cache_call_overhead
+                + Dur::nanos(self.costs.cache_lookup_per_block.as_nanos() * pr.blocks.len() as u64),
+        );
+        let mut hits: Vec<(u64, Bytes)> = Vec::new();
+        let mut misses: Vec<u64> = Vec::new();
+        for blk in &pr.blocks {
+            let key = BlockKey::new(pr.fid, *blk);
+            let mut buf = vec![0u8; CACHE_BLOCK_SIZE];
+            if self.cache.read_resident(key, Span::FULL, &mut buf) {
+                // Our copy is about to be duplicated at the requester:
+                // mark it cheap for singleton-preserving eviction.
+                self.cache.note_duplicate(key);
+                hits.push((*blk, Bytes::from(buf)));
+            } else {
+                misses.push(*blk);
+            }
+        }
+        if !hits.is_empty() {
+            t = self.charge(
+                t,
+                Dur::nanos(self.costs.cache_copy_per_block.as_nanos() * hits.len() as u64),
+            );
+        }
+        self.stats.peer_blocks_served += hits.len() as u64;
+        self.stats.peer_bytes_served += hits.len() as u64 * CACHE_BLOCK_SIZE as u64;
+        t = self.charge(t, self.costs.send_overhead);
+        let reply = PeerReadReply { req_id: pr.req_id, fid: pr.fid, hits, misses };
+        self.tag += 1;
+        let m = NetMessage::new(
+            (self.node, CACHE_PORT),
+            pr.reply_to,
+            reply.wire_bytes(),
+            self.tag,
+            reply,
+        )
+        .with_class(TrafficClass::Peer);
+        self.send_to_net(ctx, t, m);
     }
 
     fn inbound(&mut self, ctx: &mut Ctx<'_>, net: NetMessage) {
@@ -674,6 +1042,9 @@ impl CacheModule {
                             + self.costs.send_overhead,
                     );
                     self.cache.invalidate(inv.blocks.iter().map(|b| BlockKey::new(inv.fid, *b)));
+                    // Invalidated blocks leave the directory immediately
+                    // (authoritative mode records them as departures).
+                    self.publish_dir_delta(ctx, t, Vec::new());
                     self.tag += 1;
                     let ack = InvalidateAck { req_id: inv.req_id };
                     let m = NetMessage::new(
@@ -689,7 +1060,7 @@ impl CacheModule {
                 }
                 Err(n) => n,
             };
-            let _net = match net.cast::<FlushAck>() {
+            let net = match net.cast::<FlushAck>() {
                 Ok((_, ack)) => {
                     if let Some(done) = self.inflight_flushes.remove(&ack.req_id) {
                         for (key, span) in done {
@@ -704,6 +1075,19 @@ impl CacheModule {
                     }
                     return;
                 }
+                Err(n) => n,
+            };
+            // Cooperative remote-hit tier conversations.
+            let net = match net.cast::<BlockDirReply>() {
+                Ok((_, r)) => return self.coop_dir_reply(ctx, *r),
+                Err(n) => n,
+            };
+            let net = match net.cast::<PeerReadReq>() {
+                Ok((_, pr)) => return self.serve_peer_read(ctx, *pr),
+                Err(n) => n,
+            };
+            let _net = match net.cast::<PeerReadReply>() {
+                Ok((_, r)) => return self.coop_peer_reply(ctx, *r),
                 Err(n) => n,
             };
             debug_assert!(false, "unexpected message on cache port");
@@ -736,7 +1120,7 @@ impl CacheModule {
                     meta.tag,
                     (),
                 );
-                self.inbound_read_data(ctx, net2, *rd);
+                self.inbound_read_data(ctx, net2, *rd, false);
                 return;
             }
             Err(n) => n,
@@ -753,6 +1137,9 @@ impl CacheModule {
         let items = self.cache.take_dirty(self.cfg.flush_batch);
         let now = ctx.now();
         self.send_flushes(ctx, now, items, false, true);
+        // Catch evictions with no install to piggyback on (harvests,
+        // invalidations) so the authoritative directory stays tight.
+        self.publish_dir_delta(ctx, now, Vec::new());
         ctx.schedule_self(self.cfg.flush_interval, FlushTick);
     }
 
@@ -763,6 +1150,7 @@ impl CacheModule {
         let now = ctx.now();
         let t = self.charge(now, Dur::nanos(self.costs.cache_lookup_per_block.as_nanos() * 8));
         self.send_flushes(ctx, t, items, true, true);
+        self.publish_dir_delta(ctx, t, Vec::new());
         // If still below the watermark (everything dirty and in flight),
         // try again after the next wakeup.
         self.maybe_schedule_harvest(ctx);

@@ -347,6 +347,16 @@ pub trait ReplacementPolicy: Send {
         false
     }
 
+    /// Does this policy consume the [`RefWords`] app-touch mask at scan
+    /// time ([`RefWords::take_app_mask`])? The manager stores app bits
+    /// on every hit/touch when this is `true`, even though the policy
+    /// does not *rank* from the words — sharing-aware folds undrained
+    /// touches into its referent sets so protection is current at scan
+    /// time, not as of the last drain.
+    fn consumes_app_mask(&self) -> bool {
+        false
+    }
+
     /// Credit `hits`/`misses` collapsed count-only events (see
     /// [`ranks_from_ref_words`](Self::ranks_from_ref_words)) into the
     /// stats ledger. Order relative to drained batches is irrelevant:

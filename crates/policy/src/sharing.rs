@@ -15,6 +15,14 @@ use crate::{AppId, PolicyKind, ReplacementPolicy};
 /// old binary shared/private split (a 3-app block now outlives a 2-app
 /// one).
 ///
+/// Referent evidence arrives on two paths: the deferred `on_access`
+/// replay (the event ring) and the table's lock-free
+/// [`RefWords`](crate::RefWords)
+/// app-touch mask, which the buffer manager stores into on every hit
+/// without taking the policy lock. `begin_scan` unions the undrained
+/// mask into the live generation so protection is current *at scan
+/// time*, not as of the last drain.
+///
 /// Sharing observed long ago is not sharing now: the referent mask is
 /// **aged on every epoch tick** (driven by the buffer manager when epochs
 /// are enabled) with a two-generation scheme — the current-epoch mask
@@ -36,11 +44,13 @@ pub struct SharingAware {
     scan_pos: usize,
 }
 
+// Same bit layout as the RefWords app-touch mask (bits 0..=62, `app %
+// 63`), so the two mask spaces union directly at scan time.
 fn app_bit(app: AppId) -> u64 {
     if app == AppId::UNKNOWN {
         0
     } else {
-        1 << (app.0 % 64)
+        1 << (app.0 % 63)
     }
 }
 
@@ -75,6 +85,10 @@ impl ReplacementPolicy for SharingAware {
         PolicyKind::SharingAware
     }
 
+    fn consumes_app_mask(&self) -> bool {
+        true
+    }
+
     fn table(&self) -> &FrameTable {
         &self.table
     }
@@ -103,6 +117,18 @@ impl ReplacementPolicy for SharingAware {
 
     fn begin_scan(&mut self) {
         self.scan = self.table.resident_frames();
+        // Fold in the lock-free fast path's app-touch masks *now* rather
+        // than waiting for the deferred event ring to drain: a hit the
+        // manager recorded with one atomic `fetch_or` moments ago must
+        // already protect the frame in this scan. The fold *consumes*
+        // the mask (the ref bit stays in place for clock-style ranking)
+        // so each touch enters the generational bookkeeping exactly once
+        // — a re-read at the next scan must not resurrect evidence the
+        // epoch aging already retired. The `on_access` replay of the
+        // same touch is an idempotent OR into the live generation.
+        for &f in &self.scan {
+            self.apps[f as usize] |= self.table.ref_words().take_app_mask(f);
+        }
         let (apps, aged, last) = (&self.apps, &self.aged, &self.last);
         // Fewest referents first, oldest before newest within each class.
         self.scan.sort_by_key(|&f| {
@@ -204,6 +230,25 @@ mod tests {
         s.epoch_tick(&[]);
         s.on_access(1, 1, AppId(1));
         assert_eq!(s.referents(1), 2, "refresh during the epoch survives the tick");
+    }
+
+    #[test]
+    fn undrained_ref_word_touches_protect_at_scan_time() {
+        let mut s = SharingAware::new(3);
+        for f in 0..3 {
+            s.on_insert(f, f as u64, AppId(0));
+        }
+        // A second app's hit lands only in the lock-free ref word — the
+        // deferred replay has NOT run. The scan must still see it.
+        s.table().ref_words().touch(1, AppId(1));
+        s.begin_scan();
+        assert_eq!(s.next_candidate(None), Some(0), "private frames drain first");
+        assert_eq!(s.next_candidate(None), Some(2));
+        assert_eq!(s.next_candidate(None), Some(1), "undrained touch protects the shared frame");
+        assert_eq!(s.referents(1), 2, "mask folded into the live generation");
+        // The eventual replay of the same touch is idempotent.
+        s.on_access(1, 1, AppId(1));
+        assert_eq!(s.referents(1), 2);
     }
 
     #[test]

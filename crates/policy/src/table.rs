@@ -66,6 +66,16 @@ impl RefWords {
         self.0.get(frame as usize).map_or(0, |w| w.load(Ordering::Relaxed) & !Self::REF)
     }
 
+    /// Consume the app-touch mask (bits 0..=62), leaving the ref bit in
+    /// place: each touch is handed to the caller exactly once, to fold
+    /// into its own (generational) bookkeeping, without disturbing
+    /// clock-style ref-bit ranking.
+    pub fn take_app_mask(&self, frame: u32) -> u64 {
+        self.0
+            .get(frame as usize)
+            .map_or(0, |w| w.fetch_and(Self::REF, Ordering::Relaxed) & !Self::REF)
+    }
+
     /// Reset the word (fresh insert: a block earns its second chance by
     /// being *re*-accessed).
     pub fn clear(&self, frame: u32) {

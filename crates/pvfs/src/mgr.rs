@@ -6,7 +6,10 @@
 //! a real network round trip to this actor.
 
 use crate::config::CostModel;
-use crate::protocol::{Fid, FileHandle, MgrCall, MgrReply, MgrRequest, StripeSpec, MGR_PORT};
+use crate::protocol::{
+    BlockDirQuery, BlockDirReply, BlockDirUpdate, Fid, FileHandle, MgrCall, MgrReply, MgrRequest,
+    StripeSpec, MGR_PORT,
+};
 use sim_core::{resource, Actor, ActorId, Ctx, Msg, SharedResource};
 use sim_net::{Deliver, NetMessage, NodeId, Xmit};
 use std::any::Any;
@@ -28,6 +31,13 @@ pub struct MgrStats {
     pub creates: u64,
     pub opens: u64,
     pub errors: u64,
+    /// Block location directory traffic (cooperative caching).
+    pub dir_updates: u64,
+    pub dir_queries: u64,
+    /// Queried blocks for which a peer location was returned.
+    pub dir_located: u64,
+    /// Queried blocks with no known remote sharer.
+    pub dir_unknown: u64,
 }
 
 /// The metadata server actor.
@@ -41,6 +51,13 @@ pub struct Mgr {
     next_fid: u64,
     tag: u64,
     stats: MgrStats,
+    /// Block location directory for cooperative caching: which nodes
+    /// currently cache each logical block. Maintained by `BlockDirUpdate`
+    /// deltas from the per-node cache modules; consulted by
+    /// `BlockDirQuery` on local misses. In hint mode the modules skip
+    /// eviction removals, so entries here may be stale — queries then
+    /// misdirect and the fetch falls through to disk at the requester.
+    directory: HashMap<(Fid, u64), Vec<NodeId>>,
 }
 
 impl Mgr {
@@ -62,6 +79,7 @@ impl Mgr {
             next_fid: 1,
             tag: 0,
             stats: MgrStats::default(),
+            directory: HashMap::new(),
         }
     }
 
@@ -91,6 +109,55 @@ impl Mgr {
         let handle = FileHandle { fid, size, stripe };
         self.files.insert(name.to_string(), handle.clone());
         handle
+    }
+
+    /// Directory size, for tests/diagnostics.
+    pub fn directory_entries(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Nodes the directory believes cache `(fid, blk)`.
+    pub fn directory_sharers(&self, fid: Fid, blk: u64) -> &[NodeId] {
+        self.directory.get(&(fid, blk)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn apply_dir_update(&mut self, up: BlockDirUpdate) {
+        self.stats.dir_updates += 1;
+        for blk in up.added {
+            let sharers = self.directory.entry((up.fid, blk)).or_default();
+            if !sharers.contains(&up.node) {
+                sharers.push(up.node);
+            }
+        }
+        for blk in up.removed {
+            if let Some(sharers) = self.directory.get_mut(&(up.fid, blk)) {
+                sharers.retain(|n| *n != up.node);
+                if sharers.is_empty() {
+                    self.directory.remove(&(up.fid, blk));
+                }
+            }
+        }
+    }
+
+    fn serve_dir_query(&mut self, q: &BlockDirQuery) -> BlockDirReply {
+        self.stats.dir_queries += 1;
+        let requester = q.reply_to.0;
+        let mut locations = Vec::new();
+        for &blk in &q.blocks {
+            let peer = self
+                .directory
+                .get(&(q.fid, blk))
+                .and_then(|sharers| sharers.iter().find(|n| **n != requester))
+                .copied();
+            match peer {
+                Some(node) => {
+                    self.stats.dir_located += 1;
+                    locations.push((blk, node));
+                }
+                None => self.stats.dir_unknown += 1,
+            }
+        }
+        BlockDirReply { req_id: q.req_id, fid: q.fid, locations }
     }
 
     fn serve(&mut self, call: MgrCall) -> MgrReply {
@@ -134,27 +201,52 @@ impl Actor for Mgr {
             Ok(d) => d.0,
             Err(other) => panic!("mgr received unexpected message: {:?}", other),
         };
-        let (meta, call) = match d.cast::<MgrCall>() {
-            Ok(x) => x,
-            Err(m) => panic!("mgr received non-MgrCall payload: {:?}", m),
+        let d = match d.cast::<MgrCall>() {
+            Ok((_, call)) => {
+                let reply_to = call.reply_to;
+                let reply = self.serve(*call);
+                // Charge receive + service + send on the mgr node's CPU,
+                // then put the reply on the wire.
+                let service = self.costs.recv_overhead
+                    + self.costs.mgr_request_overhead
+                    + self.costs.send_overhead;
+                let done = resource::reserve(&self.cpu, ctx.now(), service);
+                self.tag += 1;
+                let out = NetMessage::new(
+                    (self.node, MGR_PORT),
+                    reply_to,
+                    crate::protocol::MSG_HEADER_BYTES + 64, // handle encoding
+                    self.tag,
+                    reply,
+                );
+                ctx.schedule_in(done.since(ctx.now()), self.fabric, Xmit(out));
+                return;
+            }
+            Err(m) => m,
         };
-        let _ = meta;
-        let reply_to = call.reply_to;
-        let reply = self.serve(*call);
-        // Charge receive + service + send on the mgr node's CPU, then put
-        // the reply on the wire.
-        let service =
-            self.costs.recv_overhead + self.costs.mgr_request_overhead + self.costs.send_overhead;
-        let done = resource::reserve(&self.cpu, ctx.now(), service);
-        self.tag += 1;
-        let out = NetMessage::new(
-            (self.node, MGR_PORT),
-            reply_to,
-            crate::protocol::MSG_HEADER_BYTES + 64, // handle encoding
-            self.tag,
-            reply,
-        );
-        ctx.schedule_in(done.since(ctx.now()), self.fabric, Xmit(out));
+        let d = match d.cast::<BlockDirUpdate>() {
+            Ok((_, up)) => {
+                // Fire-and-forget bookkeeping: receive cost only.
+                let _ = resource::reserve(&self.cpu, ctx.now(), self.costs.recv_overhead);
+                self.apply_dir_update(*up);
+                return;
+            }
+            Err(m) => m,
+        };
+        match d.cast::<BlockDirQuery>() {
+            Ok((_, q)) => {
+                let reply = self.serve_dir_query(&q);
+                let service = self.costs.recv_overhead
+                    + self.costs.mgr_request_overhead
+                    + self.costs.send_overhead;
+                let done = resource::reserve(&self.cpu, ctx.now(), service);
+                self.tag += 1;
+                let wire = reply.wire_bytes();
+                let out = NetMessage::new((self.node, MGR_PORT), q.reply_to, wire, self.tag, reply);
+                ctx.schedule_in(done.since(ctx.now()), self.fabric, Xmit(out));
+            }
+            Err(m) => panic!("mgr received unexpected payload: {:?}", m),
+        }
     }
 
     fn name(&self) -> String {
@@ -178,13 +270,19 @@ mod tests {
 
     struct Capture {
         replies: Vec<MgrReply>,
+        dir_replies: Vec<BlockDirReply>,
     }
     impl Actor for Capture {
         fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
             // In this unit test we short-circuit the fabric: Xmit arrives here.
             if let Ok(x) = msg.cast::<Xmit>() {
-                let (_, r) = x.0.cast::<MgrReply>().expect("mgr sends MgrReply");
-                self.replies.push(*r);
+                match x.0.cast::<MgrReply>() {
+                    Ok((_, r)) => self.replies.push(*r),
+                    Err(m) => {
+                        let (_, r) = m.cast::<BlockDirReply>().expect("mgr reply type");
+                        self.dir_replies.push(*r);
+                    }
+                }
             }
         }
         fn as_any(&self) -> Option<&dyn Any> {
@@ -207,7 +305,7 @@ mod tests {
 
     fn setup() -> (Engine, ActorId, ActorId) {
         let mut eng = Engine::new(0);
-        let cap = eng.add_actor(Box::new(Capture { replies: vec![] }));
+        let cap = eng.add_actor(Box::new(Capture { replies: vec![], dir_replies: vec![] }));
         let mgr = eng.add_actor(Box::new(Mgr::new(
             NodeId(0),
             cap,
@@ -272,6 +370,64 @@ mod tests {
             .collect();
         let distinct: std::collections::HashSet<u32> = bases.iter().copied().collect();
         assert!(distinct.len() >= 5, "bases should spread: {:?}", bases);
+    }
+
+    fn dir_update(node: u16, added: Vec<u64>, removed: Vec<u64>) -> Deliver {
+        Deliver(NetMessage::new(
+            (NodeId(node), Port(7100)),
+            (NodeId(0), MGR_PORT),
+            64,
+            0,
+            BlockDirUpdate { fid: Fid(1), node: NodeId(node), added, removed },
+        ))
+    }
+
+    fn dir_query(node: u16, req_id: u64, blocks: Vec<u64>) -> Deliver {
+        Deliver(NetMessage::new(
+            (NodeId(node), Port(7100)),
+            (NodeId(0), MGR_PORT),
+            64,
+            0,
+            BlockDirQuery { req_id, fid: Fid(1), blocks, reply_to: (NodeId(node), Port(7100)) },
+        ))
+    }
+
+    #[test]
+    fn directory_tracks_updates_and_answers_queries() {
+        let (mut eng, mgr, cap) = setup();
+        eng.post(Dur::ZERO, mgr, dir_update(1, vec![10, 11], vec![]));
+        eng.post(Dur::micros(1), mgr, dir_update(2, vec![10], vec![]));
+        eng.post(Dur::micros(2), mgr, dir_update(1, vec![], vec![11]));
+        // Query from node 3: block 10 has sharers {1,2}, 11 was removed,
+        // 12 was never registered.
+        eng.post(Dur::micros(3), mgr, dir_query(3, 7, vec![10, 11, 12]));
+        eng.run();
+        let m = eng.actor_as::<Mgr>(mgr).unwrap();
+        assert_eq!(m.stats().dir_updates, 3);
+        assert_eq!(m.stats().dir_queries, 1);
+        assert_eq!(m.stats().dir_located, 1);
+        assert_eq!(m.stats().dir_unknown, 2);
+        assert_eq!(m.directory_sharers(Fid(1), 10), &[NodeId(1), NodeId(2)]);
+        assert_eq!(m.directory_entries(), 1);
+        // The capture actor received the reply destined for node 3.
+        let cap = eng.actor_as::<Capture>(cap).unwrap();
+        assert_eq!(cap.dir_replies.len(), 1);
+        let r = &cap.dir_replies[0];
+        assert_eq!(r.req_id, 7);
+        assert_eq!(r.locations, vec![(10, NodeId(1))]);
+    }
+
+    #[test]
+    fn query_never_points_the_requester_at_itself() {
+        let (mut eng, mgr, cap) = setup();
+        eng.post(Dur::ZERO, mgr, dir_update(1, vec![10], vec![]));
+        eng.post(Dur::micros(1), mgr, dir_update(2, vec![10], vec![]));
+        // Node 1 asks about a block it itself registered: the answer must
+        // be the other sharer.
+        eng.post(Dur::micros(2), mgr, dir_query(1, 1, vec![10]));
+        eng.run();
+        let cap = eng.actor_as::<Capture>(cap).unwrap();
+        assert_eq!(cap.dir_replies[0].locations, vec![(10, NodeId(2))]);
     }
 
     #[test]

@@ -292,6 +292,94 @@ impl InvalidateAck {
 }
 
 // ---------------------------------------------------------------------------
+// Cooperative-caching conversation (cache modules <-> mgr, module <-> module)
+// ---------------------------------------------------------------------------
+
+/// Residency delta pushed by a node's cache module to the mgr's block
+/// location directory: `added` blocks are now resident on `node`, `removed`
+/// blocks are not. Fire-and-forget (no ack): the directory is advisory and
+/// a lost update only costs a misdirected peer fetch that falls through to
+/// disk.
+#[derive(Debug, Clone)]
+pub struct BlockDirUpdate {
+    pub fid: Fid,
+    pub node: NodeId,
+    pub added: Vec<u64>,
+    pub removed: Vec<u64>,
+}
+
+impl BlockDirUpdate {
+    pub fn wire_bytes(&self) -> u32 {
+        MSG_HEADER_BYTES + (self.added.len() + self.removed.len()) as u32 * 8
+    }
+}
+
+/// Ask the mgr which peer (if any) caches each of the listed blocks.
+#[derive(Debug, Clone)]
+pub struct BlockDirQuery {
+    pub req_id: u64,
+    pub fid: Fid,
+    pub blocks: Vec<u64>,
+    pub reply_to: (NodeId, Port),
+}
+
+impl BlockDirQuery {
+    pub fn wire_bytes(&self) -> u32 {
+        MSG_HEADER_BYTES + self.blocks.len() as u32 * 8
+    }
+}
+
+/// The mgr's answer: per queried block, a peer node believed to cache it
+/// (the requester itself is never named). Blocks with no known sharer are
+/// omitted — the module fetches those from the iods.
+#[derive(Debug, Clone)]
+pub struct BlockDirReply {
+    pub req_id: u64,
+    pub fid: Fid,
+    pub locations: Vec<(u64, NodeId)>,
+}
+
+impl BlockDirReply {
+    pub fn wire_bytes(&self) -> u32 {
+        MSG_HEADER_BYTES + self.locations.len() as u32 * 10
+    }
+}
+
+/// Fetch whole cached blocks from a peer node's cache module.
+#[derive(Debug, Clone)]
+pub struct PeerReadReq {
+    pub req_id: u64,
+    pub fid: Fid,
+    pub blocks: Vec<u64>,
+    pub reply_to: (NodeId, Port),
+}
+
+impl PeerReadReq {
+    pub fn wire_bytes(&self) -> u32 {
+        MSG_HEADER_BYTES + self.blocks.len() as u32 * 8
+    }
+}
+
+/// The peer's answer: full 4 KB images for the blocks it still caches,
+/// and the list it no longer holds (the requester falls back to the iods
+/// for those — a stale directory entry costs latency, never correctness).
+#[derive(Debug, Clone)]
+pub struct PeerReadReply {
+    pub req_id: u64,
+    pub fid: Fid,
+    pub hits: Vec<(u64, Bytes)>,
+    pub misses: Vec<u64>,
+}
+
+impl PeerReadReply {
+    pub fn wire_bytes(&self) -> u32 {
+        MSG_HEADER_BYTES
+            + self.hits.iter().map(|(_, d)| 12 + d.len() as u32).sum::<u32>()
+            + self.misses.len() as u32 * 8
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Deterministic file content
 // ---------------------------------------------------------------------------
 
@@ -379,5 +467,35 @@ mod tests {
             reply_to: (NodeId(1), Port(7000)),
         };
         assert_eq!(inv.wire_bytes(), 64 + 24);
+    }
+
+    #[test]
+    fn cooperative_wire_sizes_scale_with_content() {
+        let up =
+            BlockDirUpdate { fid: Fid(1), node: NodeId(2), added: vec![1, 2], removed: vec![3] };
+        assert_eq!(up.wire_bytes(), 64 + 24);
+        let q = BlockDirQuery {
+            req_id: 1,
+            fid: Fid(1),
+            blocks: vec![1, 2, 3, 4],
+            reply_to: (NodeId(0), Port(7100)),
+        };
+        assert_eq!(q.wire_bytes(), 64 + 32);
+        let r = BlockDirReply { req_id: 1, fid: Fid(1), locations: vec![(1, NodeId(3))] };
+        assert_eq!(r.wire_bytes(), 64 + 10);
+        let pr = PeerReadReq {
+            req_id: 1,
+            fid: Fid(1),
+            blocks: vec![5],
+            reply_to: (NodeId(0), Port(7100)),
+        };
+        assert_eq!(pr.wire_bytes(), 64 + 8);
+        let rep = PeerReadReply {
+            req_id: 1,
+            fid: Fid(1),
+            hits: vec![(5, Bytes::from(vec![0u8; 4096]))],
+            misses: vec![6, 7],
+        };
+        assert_eq!(rep.wire_bytes(), 64 + 12 + 4096 + 16);
     }
 }

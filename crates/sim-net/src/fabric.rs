@@ -11,7 +11,7 @@
 //! what a TCP receive buffer gives user code) once their last frame arrives.
 
 use crate::config::{FabricKind, NetConfig};
-use crate::message::{Deliver, NetMessage, Xmit};
+use crate::message::{Deliver, NetMessage, TrafficClass, Xmit};
 use sim_core::{Actor, ActorId, Ctx, Dur, FifoResource, Msg, SimTime};
 use std::any::Any;
 use std::collections::VecDeque;
@@ -25,6 +25,10 @@ pub struct FabricStats {
     pub frames: u64,
     pub payload_bytes: u64,
     pub wire_bytes: u64,
+    /// Cooperative-caching traffic ([`TrafficClass::Peer`]): directory
+    /// messages and peer-to-peer block transfers, on either fabric model.
+    pub peer_messages: u64,
+    pub peer_payload_bytes: u64,
 }
 
 struct Outbound {
@@ -145,6 +149,10 @@ impl Actor for Fabric {
                 let m = x.0;
                 self.stats.messages += 1;
                 self.stats.payload_bytes += m.wire_bytes as u64;
+                if m.class == TrafficClass::Peer {
+                    self.stats.peer_messages += 1;
+                    self.stats.peer_payload_bytes += m.wire_bytes as u64;
+                }
                 if m.src == m.dst {
                     // Node-local traffic short-circuits the wire entirely.
                     self.stats.loopback_messages += 1;
@@ -343,6 +351,24 @@ mod tests {
         assert_eq!(f.stats().payload_bytes, 3000);
         assert_eq!(f.stats().frames, 3 + 1, "3 frames for 3000B, 1 for control");
         assert!(f.medium_utilization(eng.now()) > 0.0);
+    }
+
+    #[test]
+    fn peer_class_counted_on_both_fabrics_and_loopback() {
+        for cfg in [NetConfig::hub_100mbps(), NetConfig::switch_100mbps()] {
+            let (mut eng, fabric, _sinks) = build(cfg, 3);
+            eng.post(Dur::ZERO, fabric, Xmit(msg(0, 1, 5000, 1).with_class(TrafficClass::Peer)));
+            eng.post(Dur::ZERO, fabric, Xmit(msg(1, 2, 7000, 2)));
+            // Peer loopback (module talking to a same-node service) still
+            // counts as peer traffic.
+            eng.post(Dur::ZERO, fabric, Xmit(msg(2, 2, 100, 3).with_class(TrafficClass::Peer)));
+            eng.run();
+            let f = eng.actor_as::<Fabric>(fabric).unwrap();
+            assert_eq!(f.stats().messages, 3);
+            assert_eq!(f.stats().peer_messages, 2);
+            assert_eq!(f.stats().peer_payload_bytes, 5100);
+            assert_eq!(f.stats().payload_bytes, 12100);
+        }
     }
 
     #[test]

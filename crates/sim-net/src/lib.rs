@@ -21,4 +21,4 @@ pub mod message;
 pub use config::{FabricKind, NetConfig};
 pub use dispatch::NodeNet;
 pub use fabric::{uncontended_latency, Fabric, FabricStats};
-pub use message::{Deliver, MessageMeta, NetMessage, NodeId, Port, Xmit};
+pub use message::{Deliver, MessageMeta, NetMessage, NodeId, Port, TrafficClass, Xmit};

@@ -38,6 +38,18 @@ impl fmt::Debug for Port {
     }
 }
 
+/// Accounting class of a message: the fabric keeps separate counters for
+/// cooperative-caching peer traffic so experiments can report how many
+/// bytes the remote-hit tier moved over each fabric model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrafficClass {
+    #[default]
+    Default,
+    /// Cooperative-caching traffic: directory updates/queries and
+    /// peer-to-peer block transfers.
+    Peer,
+}
+
 /// A message in flight between two node/port endpoints.
 ///
 /// `wire_bytes` is the protocol-level size (headers + data) used for timing;
@@ -50,6 +62,7 @@ pub struct NetMessage {
     pub wire_bytes: u32,
     /// Monotone per-sender tag, for tracing and test assertions.
     pub tag: u64,
+    pub class: TrafficClass,
     pub payload: Box<dyn Any>,
 }
 
@@ -68,18 +81,25 @@ impl NetMessage {
             dst_port: dst.1,
             wire_bytes,
             tag,
+            class: TrafficClass::Default,
             payload: Box::new(payload),
         }
+    }
+
+    /// Tag the message with an accounting class (builder style).
+    pub fn with_class(mut self, class: TrafficClass) -> NetMessage {
+        self.class = class;
+        self
     }
 
     /// Downcast the payload, preserving the message on mismatch.
     pub fn cast<T: Any>(self) -> Result<(MessageMeta, Box<T>), NetMessage> {
         let meta = self.meta();
-        let NetMessage { src, src_port, dst, dst_port, wire_bytes, tag, payload } = self;
+        let NetMessage { src, src_port, dst, dst_port, wire_bytes, tag, class, payload } = self;
         match payload.downcast::<T>() {
             Ok(p) => Ok((meta, p)),
             Err(payload) => {
-                Err(NetMessage { src, src_port, dst, dst_port, wire_bytes, tag, payload })
+                Err(NetMessage { src, src_port, dst, dst_port, wire_bytes, tag, class, payload })
             }
         }
     }

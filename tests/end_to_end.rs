@@ -2,7 +2,7 @@
 //! libpvfs → cache module → fabric → iod → page cache → disk, and back.
 
 use cluster_harness::{run_experiment, ClusterSpec};
-use kcache::CacheConfig;
+use kcache::{CacheConfig, CooperativeConfig, DirectoryMode};
 use sim_core::Dur;
 use sim_net::NodeId;
 use workload::{AppSpec, Mode};
@@ -217,6 +217,41 @@ fn tiny_and_unaligned_request_sizes() {
         assert!(r.completed, "d={d} stalled");
         assert_eq!(r.total_verify_failures(), 0, "d={d} corrupted data");
     }
+}
+
+#[test]
+fn stale_hints_degrade_to_disk_never_wrong_data() {
+    // Hint-mode directory over a deliberately tiny, churning cache: the
+    // directory only ever *grows* (hint mode publishes no evictions), so
+    // most of what it believes is long gone. Misdirected peer fetches
+    // must fall through to disk — degraded performance is acceptable,
+    // wrong data never is. The two instances stripe the shared file
+    // across the client nodes in opposite orders so partition `k` is
+    // cached on two different nodes and the peer tier sees real traffic.
+    let mut spec = ClusterSpec::paper(Some(CacheConfig {
+        capacity_blocks: 64,
+        low_watermark: 6,
+        high_watermark: 16,
+        cooperative: Some(CooperativeConfig {
+            directory: DirectoryMode::Hint,
+            singleton_preserving: true,
+        }),
+        ..CacheConfig::paper()
+    }));
+    spec.seed = 7;
+    let apps = vec![
+        app("a", &[0, 1, 2, 3], 1 << 20, 64 << 10, Mode::Read, 0.2, 1.0),
+        app("b", &[3, 2, 1, 0], 1 << 20, 64 << 10, Mode::Read, 0.2, 1.0),
+    ];
+    let r = run_experiment(&spec, &apps);
+    assert!(r.completed, "hint-mode run stalled");
+    assert_eq!(r.total_verify_failures(), 0, "stale hints must never corrupt data");
+    let m = r.module.as_ref().unwrap();
+    assert!(m.dir_queries > 0, "cooperative tier never engaged");
+    assert!(m.remote_stale_blocks > 0, "a churning hint directory must misdirect some fetches");
+    assert!(m.disk_fetch_blocks > 0, "misdirected fetches must land on disk");
+    // Hint mode publishes additions only — nothing was ever retracted.
+    assert!(m.dir_updates > 0);
 }
 
 #[test]

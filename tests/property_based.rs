@@ -2,8 +2,7 @@
 //! cross-crate invariants.
 
 use kcache::{
-    blocks_of_range, span_in_block, AppId, BlockKey, BufferManager, EvictPolicy, PartitionConfig,
-    Span,
+    blocks_of_range, span_in_block, AppId, BlockKey, BufferManager, PartitionConfig, Span,
 };
 use proptest::prelude::*;
 use pvfs::{split_ranges, tiles_exactly, ByteRange, Fid, StripeSpec};
@@ -51,7 +50,7 @@ proptest! {
     /// and resident keys are unique.
     #[test]
     fn buffer_manager_conserves_frames(ops in proptest::collection::vec((0u8..5, 0u64..64), 1..300)) {
-        let m = BufferManager::new(16, EvictPolicy::default());
+        let m = BufferManager::builder(16).build();
         let buf = vec![7u8; 4096];
         let mut out = vec![0u8; 4096];
         let mut inflight: Vec<kcache::FlushItem> = Vec::new();
@@ -88,13 +87,10 @@ proptest! {
     ) {
         const CAP: usize = 16;
         let quotas = [(0u32, 5usize), (1, 7)];
-        let m = BufferManager::with_config(
-            CAP,
-            EvictPolicy::default(),
-            0,
-            CAP,
-            PartitionConfig::strict(quotas),
-        );
+        let m = BufferManager::builder(CAP)
+            .watermarks(0, CAP)
+            .partitioning(PartitionConfig::strict(quotas))
+            .build();
         let buf = vec![3u8; 4096];
         let mut out = vec![0u8; 4096];
         let mut inflight: Vec<kcache::FlushItem> = Vec::new();
@@ -127,13 +123,78 @@ proptest! {
         }
     }
 
+    /// Cooperative directory coherence: three node-local caches process a
+    /// random operation interleaving while a model directory is fed
+    /// exactly what the cache modules publish — installs as additions and
+    /// `take_evicted()` (evictions *and* invalidations) as removals.
+    /// After every step the directory's per-node view must equal that
+    /// node's actual resident set: the delta protocol loses nothing,
+    /// regardless of interleaving.
+    #[test]
+    fn directory_view_tracks_resident_union(
+        ops in proptest::collection::vec((0u8..6, 0usize..3, 0u64..48), 1..250),
+    ) {
+        use std::collections::{HashMap, HashSet};
+        let nodes: Vec<BufferManager> = (0..3)
+            .map(|_| {
+                BufferManager::builder(8)
+                    .watermarks(0, 8)
+                    .cooperative(Some(kcache::CooperativeConfig::default()))
+                    .build()
+            })
+            .collect();
+        // blk -> set of nodes the directory believes cache it.
+        let mut dir: HashMap<u64, HashSet<usize>> = HashMap::new();
+        let buf = vec![3u8; 4096];
+        let mut out = vec![0u8; 4096];
+        let mut inflight: Vec<Vec<kcache::FlushItem>> = vec![Vec::new(); 3];
+        for (op, node, blk) in ops {
+            let m = &nodes[node];
+            let key = BlockKey::new(Fid(1), blk);
+            let installing = matches!(op, 1..=3);
+            match op {
+                0 => { let _ = m.try_read(key, Span::FULL, &mut out); }
+                1 | 2 => { let _ = m.insert_clean(key, NodeId(0), Span::FULL, &buf); }
+                3 => { let _ = m.write(key, NodeId(0), Span::FULL, &buf); }
+                4 => { inflight[node].extend(m.take_dirty(4)); }
+                _ => {
+                    for it in inflight[node].drain(..) {
+                        m.flush_complete(it.key, it.span);
+                    }
+                    let _ = m.invalidate([key]);
+                }
+            }
+            // Publish the node's delta the way a cache module would.
+            for k in m.take_evicted() {
+                dir.entry(k.blk).or_default().remove(&node);
+            }
+            if installing && m.contains(key) {
+                dir.entry(blk).or_default().insert(node);
+            }
+            // The directory's view of every node matches reality.
+            for (n, mgr) in nodes.iter().enumerate() {
+                let believed: std::collections::BTreeSet<u64> = dir
+                    .iter()
+                    .filter(|(_, who)| who.contains(&n))
+                    .map(|(b, _)| *b)
+                    .collect();
+                let actual: std::collections::BTreeSet<u64> =
+                    mgr.resident_keys().into_iter().map(|k| k.blk).collect();
+                prop_assert_eq!(
+                    believed, actual,
+                    "directory diverged from node {}'s residency", n
+                );
+            }
+        }
+    }
+
     /// Reads through the buffer manager always return the bytes most
     /// recently written for the covered span.
     #[test]
     fn buffer_manager_read_your_writes(
         writes in proptest::collection::vec((0u64..8, 0u32..5), 1..40),
     ) {
-        let m = BufferManager::new(32, EvictPolicy::default());
+        let m = BufferManager::builder(32).build();
         // Model: per block, the last written fill value.
         let mut model: std::collections::HashMap<u64, u8> = Default::default();
         for (i, (blk, _)) in writes.iter().enumerate() {
