@@ -261,6 +261,8 @@ impl AdaptivePolicy {
                         from: loser,
                         to: winner,
                         frames: step,
+                        from_refaults: refaults(loser),
+                        to_refaults: refaults(winner),
                     });
                 }
             }

@@ -1,7 +1,8 @@
 //! Run a custom experiment described by a JSON config.
 //!
 //! ```text
-//! cargo run --release -p cluster-harness --bin experiment -- config.json
+//! cargo run --release -p cluster-harness --bin experiment -- config.json \
+//!     [--trace-out trace.json] [--metrics-out metrics.json]
 //! ```
 //!
 //! The config shape (all cluster fields optional, partitioning included)
@@ -11,18 +12,40 @@
 //! selects per-app frame quotas: `shared` (default), `strict`, or `soft`,
 //! with per-app `quota_blocks`. All new fields default so pre-existing
 //! configs parse unchanged.
+//!
+//! `--trace-out` writes the run's Chrome-trace JSON (open it in
+//! `chrome://tracing` or Perfetto); `--metrics-out` writes the metric
+//! snapshot plus per-epoch deltas. Either flag forces the `telemetry`
+//! section of the config on.
 
 use cluster_harness::config::ExperimentConfig;
-use cluster_harness::{run_experiment, CacheEfficiency};
+use cluster_harness::{run_experiment, CacheEfficiency, TelemetryReport};
+
+fn usage() -> ! {
+    eprintln!("usage: experiment <config.json> [--trace-out FILE] [--metrics-out FILE]");
+    std::process::exit(2);
+}
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: experiment <config.json>");
-        std::process::exit(2);
-    });
+    let mut config_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => metrics_out = Some(args.next().unwrap_or_else(|| usage())),
+            _ if config_path.is_none() => config_path = Some(a),
+            _ => usage(),
+        }
+    }
+    let Some(path) = config_path else { usage() };
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let cfg =
+    let mut cfg =
         ExperimentConfig::from_json(&text).unwrap_or_else(|e| panic!("bad config {path}: {e}"));
+    if trace_out.is_some() || metrics_out.is_some() {
+        cfg.cluster.telemetry.enabled = true;
+    }
     let (spec, apps) = cfg.to_spec().unwrap_or_else(|e| panic!("bad config {path}: {e}"));
 
     let r = run_experiment(&spec, &apps);
@@ -41,6 +64,13 @@ fn main() {
             serde_json::to_string_pretty(&eff).expect("serialize cache efficiency")
         );
     }
+    if let Some(hub) = &r.obs {
+        println!(
+            "  \"telemetry\": {},",
+            serde_json::to_string_pretty(&TelemetryReport::from_hub(hub))
+                .expect("serialize telemetry")
+        );
+    }
     println!("  \"network_payload_bytes\": {},", r.fabric.payload_bytes);
     println!("  \"medium_utilization\": {:.4},", r.medium_utilization);
     println!(
@@ -48,4 +78,17 @@ fn main() {
         serde_json::to_string_pretty(&r.instances).expect("serialize instances")
     );
     println!("}}");
+
+    // File exports happen after the summary: metrics first (snapshot +
+    // epoch deltas, non-destructive), then the trace (drains the ring).
+    if let Some(hub) = &r.obs {
+        if let Some(p) = &metrics_out {
+            std::fs::write(p, hub.metrics_json())
+                .unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
+        }
+        if let Some(p) = &trace_out {
+            std::fs::write(p, hub.chrome_trace_json())
+                .unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
+        }
+    }
 }

@@ -12,6 +12,13 @@ use sim_disk::{DiskGeometry, DiskSched};
 use sim_net::{Fabric, NetConfig, NodeId, NodeNet, Port};
 use workload::{partition_of, AppProcess, AppSpec, Coordinator, Kickoff, ProcPlan};
 
+/// How many directory-update generations a hint-mode sharer entry stays
+/// believable before the mgr ages it out. Sized to a few times the
+/// paper-configuration cache (300 blocks/node × 6 nodes): long enough
+/// that live residents are always re-confirmed by ongoing fill traffic,
+/// short enough that the directory tracks cache capacity, not history.
+const HINT_DIR_MAX_AGE: u64 = 8_192;
+
 /// Whole-cluster configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterSpec {
@@ -152,6 +159,15 @@ pub fn build(spec: &ClusterSpec, apps: &[AppSpec]) -> Cluster {
         apps.iter().flat_map(|a| a.nodes.iter().map(|n| n.0)).collect();
     let mut modules: Vec<Option<ActorId>> = vec![None; n];
     if let Some(cache_cfg) = &spec.cache {
+        // A hint-mode directory receives no eviction removals; arm the
+        // mgr's generation aging so it cannot accrete every block ever
+        // cached. One generation == one directory update, so the window
+        // scales with directory traffic, not wall time.
+        if cache_cfg.cooperative.as_ref().map(|c| c.directory) == Some(kcache::DirectoryMode::Hint)
+        {
+            let mgr = eng.actor_as_mut::<Mgr>(mgr_id).expect("mgr downcast");
+            mgr.set_hint_aging(HINT_DIR_MAX_AGE);
+        }
         for &node in &client_nodes {
             let mut module = CacheModule::new(
                 NodeId(node),

@@ -70,6 +70,21 @@ pub struct ClusterCfg {
     /// Cooperative cluster-wide caching (the remote-hit tier). Defaulted
     /// off: pre-cooperative configs parse unchanged.
     pub cooperative: CooperativeCfg,
+    /// Observability (the `kcache-obs` hub: metrics + trace ring).
+    /// Defaulted off: pre-telemetry configs parse unchanged, and the
+    /// cache hot paths keep their one never-taken branch.
+    pub telemetry: TelemetryCfg,
+}
+
+/// The `telemetry` section of the cluster config. The derived default
+/// is the off state: disabled, library-default trace capacity.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct TelemetryCfg {
+    /// Wire one shared [`kcache::ObsHub`] through every cache module.
+    pub enabled: bool,
+    /// Trace-ring capacity in slots (0 picks the library default).
+    pub trace_capacity: usize,
 }
 
 /// The `cooperative` section of the cluster config.
@@ -146,6 +161,7 @@ impl Default for ClusterCfg {
             partitioning: "shared".into(),
             adaptive: AdaptiveCfg::default(),
             cooperative: CooperativeCfg::default(),
+            telemetry: TelemetryCfg::default(),
         }
     }
 }
@@ -281,6 +297,14 @@ impl ExperimentConfig {
         };
         let partitioning = self.partitioning()?;
         let blocks = self.cluster.cache_blocks;
+        // One hub for the whole cluster: every module's manager and the
+        // harness share the registry, the trace ring, and the sim clock.
+        let obs = self.cluster.telemetry.enabled.then(|| {
+            kcache::ObsHub::new(match self.cluster.telemetry.trace_capacity {
+                0 => kcache::obs::DEFAULT_TRACE_CAPACITY,
+                n => n,
+            })
+        });
         let mut spec = ClusterSpec::paper(self.cluster.caching.then(|| CacheConfig {
             capacity_blocks: blocks,
             low_watermark: (blocks / 10).max(1),
@@ -290,6 +314,7 @@ impl ExperimentConfig {
             adaptive: adaptive.clone(),
             epoch_accesses,
             cooperative,
+            obs,
             ..CacheConfig::paper()
         }));
         spec.n_nodes = self.cluster.nodes;
@@ -505,6 +530,32 @@ mod tests {
         .unwrap();
         assert!(bad.cooperative().is_err());
         assert!(bad.to_spec().is_err());
+    }
+
+    #[test]
+    fn telemetry_config_defaults_off_and_lowers_to_a_hub() {
+        // Pre-telemetry configs parse unchanged and carry no hub.
+        let old = ExperimentConfig::from_json(
+            r#"{ "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
+                             "request_kb": 64, "mode": "read" } ] }"#,
+        )
+        .unwrap();
+        assert!(!old.cluster.telemetry.enabled);
+        assert!(old.to_spec().unwrap().0.cache.unwrap().obs.is_none());
+
+        let cfg = ExperimentConfig::from_json(
+            r#"{ "cluster": { "telemetry": { "enabled": true, "trace_capacity": 128 } },
+                 "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
+                             "request_kb": 64, "mode": "read" } ] }"#,
+        )
+        .unwrap();
+        let (spec, _) = cfg.to_spec().unwrap();
+        let hub = spec.cache.unwrap().obs.expect("telemetry lowers to an obs hub");
+        assert_eq!(hub.trace_dropped(), 0);
+
+        // serialize → parse is the identity.
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        assert_eq!(ExperimentConfig::from_json(&json).unwrap(), cfg);
     }
 
     #[test]

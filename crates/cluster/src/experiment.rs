@@ -1,8 +1,8 @@
 //! Experiment execution and result extraction.
 
 use crate::builder::{build, Cluster, ClusterSpec};
-use kcache::{AdaptiveStats, CacheModule, CacheStats, ModuleStats, PolicyStats};
-use pvfs::{Iod, IodStats};
+use kcache::{AdaptiveStats, CacheModule, CacheStats, ModuleStats, ObsHub, PolicyStats};
+use pvfs::{Iod, IodStats, Mgr};
 use serde::Serialize;
 use sim_core::{Dur, SimTime, StopReason};
 use sim_net::{Fabric, FabricStats};
@@ -86,6 +86,11 @@ pub struct ExperimentResult {
     pub events: u64,
     pub sim_end: SimTime,
     pub completed: bool,
+    /// The cluster's observability hub (telemetry-enabled caching runs
+    /// only): metrics snapshot, epoch deltas, and the trace ring, ready
+    /// for the caller to export. Shared with the spec's `CacheConfig` —
+    /// reusing one spec across runs accumulates into the same hub.
+    pub obs: Option<std::sync::Arc<ObsHub>>,
 }
 
 impl ExperimentResult {
@@ -226,6 +231,9 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     let mut cluster_residency: BTreeMap<kcache::BlockKey, u64> = BTreeMap::new();
     for m in cluster.modules.iter().flatten() {
         let module = cluster.engine.actor_as::<CacheModule>(*m).expect("module downcast");
+        // Bring the hub's deferred hit/miss mirrors up to date before any
+        // export reads them (no-op without telemetry).
+        module.cache().obs_flush();
         let cs = module.cache().stats();
         let ps = module.cache().policy_stats();
         let ms = module.stats().clone();
@@ -323,6 +331,16 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     let fabric_stats: FabricStats = fabric.stats().clone();
     let medium_utilization = fabric.medium_utilization(cluster.engine.now());
 
+    // End-of-run telemetry: the block location directory's size and
+    // staleness shedding become gauges on the shared hub (satellite of
+    // the hint-aging work — growth is now observable, not just bounded).
+    let obs = spec.cache.as_ref().and_then(|c| c.obs.clone());
+    if let Some(hub) = &obs {
+        let mgr = cluster.engine.actor_as::<Mgr>(cluster.mgr).expect("mgr downcast");
+        hub.registry().gauge("dir.entries").set(mgr.directory_entries() as u64);
+        hub.registry().gauge("dir.stale_dropped").set(mgr.stats().dir_stale_dropped);
+    }
+
     ExperimentResult {
         instances,
         cache: cache_total,
@@ -348,5 +366,6 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
         events: report.events,
         sim_end: report.end_time,
         completed,
+        obs,
     }
 }

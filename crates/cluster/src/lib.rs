@@ -27,5 +27,6 @@ pub use experiment::{run_experiment, AppCacheUsage, ExperimentResult, InstanceRe
 pub use figures::{all_figures, fig4, fig5, fig6, fig7, fig8, Grid};
 pub use report::{
     write_outputs, AppEfficiency, CacheEfficiency, CooperativeReport, FigRow, FigureData,
+    TelemetryReport,
 };
 pub use sweep::parallel_map;

@@ -55,13 +55,18 @@ pub struct SwitchReport {
     pub to_rate: f64,
 }
 
-/// One quota transfer in the JSON summary.
+/// One quota transfer in the JSON summary, with the marginal-utility
+/// evidence (per-epoch ghost refault counts) the tuner acted on.
 #[derive(Debug, Clone, Serialize)]
 pub struct QuotaMoveReport {
     pub epoch: u64,
     pub from_app: u32,
     pub to_app: u32,
     pub frames: u64,
+    /// The loser's epoch refault count (frames hurt it least).
+    pub from_refaults: u64,
+    /// The winner's epoch refault count (frames help it most).
+    pub to_refaults: u64,
 }
 
 /// The adaptive meta-policy's slice of [`CacheEfficiency`]: epoch and
@@ -112,6 +117,8 @@ impl AdaptiveReport {
                     from_app: r.from.0,
                     to_app: r.to.0,
                     frames: r.frames as u64,
+                    from_refaults: r.from_refaults,
+                    to_refaults: r.to_refaults,
                 })
                 .collect(),
         }
@@ -176,6 +183,54 @@ impl CooperativeReport {
             distinct_resident_blocks: r.distinct_resident_blocks,
             resident_block_copies: r.resident_block_copies,
         })
+    }
+}
+
+/// One histogram's digest in the telemetry summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramReport {
+    pub count: u64,
+    pub sum: u64,
+    pub mean: f64,
+}
+
+/// The `telemetry` section of experiment JSON output: the obs hub's
+/// cumulative counters/gauges, histogram digests, and the trace/epoch
+/// bookkeeping. Full per-epoch deltas and the raw trace stay behind
+/// `--metrics-out`/`--trace-out` — this section is the glanceable slice.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetryReport {
+    /// Trace events dropped on ring overflow (0 = the ring kept up).
+    pub trace_dropped: u64,
+    /// Epoch windows logged / discarded to the delta-log cap.
+    pub epochs_logged: u64,
+    pub epochs_discarded: u64,
+    pub counters: std::collections::BTreeMap<String, u64>,
+    pub gauges: std::collections::BTreeMap<String, u64>,
+    pub histograms: std::collections::BTreeMap<String, HistogramReport>,
+}
+
+impl TelemetryReport {
+    /// Digest a hub's cumulative state (non-destructive: the trace ring
+    /// is left intact for a later `--trace-out` export).
+    pub fn from_hub(hub: &kcache::ObsHub) -> TelemetryReport {
+        let snap = hub.snapshot();
+        let (epochs, discarded) = hub.epoch_counts();
+        TelemetryReport {
+            trace_dropped: hub.trace_dropped(),
+            epochs_logged: epochs as u64,
+            epochs_discarded: discarded,
+            counters: snap.counters,
+            gauges: snap.gauges,
+            histograms: snap
+                .histograms
+                .into_iter()
+                .map(|(n, h)| {
+                    let mean = if h.count > 0 { h.sum as f64 / h.count as f64 } else { 0.0 };
+                    (n, HistogramReport { count: h.count, sum: h.sum, mean })
+                })
+                .collect(),
+        }
     }
 }
 

@@ -227,6 +227,13 @@ pub struct CacheConfig {
     /// `singleton_preserving`) cluster-aware eviction. `None` (the
     /// default, the paper's behavior) keeps caches node-local.
     pub cooperative: Option<CooperativeConfig>,
+    /// `Some` wires the `kcache-obs` observability hub through the
+    /// module and its buffer manager: lock-free metric counters on the
+    /// hit path, structured trace events (miss fills, eviction scans,
+    /// peer fetches, epoch ticks, controller decisions), epoch-aligned
+    /// metric snapshots. One hub is shared cluster-wide (`Arc`); `None`
+    /// (the default) keeps every hot path at one never-taken branch.
+    pub obs: Option<std::sync::Arc<kcache_obs::ObsHub>>,
 }
 
 impl CacheConfig {
@@ -245,6 +252,7 @@ impl CacheConfig {
             flush_batch: 64,
             write_behind: true,
             cooperative: None,
+            obs: None,
         }
     }
 

@@ -62,6 +62,7 @@ use crate::block::{BlockKey, Span, CACHE_BLOCK_SIZE};
 use crate::config::{CooperativeConfig, PartitionConfig, PartitionMode};
 use crate::ring::EventRing;
 use kcache_adaptive::{AdaptiveConfig, AdaptivePolicy};
+use kcache_obs::{Counter, EventId, Histogram, ObsHub};
 use kcache_policy::{
     AccessEvent, AdaptiveStats, AppId, AppUsage, PolicyKind, PolicyStats, RefWords,
     ReplacementPolicy,
@@ -70,6 +71,7 @@ use parking_lot::Mutex;
 use sim_net::NodeId;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc as StdArc;
 
 /// Replacement configuration (§3.2 design choices, now a policy *choice*
 /// plus the clean-first preference the manager enforces itself).
@@ -245,6 +247,51 @@ enum Admission {
     OverQuota,
 }
 
+/// Pre-resolved observability handles (`kcache-obs`), present only when
+/// an [`ObsHub`] was wired at build time. Handle resolution (name lookup,
+/// event-name interning) happens once, here; hot paths then pay one
+/// never-taken branch when observability is off and **nothing extra**
+/// when it is on: hit/miss metric counters are not incremented per
+/// access (one additional atomic RMW would cost ~10% of the lean hit
+/// path) but folded in from the manager's existing [`AtomicStats`]
+/// ledger at sync points — epoch boundaries, ring drains, and
+/// [`BufferManager::obs_flush`] — the same diff-the-ledger pattern used
+/// for adaptive decisions below. Counters are therefore exact at every
+/// epoch mark and export. Trace events and gauge refreshes live on cold
+/// paths only (eviction scans, ring overflows, epoch boundaries).
+/// Instrumentation is strictly read-only over cache state — a
+/// differential test pins that obs-on and obs-off managers make
+/// byte-for-byte identical decisions.
+struct ManagerObs {
+    hub: StdArc<ObsHub>,
+    /// Trace `pid`: the node this manager serves (0 standalone).
+    node: u32,
+    hits: Counter,
+    misses: Counter,
+    /// High-water marks of `stats.hits`/`stats.misses` already folded
+    /// into the metric counters (CAS-advanced, so concurrent sync points
+    /// never double-count a delta).
+    hits_seen: AtomicU64,
+    misses_seen: AtomicU64,
+    evictions_clean: Counter,
+    evictions_dirty: Counter,
+    /// Times the event ring refused a push (producer-became-drainer —
+    /// each is a lost-recency/convoy window; see [`EventRing`]).
+    ring_overflows: Counter,
+    /// Events applied per non-empty `drain_locked` batch.
+    drain_batch: Histogram,
+    /// Candidates visited per successful eviction scan.
+    scan_visits: Histogram,
+    ev_eviction_scan: EventId,
+    ev_epoch_tick: EventId,
+    ev_ring_overflow: EventId,
+    /// Adaptive switch / quota-move log entries already emitted as trace
+    /// events — the manager diffs the ledger at each epoch boundary
+    /// rather than coupling `kcache-adaptive` to the obs crate.
+    switch_seen: AtomicU64,
+    quota_seen: AtomicU64,
+}
+
 /// The shared, finely-locked block cache.
 pub struct BufferManager {
     capacity: usize,
@@ -318,6 +365,9 @@ pub struct BufferManager {
     /// last cluster-wide copy is not. Advisory: a peer may have evicted
     /// its copy since, which costs one disk fetch, never correctness.
     duplicate_hints: Option<Mutex<std::collections::HashSet<BlockKey>>>,
+    /// Observability handles (`None` keeps every hot path at one
+    /// never-taken branch).
+    obs: Option<ManagerObs>,
     stats: AtomicStats,
 }
 
@@ -348,6 +398,7 @@ pub struct BufferManagerBuilder {
     epoch_accesses: usize,
     eager: bool,
     cooperative: Option<CooperativeConfig>,
+    obs: Option<(StdArc<ObsHub>, u32)>,
 }
 
 impl BufferManagerBuilder {
@@ -362,6 +413,7 @@ impl BufferManagerBuilder {
             epoch_accesses: 0,
             eager: false,
             cooperative: None,
+            obs: None,
         }
     }
 
@@ -417,6 +469,16 @@ impl BufferManagerBuilder {
         self
     }
 
+    /// Wire an [`ObsHub`]: metric handles are resolved and trace-event
+    /// names interned once here, so the hit path pays exactly one
+    /// relaxed atomic add per counted event. `node` labels this
+    /// manager's trace events (the Chrome-trace `pid`). `None` (the
+    /// default) keeps every hot path at one never-taken branch.
+    pub fn obs(mut self, hub: Option<StdArc<ObsHub>>, node: u32) -> Self {
+        self.obs = hub.map(|h| (h, node));
+        self
+    }
+
     pub fn build(self) -> BufferManager {
         let BufferManagerBuilder {
             capacity,
@@ -428,6 +490,7 @@ impl BufferManagerBuilder {
             epoch_accesses,
             eager,
             cooperative,
+            obs,
         } = self;
         assert!(capacity > 0);
         assert!(low_watermark <= high_watermark && high_watermark <= capacity);
@@ -445,6 +508,28 @@ impl BufferManagerBuilder {
         let track_evictions =
             cooperative.is_some_and(|c| c.directory == crate::config::DirectoryMode::Authoritative);
         let singleton = cooperative.is_some_and(|c| c.singleton_preserving);
+        let policy_label = if is_adaptive { "adaptive" } else { policy.kind.name() };
+        let obs = obs.map(|(hub, node)| {
+            let reg = hub.registry();
+            ManagerObs {
+                hits: reg.counter(&format!("cache.hits.{policy_label}")),
+                misses: reg.counter(&format!("cache.misses.{policy_label}")),
+                evictions_clean: reg.counter("cache.evictions_clean"),
+                evictions_dirty: reg.counter("cache.evictions_dirty"),
+                ring_overflows: reg.counter("cache.ring_overflows"),
+                drain_batch: reg.histogram("cache.drain_batch"),
+                scan_visits: reg.histogram("cache.scan_visits"),
+                ev_eviction_scan: hub.intern("eviction_scan", Some("visited"), Some("dirty")),
+                ev_epoch_tick: hub.intern("epoch_tick", Some("epoch"), Some("accesses")),
+                ev_ring_overflow: hub.intern("ring_overflow", Some("overflows"), None),
+                hits_seen: AtomicU64::new(0),
+                misses_seen: AtomicU64::new(0),
+                switch_seen: AtomicU64::new(0),
+                quota_seen: AtomicU64::new(0),
+                hub,
+                node,
+            }
+        });
         BufferManager {
             capacity,
             policy_cfg: policy,
@@ -470,6 +555,7 @@ impl BufferManagerBuilder {
             quota_floor,
             evicted_log: track_evictions.then(|| Mutex::new(Vec::new())),
             duplicate_hints: singleton.then(|| Mutex::new(std::collections::HashSet::new())),
+            obs,
             stats: AtomicStats::default(),
         }
     }
@@ -615,6 +701,16 @@ impl BufferManager {
         }
     }
 
+    /// Times the access-event ring refused a push because it was full —
+    /// the producer-becomes-drainer event. Nothing is lost (the refused
+    /// event is applied inline under the policy lock), but each
+    /// occurrence is a window where the lock-free hit path convoyed on
+    /// the lock; sustained growth means drain points are too sparse for
+    /// the traffic.
+    pub fn event_ring_overflows(&self) -> u64 {
+        self.ring.overflows()
+    }
+
     #[inline]
     fn bucket_of(&self, key: &BlockKey) -> usize {
         (key.hash() as usize) & (self.buckets.len() - 1)
@@ -644,7 +740,52 @@ impl BufferManager {
             }
         }
         if !batch.is_empty() {
+            if let Some(o) = &self.obs {
+                o.drain_batch.record(batch.len() as u64);
+            }
             p.drain(&batch);
+        }
+        if let Some(o) = &self.obs {
+            self.obs_sync_counts(o);
+        }
+    }
+
+    /// Fold any hit/miss ledger growth since the last sync point into
+    /// the hub's metric counters (see [`ManagerObs`]: the hit path never
+    /// touches the metric cells itself). Each high-water mark advances
+    /// by CAS, so a delta is claimed by exactly one caller — concurrent
+    /// sync points may split the growth but never count it twice.
+    fn obs_sync_counts(&self, o: &ManagerObs) {
+        fn claim(seen: &AtomicU64, now: u64) -> u64 {
+            let mut old = seen.load(Ordering::Relaxed);
+            loop {
+                if now <= old {
+                    return 0;
+                }
+                match seen.compare_exchange_weak(old, now, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => return now - old,
+                    Err(v) => old = v,
+                }
+            }
+        }
+        let d = claim(&o.hits_seen, self.stats.hits.load(Ordering::Relaxed));
+        if d > 0 {
+            o.hits.add(d);
+        }
+        let d = claim(&o.misses_seen, self.stats.misses.load(Ordering::Relaxed));
+        if d > 0 {
+            o.misses.add(d);
+        }
+    }
+
+    /// Bring the hub's deferred metric counters (hit/miss mirrors) up to
+    /// date. Call before exporting or asserting on hub metrics outside
+    /// an epoch boundary — epoch marks and ring drains sync implicitly,
+    /// but a pure-hit tail between the last drain and an export would
+    /// otherwise be missing. No-op without a wired hub.
+    pub fn obs_flush(&self) {
+        if let Some(o) = &self.obs {
+            self.obs_sync_counts(o);
         }
     }
 
@@ -680,6 +821,10 @@ impl BufferManager {
             }
         }
         if !self.ring.push(ev) {
+            if let Some(o) = &self.obs {
+                o.ring_overflows.inc();
+                o.hub.instant(o.ev_ring_overflow, o.node, 0, self.ring.overflows(), 0);
+            }
             let mut p = self.policy.lock();
             self.drain_locked(&mut p);
             p.drain(std::slice::from_ref(&ev));
@@ -760,6 +905,69 @@ impl BufferManager {
                 }
             }
         }
+        if let Some(o) = &self.obs {
+            self.obs_epoch_mark(o, n);
+        }
+    }
+
+    /// Epoch-boundary observability (cold path, obs-wired managers only):
+    /// close the hub's metric window, refresh the per-app occupancy and
+    /// ghost-rate gauges, and emit adaptive controller decisions logged
+    /// since the last boundary as trace events — the manager diffs the
+    /// switch/quota-move ledgers here so `kcache-adaptive` itself stays
+    /// free of any obs dependency. Each decision event carries its
+    /// *reason* as args: the deciding ghost hit rates for a policy
+    /// switch, the winning/losing refault counts for a quota move.
+    fn obs_epoch_mark(&self, o: &ManagerObs, access_n: u64) {
+        // Sync the deferred hit/miss mirrors *before* closing the metric
+        // window, so each epoch delta carries exactly its own accesses.
+        self.obs_sync_counts(o);
+        o.hub.mark_epoch();
+        let epoch = access_n / self.epoch_accesses as u64;
+        o.hub.instant(o.ev_epoch_tick, o.node, 0, epoch, access_n);
+        let reg = o.hub.registry();
+        for (app, u) in self.app_usage() {
+            reg.gauge(&format!("app.{}.resident", app.0)).set(u.resident);
+            reg.gauge(&format!("app.{}.hits", app.0)).set(u.hits);
+            reg.gauge(&format!("app.{}.misses", app.0)).set(u.misses);
+            if let Some(q) = self.quota_of(app) {
+                reg.gauge(&format!("app.{}.quota", app.0)).set(q as u64);
+            }
+        }
+        let Some(ast) = self.adaptive_stats() else {
+            return;
+        };
+        for g in &ast.ghost_rates {
+            // Basis points: gauges are integers, rates are 0.0..=1.0.
+            reg.gauge(&format!("ghost.{}.rate_bp", g.kind.name()))
+                .set((g.rate() * 10_000.0) as u64);
+        }
+        let seen = o.switch_seen.load(Ordering::Relaxed) as usize;
+        for rec in ast.switch_log.iter().skip(seen) {
+            let id = o.hub.intern(
+                &format!("policy_switch {}->{}", rec.from.name(), rec.to.name()),
+                Some("from_rate_bp"),
+                Some("to_rate_bp"),
+            );
+            o.hub.instant(
+                id,
+                o.node,
+                0,
+                (rec.from_rate * 10_000.0) as u64,
+                (rec.to_rate * 10_000.0) as u64,
+            );
+        }
+        o.switch_seen.store(ast.switch_log.len() as u64, Ordering::Relaxed);
+        let seen = o.quota_seen.load(Ordering::Relaxed) as usize;
+        for rec in ast.quota_log.iter().skip(seen) {
+            let id = o.hub.intern(
+                &format!("quota_move app{}->app{} x{}", rec.from.0, rec.to.0, rec.frames),
+                Some("from_refaults"),
+                Some("to_refaults"),
+            );
+            o.hub.instant(id, o.node, 0, rec.from_refaults, rec.to_refaults);
+        }
+        o.quota_seen.store(ast.quota_log.len() as u64, Ordering::Relaxed);
     }
 
     /// Recency-only refresh (no hit/miss ledger): sync-write refreshes,
@@ -1145,13 +1353,20 @@ impl BufferManager {
                     p.stats_mut().scans += 1;
                     p.begin_scan();
                 }
+                let mut visited = 0u64;
                 loop {
                     // Leaf lock only while asking; dropped before
                     // bucket/frame.
                     let Some(idx) = self.policy.lock().next_candidate(owner) else {
                         break;
                     };
+                    visited += 1;
                     if let Some(got) = self.try_evict_idx(idx, clean_only, allow_dirty, dup_only) {
+                        if let Some(o) = &self.obs {
+                            o.scan_visits.record(visited);
+                            let dirty = got.1.is_some() as u64;
+                            o.hub.instant(o.ev_eviction_scan, o.node, 0, visited, dirty);
+                        }
                         return Some(got);
                     }
                 }
@@ -1210,6 +1425,9 @@ impl BufferManager {
         }
         let flush = if f.is_dirty() {
             self.stats.evictions_dirty.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &self.obs {
+                o.evictions_dirty.inc();
+            }
             let span = f.dirty;
             Some(FlushItem {
                 key,
@@ -1219,6 +1437,9 @@ impl BufferManager {
             })
         } else {
             self.stats.evictions_clean.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &self.obs {
+                o.evictions_clean.inc();
+            }
             None
         };
         bucket.retain(|(k, _)| *k != key);
@@ -2510,6 +2731,133 @@ mod tests {
                 (drained.quota_of(AppId(0)), drained.quota_of(AppId(1))),
                 "{label}: tuned quotas diverged"
             );
+        }
+    }
+
+    /// The observability differential: wiring an `ObsHub` must change no
+    /// cache decision — identical resident sets after every step,
+    /// identical ledgers and counters at the end — for every static
+    /// policy and for the adaptive meta-policy with tuner and switching
+    /// live. Instrumentation observes; it never participates.
+    #[test]
+    fn obs_wiring_changes_no_cache_decision() {
+        let mut setups: Vec<(EvictPolicy, Option<AdaptiveConfig>)> =
+            PolicyKind::ALL.map(|k| (EvictPolicy::of(k), None)).to_vec();
+        setups.push((
+            EvictPolicy::of(PolicyKind::Clock),
+            Some(AdaptiveConfig {
+                hysteresis: 0.0,
+                quota_step: 1,
+                ..AdaptiveConfig::new([PolicyKind::Clock, PolicyKind::ExactLru, PolicyKind::Lfu])
+            }),
+        ));
+        for (policy, adaptive) in setups {
+            let mk = || {
+                BufferManager::builder(8)
+                    .policy(policy)
+                    .watermarks(0, 2)
+                    .partitioning(crate::config::PartitionConfig::strict([(0, 3), (1, 3)]))
+                    .adaptive(adaptive.clone())
+                    .epoch_accesses(32)
+            };
+            let label = adaptive.as_ref().map_or(policy.kind.name(), |_| "adaptive");
+            let hub = kcache_obs::ObsHub::new(1024);
+            let plain = mk().build();
+            let obsd = mk().obs(Some(hub.clone()), 0).build();
+            let mut buf = vec![0u8; 4096];
+            for step in 0..600u64 {
+                let k = key((step * 7919) % 23);
+                let app = AppId((step % 3) as u32);
+                match step % 7 {
+                    0 | 4 => {
+                        for m in [&plain, &obsd] {
+                            m.insert_clean_by(
+                                k,
+                                NodeId(0),
+                                Span::FULL,
+                                &full_block(step as u8),
+                                app,
+                            );
+                        }
+                    }
+                    1 => {
+                        for m in [&plain, &obsd] {
+                            let _ =
+                                m.write_by(k, NodeId(0), Span::FULL, &full_block(step as u8), app);
+                        }
+                    }
+                    2 | 5 => {
+                        for m in [&plain, &obsd] {
+                            let _ = m.try_read_by(k, Span::FULL, &mut buf, app);
+                        }
+                    }
+                    3 => {
+                        for m in [&plain, &obsd] {
+                            let _ = m.probe_by(k, Span::FULL, app);
+                            let _ = m.update_if_present(k, Span::FULL, &full_block(9));
+                            m.note_access(k, AppId(2));
+                        }
+                    }
+                    _ => {
+                        if step % 35 == 6 {
+                            for m in [&plain, &obsd] {
+                                let _ = m.invalidate([k]);
+                                let _ = m.harvest();
+                            }
+                        } else {
+                            let xs = plain.take_dirty(3);
+                            let ys = obsd.take_dirty(3);
+                            assert_eq!(xs.len(), ys.len(), "{label}: flush divergence");
+                            for it in xs {
+                                plain.flush_complete(it.key, it.span);
+                            }
+                            for it in ys {
+                                obsd.flush_complete(it.key, it.span);
+                            }
+                        }
+                    }
+                }
+                assert_eq!(
+                    plain.resident_keys(),
+                    obsd.resident_keys(),
+                    "{label}: obs wiring changed the resident set at step {step}"
+                );
+            }
+            assert_eq!(plain.policy_stats(), obsd.policy_stats(), "{label}: ledger diverged");
+            assert_eq!(plain.app_usage(), obsd.app_usage(), "{label}: app ledger diverged");
+            let (p, o) = (plain.stats(), obsd.stats());
+            assert_eq!(
+                (p.hits, p.misses, p.evictions_clean, p.evictions_dirty, p.insertions),
+                (o.hits, o.misses, o.evictions_clean, o.evictions_dirty, o.insertions),
+                "{label}: stats diverged"
+            );
+            assert_eq!(plain.adaptive_stats(), obsd.adaptive_stats(), "{label}: adaptive");
+            assert_eq!(
+                (plain.quota_of(AppId(0)), plain.quota_of(AppId(1))),
+                (obsd.quota_of(AppId(0)), obsd.quota_of(AppId(1))),
+                "{label}: tuned quotas diverged"
+            );
+            // And the obs side actually observed the traffic it mirrors.
+            // Hit/miss metric counters are deferred (folded in from the
+            // manager ledger at sync points), so flush before reading —
+            // after which the mirror must be *exact*, not a lower bound.
+            obsd.obs_flush();
+            let snap = hub.snapshot();
+            let s = obsd.stats();
+            let hits: u64 = snap
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("cache.hits."))
+                .map(|(_, v)| v)
+                .sum();
+            assert_eq!(hits, s.hits, "{label}: obs hit mirror diverged from the ledger");
+            let misses: u64 = snap
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("cache.misses."))
+                .map(|(_, v)| v)
+                .sum();
+            assert_eq!(misses, s.misses, "{label}: obs miss mirror diverged from the ledger");
         }
     }
 

@@ -25,6 +25,7 @@ use crate::block::{blocks_of_range, span_in_block, BlockKey, Span, CACHE_BLOCK_S
 use crate::config::CacheConfig;
 use crate::manager::{BufferManager, FlushItem, WriteOutcome};
 use bytes::Bytes;
+use kcache_obs::{Counter, EventId, Histogram, ObsHub};
 use kcache_policy::AppId;
 use pvfs::{
     BlockDirQuery, BlockDirReply, BlockDirUpdate, ByteRange, CostModel, Fid, FlushAck, FlushBlocks,
@@ -127,6 +128,59 @@ struct CoopFetch {
 struct FlushTick;
 struct HarvestNow;
 
+/// Pre-resolved observability handles for the module's fetch tiers and
+/// the cooperative directory protocol. Mirrors the buffer manager's
+/// `ManagerObs`: resolved once at construction, `None` when the config
+/// carries no hub, so the data paths pay one never-taken branch.
+struct ModuleObs {
+    hub: Arc<ObsHub>,
+    /// Trace `pid` lane — one per simulated node.
+    node: u32,
+    /// Directory query outcome, block granularity: the directory named a
+    /// peer / knew no sharer (straight to disk).
+    dir_located: Counter,
+    dir_unlocated: Counter,
+    /// Peer-reported stale hints (re-fetched from the iod).
+    stale_hints: Counter,
+    /// Blocks served out of a peer cache.
+    remote_hits: Counter,
+    /// Block fetch latency per wire tier ([`TrafficClass`]), from fetch
+    /// initiation to byte installation.
+    fetch_ns_default: Histogram,
+    fetch_ns_peer: Histogram,
+    ev_miss_fill: EventId,
+    ev_iod_read: EventId,
+    ev_peer_fetch: EventId,
+    ev_dir_query: EventId,
+}
+
+impl ModuleObs {
+    fn new(hub: Arc<ObsHub>, node: NodeId) -> ModuleObs {
+        let r = hub.registry();
+        ModuleObs {
+            dir_located: r.counter("coop.dir_located_blocks"),
+            dir_unlocated: r.counter("coop.dir_unlocated_blocks"),
+            stale_hints: r.counter("coop.stale_hint_blocks"),
+            remote_hits: r.counter("coop.remote_hit_blocks"),
+            fetch_ns_default: r.histogram("fetch.ns.default"),
+            fetch_ns_peer: r.histogram("fetch.ns.peer"),
+            ev_miss_fill: hub.intern("miss_fill", Some("blocks"), Some("remote")),
+            ev_iod_read: hub.intern("iod_read", Some("blocks"), Some("bytes")),
+            ev_peer_fetch: hub.intern("peer_fetch", Some("blocks"), Some("bytes")),
+            ev_dir_query: hub.intern("dir_query", Some("located"), Some("unlocated")),
+            node: node.0 as u32,
+            hub,
+        }
+    }
+
+    fn hist_for(&self, class: TrafficClass) -> &Histogram {
+        match class {
+            TrafficClass::Peer => &self.fetch_ns_peer,
+            TrafficClass::Default => &self.fetch_ns_default,
+        }
+    }
+}
+
 /// The cache module actor.
 pub struct CacheModule {
     node: NodeId,
@@ -163,6 +217,7 @@ pub struct CacheModule {
     started: bool,
     tag: u64,
     stats: ModuleStats,
+    obs: Option<ModuleObs>,
 }
 
 impl CacheModule {
@@ -181,8 +236,10 @@ impl CacheModule {
                 .adaptive(cfg.adaptive.clone())
                 .epoch_accesses(cfg.epoch_accesses)
                 .cooperative(cfg.cooperative)
+                .obs(cfg.obs.clone(), node.0 as u32)
                 .build(),
         );
+        let obs = cfg.obs.clone().map(|hub| ModuleObs::new(hub, node));
         CacheModule {
             node,
             fabric,
@@ -204,6 +261,7 @@ impl CacheModule {
             started: false,
             tag: 0,
             stats: ModuleStats::default(),
+            obs,
         }
     }
 
@@ -709,6 +767,9 @@ impl CacheModule {
         let mut urgent: Vec<FlushItem> = Vec::new();
         let mut installed: Vec<BlockKey> = Vec::new();
         let mut completed: Vec<(Port, u64, Fid, ByteRange, Vec<u8>)> = Vec::new();
+        // Earliest fetch-initiation time among the blocks this message
+        // resolves — the start of the miss-fill span.
+        let mut fetch_t0: Option<SimTime> = None;
         for blk in blocks_of_range(rd.range.offset, rd.range.len) {
             let key = BlockKey::new(rd.fid, blk);
             let span = span_in_block(blk, rd.range.offset, rd.range.len);
@@ -751,6 +812,11 @@ impl CacheModule {
                     self.stats.disk_fetch_blocks += 1;
                     self.stats.disk_fetch_ns += ns;
                 }
+                if let Some(o) = &self.obs {
+                    let class = if remote { TrafficClass::Peer } else { TrafficClass::Default };
+                    o.hist_for(class).record(ns);
+                }
+                fetch_t0 = Some(fetch_t0.map_or(t0, |p| p.min(t0)));
             }
             let Some(waiters) = self.block_waiters.remove(&key) else {
                 continue;
@@ -787,6 +853,20 @@ impl CacheModule {
                 if pf.waiting.is_empty() {
                     self.pending.remove(&(port, req_id));
                 }
+            }
+        }
+        if let Some(o) = &self.obs {
+            // One fetch-tier span per arriving data message: the wire +
+            // service time from fetch initiation to installation, plus a
+            // miss-fill instant for the cache-population step itself.
+            if let Some(t0) = fetch_t0 {
+                let (id, tier) = if remote { (o.ev_peer_fetch, 1) } else { (o.ev_iod_read, 0) };
+                let dur = now.since(t0).as_nanos();
+                o.hub.span(id, o.node, tier, t0.nanos(), dur, nblocks, rd.range.len as u64);
+            }
+            o.hub.instant(o.ev_miss_fill, o.node, 0, nblocks, remote as u64);
+            if remote {
+                o.remote_hits.add(nblocks);
             }
         }
         self.publish_dir_delta(ctx, t, installed);
@@ -867,6 +947,11 @@ impl CacheModule {
         let n_located = located.len() as u64;
         self.stats.dir_located_blocks += n_located;
         self.stats.dir_unlocated_blocks += n_total - n_located;
+        if let Some(o) = &self.obs {
+            o.dir_located.add(n_located);
+            o.dir_unlocated.add(n_total - n_located);
+            o.hub.instant(o.ev_dir_query, o.node, 0, n_located, n_total - n_located);
+        }
         if per_peer.is_empty() {
             self.finish_coop(ctx, now, reply.req_id);
             return;
@@ -909,6 +994,9 @@ impl CacheModule {
         cf.outstanding_peers = cf.outstanding_peers.saturating_sub(1);
         let done = cf.outstanding_peers == 0;
         self.stats.remote_stale_blocks += reply.misses.len() as u64;
+        if let Some(o) = &self.obs {
+            o.stale_hints.add(reply.misses.len() as u64);
+        }
         for (blk, data) in reply.hits {
             let rd = ReadData {
                 req_id: 0, // unused: waiters are keyed by block
@@ -1159,6 +1247,12 @@ impl CacheModule {
 
 impl Actor for CacheModule {
     fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if let Some(o) = &self.obs {
+            // Publish the sim clock so every instrument — including the
+            // buffer manager's, which has no clock of its own — stamps
+            // trace events with simulated time.
+            o.hub.set_now(ctx.now().nanos());
+        }
         if !self.started {
             self.started = true;
             ctx.schedule_self(self.cfg.flush_interval, FlushTick);

@@ -64,6 +64,11 @@ pub(crate) struct EventRing {
     slots: Vec<Slot>,
     enqueue: AtomicUsize,
     dequeue: AtomicUsize,
+    /// Times `push` found the ring full (the producer-becomes-drainer
+    /// event). Nothing is lost — the refused event is applied inline —
+    /// but each occurrence is a recency window where hits convoyed on
+    /// the policy lock; observability wants them countable.
+    overflows: AtomicU64,
 }
 
 impl EventRing {
@@ -79,7 +84,13 @@ impl EventRing {
                 .collect(),
             enqueue: AtomicUsize::new(0),
             dequeue: AtomicUsize::new(0),
+            overflows: AtomicU64::new(0),
         }
+    }
+
+    /// How many pushes were refused because the ring was full.
+    pub(crate) fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
     }
 
     /// Enqueue `ev`; `false` means the ring is full and the caller must
@@ -109,7 +120,9 @@ impl EventRing {
                     Err(actual) => pos = actual,
                 }
             } else if diff < 0 {
-                return false; // full lap: the queue is full
+                // Full lap: the queue is full.
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                return false;
             } else {
                 pos = self.enqueue.load(Ordering::Relaxed);
             }
@@ -182,6 +195,7 @@ mod tests {
             assert!(r.push(AccessEvent::hit(i as u32, i as u64, AppId(0))), "push {i}");
         }
         assert!(!r.push(AccessEvent::miss(AppId(0))), "full ring must refuse");
+        assert_eq!(r.overflows(), 1, "the refusal is counted");
         // Drain half, refill: the ring wraps cleanly.
         for i in 0..CAPACITY / 2 {
             assert_eq!(r.pop().unwrap().frame, i as u32);
@@ -190,6 +204,7 @@ mod tests {
             assert!(r.push(AccessEvent::touch(i as u32, 0, AppId(1))));
         }
         assert!(!r.push(AccessEvent::miss(AppId(0))));
+        assert_eq!(r.overflows(), 2);
         let mut n = 0;
         while r.pop().is_some() {
             n += 1;
@@ -203,10 +218,11 @@ mod tests {
         let r = EventRing::new();
         let produced = Counter::new(0);
         let consumed = Counter::new(0);
+        let refused = Counter::new(0);
         let per_thread = 20_000u64;
         std::thread::scope(|s| {
             for t in 0..4u32 {
-                let (r, produced) = (&r, &produced);
+                let (r, produced, refused) = (&r, &produced, &refused);
                 s.spawn(move || {
                     for i in 0..per_thread {
                         let ev = AccessEvent::hit(t, i, AppId(t));
@@ -215,6 +231,7 @@ mod tests {
                                 produced.fetch_add(1, Ordering::Relaxed);
                                 break;
                             }
+                            refused.fetch_add(1, Ordering::Relaxed);
                             // Full: in the manager the producer would
                             // drain; here the consumer thread catches up.
                             std::thread::yield_now();
@@ -240,5 +257,7 @@ mod tests {
             });
         });
         assert_eq!(consumed.load(Ordering::Relaxed), 4 * per_thread);
+        // Every refused push — and only those — hit the overflow counter.
+        assert_eq!(r.overflows(), refused.load(Ordering::Relaxed));
     }
 }

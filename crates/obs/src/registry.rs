@@ -1,0 +1,283 @@
+//! Metric registration and snapshotting — the cold side of `metrics.rs`.
+//!
+//! Handles are resolved **once** (at wiring time, under a mutex) and
+//! cached by the instrumented component; after that the hot path never
+//! touches the registry. Snapshots are point-in-time copies;
+//! [`MetricsSnapshot::delta`] subtracts an earlier snapshot so the
+//! epoch-aligned export can report per-epoch activity while the cells
+//! themselves stay monotonic.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// Registry of named metric cells. Registration is idempotent: asking
+/// for an existing name returns a handle to the same cell, so two
+/// components may safely share a metric.
+#[derive(Default)]
+pub struct MetricRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricRegistry {
+    pub fn new() -> MetricRegistry {
+        MetricRegistry::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut g = self.inner.lock().unwrap();
+        if let Some((_, c)) = g.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::new();
+        g.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut g = self.inner.lock().unwrap();
+        if let Some((_, v)) = g.gauges.iter().find(|(n, _)| n == name) {
+            return v.clone();
+        }
+        let v = Gauge::new();
+        g.gauges.push((name.to_string(), v.clone()));
+        v
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut g = self.inner.lock().unwrap();
+        if let Some((_, h)) = g.histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histogram::new();
+        g.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Point-in-time copy of every registered cell.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: g.counters.iter().map(|(n, c)| (n.clone(), c.get())).collect(),
+            gauges: g.gauges.iter().map(|(n, v)| (n.clone(), v.get())).collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    (
+                        n.clone(),
+                        HistogramSnapshot {
+                            count: h.count(),
+                            sum: h.sum(),
+                            buckets: h.load_buckets(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Copied state of one histogram at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| b.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0)))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
+
+    fn accumulate(&mut self, d: &HistogramSnapshot) {
+        self.count += d.count;
+        self.sum += d.sum;
+        if self.buckets.len() < d.buckets.len() {
+            self.buckets.resize(d.buckets.len(), 0);
+        }
+        for (i, b) in d.buckets.iter().enumerate() {
+            self.buckets[i] += b;
+        }
+    }
+}
+
+/// Point-in-time metric values (or, after [`delta`](Self::delta), the
+/// activity between two points in time). Counters and histograms
+/// subtract; gauges are levels, so a delta keeps the later value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Activity between `earlier` and `self`. Cells registered after
+    /// `earlier` was taken count from zero.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| {
+                    (n.clone(), v.saturating_sub(earlier.counters.get(n).copied().unwrap_or(0)))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    (n.clone(), h.delta(earlier.histograms.get(n).unwrap_or(&Default::default())))
+                })
+                .collect(),
+        }
+    }
+
+    /// Fold a delta into an accumulator — the inverse of [`delta`],
+    /// used by the snapshot-invariant tests: summing every epoch delta
+    /// must reproduce the cumulative totals.
+    pub fn accumulate(&mut self, d: &MetricsSnapshot) {
+        for (n, v) in &d.counters {
+            *self.counters.entry(n.clone()).or_insert(0) += v;
+        }
+        for (n, v) in &d.gauges {
+            self.gauges.insert(n.clone(), *v);
+        }
+        for (n, h) in &d.histograms {
+            self.histograms.entry(n.clone()).or_default().accumulate(h);
+        }
+    }
+
+    /// JSON object (hand-rolled — this crate is dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"counters\":{");
+        push_map(&mut out, self.counters.iter().map(|(n, v)| (n.as_str(), v.to_string())));
+        out.push_str("},\"gauges\":{");
+        push_map(&mut out, self.gauges.iter().map(|(n, v)| (n.as_str(), v.to_string())));
+        out.push_str("},\"histograms\":{");
+        push_map(
+            &mut out,
+            self.histograms.iter().map(|(n, h)| {
+                let buckets = h.buckets.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(",");
+                (
+                    n.as_str(),
+                    format!(
+                        "{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                        h.count, h.sum, buckets
+                    ),
+                )
+            }),
+        );
+        out.push_str("}}");
+        out
+    }
+
+    /// Plain-text summary, one metric per line.
+    pub fn summary_text(&self) -> String {
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            out.push_str(&format!("counter {n} = {v}\n"));
+        }
+        for (n, v) in &self.gauges {
+            out.push_str(&format!("gauge   {n} = {v}\n"));
+        }
+        for (n, h) in &self.histograms {
+            let mean = if h.count > 0 { h.sum as f64 / h.count as f64 } else { 0.0 };
+            out.push_str(&format!("hist    {n}: count={} mean={:.1}\n", h.count, mean));
+        }
+        out
+    }
+}
+
+fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a str, String)>) {
+    let mut first = true;
+    for (name, value) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        out.push_str(&crate::trace::escape_json(name));
+        out.push_str("\":");
+        out.push_str(&value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = MetricRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(r.snapshot().counters["x"], 2);
+        let g1 = r.gauge("g");
+        r.gauge("g").set(7);
+        assert_eq!(g1.get(), 7);
+        let h = r.histogram("h");
+        r.histogram("h").record(12);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn delta_subtracts_and_accumulate_inverts() {
+        let r = MetricRegistry::new();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        let g = r.gauge("g");
+        c.add(3);
+        h.record(10);
+        g.set(1);
+        let s0 = r.snapshot();
+        c.add(5);
+        h.record(20);
+        h.record(30);
+        g.set(2);
+        let s1 = r.snapshot();
+        let d = s1.delta(&s0);
+        assert_eq!(d.counters["c"], 5);
+        assert_eq!(d.histograms["h"].count, 2);
+        assert_eq!(d.histograms["h"].sum, 50);
+        assert_eq!(d.gauges["g"], 2);
+
+        let mut acc = s0.clone();
+        acc.accumulate(&d);
+        assert_eq!(acc, s1);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed_enough() {
+        let r = MetricRegistry::new();
+        r.counter("a").inc();
+        r.histogram("h").record(2);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a\":1"));
+        assert!(json.contains("\"count\":1"));
+    }
+}

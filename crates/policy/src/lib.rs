@@ -229,6 +229,13 @@ pub struct QuotaMoveRecord {
     /// The app whose quota grew (highest marginal utility).
     pub to: AppId,
     pub frames: usize,
+    /// The loser's epoch refault count — the marginal-utility evidence
+    /// that it would lose the least by shrinking.
+    pub from_refaults: u64,
+    /// The winner's epoch refault count — the evidence that it would
+    /// gain the most by growing. Always `> from_refaults` (the tuner
+    /// only moves quota on a strict utility gap).
+    pub to_refaults: u64,
 }
 
 /// Lifetime hit/miss ledger of one candidate's ghost cache.

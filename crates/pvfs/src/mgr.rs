@@ -38,6 +38,10 @@ pub struct MgrStats {
     pub dir_located: u64,
     /// Queried blocks with no known remote sharer.
     pub dir_unknown: u64,
+    /// Hint-mode sharer entries aged out (never decremented): the
+    /// directory's defense against unbounded growth when modules skip
+    /// eviction removals.
+    pub dir_stale_dropped: u64,
 }
 
 /// The metadata server actor.
@@ -52,12 +56,20 @@ pub struct Mgr {
     tag: u64,
     stats: MgrStats,
     /// Block location directory for cooperative caching: which nodes
-    /// currently cache each logical block. Maintained by `BlockDirUpdate`
-    /// deltas from the per-node cache modules; consulted by
-    /// `BlockDirQuery` on local misses. In hint mode the modules skip
+    /// currently cache each logical block, each sharer stamped with the
+    /// update generation that last confirmed it. Maintained by
+    /// `BlockDirUpdate` deltas from the per-node cache modules; consulted
+    /// by `BlockDirQuery` on local misses. In hint mode the modules skip
     /// eviction removals, so entries here may be stale — queries then
-    /// misdirect and the fetch falls through to disk at the requester.
-    directory: HashMap<(Fid, u64), Vec<NodeId>>,
+    /// misdirect and the fetch falls through to disk at the requester,
+    /// and `hint_max_age` bounds how long such ghosts survive.
+    directory: HashMap<(Fid, u64), Vec<(NodeId, u64)>>,
+    /// Monotone directory logical clock: one tick per applied update.
+    dir_gen: u64,
+    /// `Some(age)`: sharer stamps older than `age` generations are
+    /// dropped (on refresh, on query, and by a periodic sweep). `None`
+    /// (authoritative mode) never ages — removals keep the map tight.
+    hint_max_age: Option<u64>,
 }
 
 impl Mgr {
@@ -80,7 +92,18 @@ impl Mgr {
             tag: 0,
             stats: MgrStats::default(),
             directory: HashMap::new(),
+            dir_gen: 0,
+            hint_max_age: None,
         }
+    }
+
+    /// Age hint-mode directory entries out after `max_age` update
+    /// generations. The cluster builder arms this only when the cache
+    /// runs the directory in hint mode; authoritative directories are
+    /// kept tight by explicit removals and must not age (an aged-out
+    /// authoritative entry would be a lost remote hit, not a stale one).
+    pub fn set_hint_aging(&mut self, max_age: u64) {
+        self.hint_max_age = Some(max_age.max(1));
     }
 
     pub fn stats(&self) -> &MgrStats {
@@ -116,39 +139,93 @@ impl Mgr {
         self.directory.len()
     }
 
-    /// Nodes the directory believes cache `(fid, blk)`.
-    pub fn directory_sharers(&self, fid: Fid, blk: u64) -> &[NodeId] {
-        self.directory.get(&(fid, blk)).map(Vec::as_slice).unwrap_or(&[])
+    /// Nodes the directory believes cache `(fid, blk)` (stale-for-age
+    /// hints excluded, exactly as a query would see it).
+    pub fn directory_sharers(&self, fid: Fid, blk: u64) -> Vec<NodeId> {
+        let cut = self.stale_cutoff();
+        self.directory
+            .get(&(fid, blk))
+            .map(|sharers| {
+                sharers
+                    .iter()
+                    .filter(|(_, g)| cut.is_none_or(|c| *g >= c))
+                    .map(|(n, _)| *n)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Oldest still-believable generation stamp (`None` = believe all).
+    fn stale_cutoff(&self) -> Option<u64> {
+        self.hint_max_age.map(|age| self.dir_gen.saturating_sub(age))
     }
 
     fn apply_dir_update(&mut self, up: BlockDirUpdate) {
         self.stats.dir_updates += 1;
+        self.dir_gen += 1;
+        let gen = self.dir_gen;
+        let cut = self.stale_cutoff();
         for blk in up.added {
             let sharers = self.directory.entry((up.fid, blk)).or_default();
-            if !sharers.contains(&up.node) {
-                sharers.push(up.node);
+            match sharers.iter_mut().find(|(n, _)| *n == up.node) {
+                Some(s) => s.1 = gen,
+                None => sharers.push((up.node, gen)),
+            }
+            // A refresh is the cheap moment to shed this entry's other
+            // stale sharers.
+            if let Some(c) = cut {
+                let before = sharers.len();
+                sharers.retain(|(_, g)| *g >= c);
+                self.stats.dir_stale_dropped += (before - sharers.len()) as u64;
             }
         }
         for blk in up.removed {
             if let Some(sharers) = self.directory.get_mut(&(up.fid, blk)) {
-                sharers.retain(|n| *n != up.node);
+                sharers.retain(|(n, _)| *n != up.node);
                 if sharers.is_empty() {
                     self.directory.remove(&(up.fid, blk));
                 }
             }
         }
+        // Amortized full sweep: entries nobody refreshes or queries again
+        // would otherwise be immortal — exactly the blocks-ever-cached
+        // accretion hint mode used to suffer.
+        if let Some(age) = self.hint_max_age {
+            if gen.is_multiple_of(age) {
+                self.sweep_stale();
+            }
+        }
+    }
+
+    /// Drop every sharer stamp older than the cutoff and every entry
+    /// left empty by that.
+    fn sweep_stale(&mut self) {
+        let Some(cut) = self.stale_cutoff() else {
+            return;
+        };
+        let mut dropped = 0u64;
+        self.directory.retain(|_, sharers| {
+            let before = sharers.len();
+            sharers.retain(|(_, g)| *g >= cut);
+            dropped += (before - sharers.len()) as u64;
+            !sharers.is_empty()
+        });
+        self.stats.dir_stale_dropped += dropped;
     }
 
     fn serve_dir_query(&mut self, q: &BlockDirQuery) -> BlockDirReply {
         self.stats.dir_queries += 1;
         let requester = q.reply_to.0;
+        let cut = self.stale_cutoff();
         let mut locations = Vec::new();
         for &blk in &q.blocks {
             let peer = self
                 .directory
                 .get(&(q.fid, blk))
-                .and_then(|sharers| sharers.iter().find(|n| **n != requester))
-                .copied();
+                .and_then(|sharers| {
+                    sharers.iter().find(|(n, g)| *n != requester && cut.is_none_or(|c| *g >= c))
+                })
+                .map(|(n, _)| *n);
             match peer {
                 Some(node) => {
                     self.stats.dir_located += 1;
@@ -407,7 +484,7 @@ mod tests {
         assert_eq!(m.stats().dir_queries, 1);
         assert_eq!(m.stats().dir_located, 1);
         assert_eq!(m.stats().dir_unknown, 2);
-        assert_eq!(m.directory_sharers(Fid(1), 10), &[NodeId(1), NodeId(2)]);
+        assert_eq!(m.directory_sharers(Fid(1), 10), vec![NodeId(1), NodeId(2)]);
         assert_eq!(m.directory_entries(), 1);
         // The capture actor received the reply destined for node 3.
         let cap = eng.actor_as::<Capture>(cap).unwrap();
@@ -428,6 +505,51 @@ mod tests {
         eng.run();
         let cap = eng.actor_as::<Capture>(cap).unwrap();
         assert_eq!(cap.dir_replies[0].locations, vec![(10, NodeId(2))]);
+    }
+
+    #[test]
+    fn hint_directory_growth_is_bounded_by_aging() {
+        // Hint mode sends adds but never removals: without aging the
+        // directory accretes every block ever cached. With aging armed,
+        // a long run of distinct-block updates must stay bounded by the
+        // age window, not grow with the total block count.
+        let (mut eng, mgr, _cap) = setup();
+        const AGE: u64 = 64;
+        const UPDATES: u64 = 1_000;
+        eng.actor_as_mut::<Mgr>(mgr).unwrap().set_hint_aging(AGE);
+        for i in 0..UPDATES {
+            eng.post(Dur::micros(i), mgr, dir_update(1, vec![i], vec![]));
+        }
+        eng.run();
+        let m = eng.actor_as::<Mgr>(mgr).unwrap();
+        // Between sweeps (every AGE generations) at most 2*AGE entries
+        // can be live-or-not-yet-swept.
+        assert!(
+            m.directory_entries() as u64 <= 2 * AGE,
+            "hint directory accreted: {} entries after {} updates",
+            m.directory_entries(),
+            UPDATES
+        );
+        assert!(m.stats().dir_stale_dropped >= UPDATES - 2 * AGE);
+        // Fresh entries survive; aged-out ones are gone.
+        assert_eq!(m.directory_sharers(Fid(1), UPDATES - 1), vec![NodeId(1)]);
+        assert!(m.directory_sharers(Fid(1), 0).is_empty());
+    }
+
+    #[test]
+    fn authoritative_directory_never_ages() {
+        let (mut eng, mgr, cap) = setup();
+        // No set_hint_aging: stamps live forever, removals keep it tight.
+        for i in 0..200u64 {
+            eng.post(Dur::micros(i), mgr, dir_update(1, vec![i], vec![]));
+        }
+        eng.post(Dur::micros(200), mgr, dir_query(3, 9, vec![0]));
+        eng.run();
+        let m = eng.actor_as::<Mgr>(mgr).unwrap();
+        assert_eq!(m.directory_entries(), 200);
+        assert_eq!(m.stats().dir_stale_dropped, 0);
+        let cap = eng.actor_as::<Capture>(cap).unwrap();
+        assert_eq!(cap.dir_replies[0].locations, vec![(0, NodeId(1))]);
     }
 
     #[test]

@@ -3,15 +3,37 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- \
+//!     --trace-out trace.json --metrics-out metrics.json
 //! ```
+//!
+//! The optional flags enable the `kcache-obs` hub for the cached run and
+//! export its Chrome-trace (`chrome://tracing` / Perfetto) and metrics
+//! JSON. Telemetry changes no cache decision — the comparison stands.
 
 use clusterio::cluster::{run_experiment, ClusterSpec};
-use clusterio::kcache::CacheConfig;
+use clusterio::kcache::{CacheConfig, ObsHub};
 use clusterio::sim_core::Dur;
 use clusterio::sim_net::NodeId;
 use clusterio::workload::{AppSpec, Mode};
 
 fn main() {
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => trace_out = args.next(),
+            "--metrics-out" => metrics_out = args.next(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: quickstart [--trace-out FILE] [--metrics-out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let hub = (trace_out.is_some() || metrics_out.is_some())
+        .then(|| ObsHub::new(clusterio::kcache::obs::DEFAULT_TRACE_CAPACITY));
     let app = AppSpec {
         name: "quickstart".into(),
         // p = 4 processes, one per node.
@@ -37,7 +59,10 @@ fn main() {
 
     for (label, cache) in [
         ("original PVFS (no caching)", None),
-        ("with kernel cache module", Some(CacheConfig::paper())),
+        (
+            "with kernel cache module",
+            Some(CacheConfig { obs: hub.clone(), ..CacheConfig::paper() }),
+        ),
     ] {
         let spec = ClusterSpec::paper(cache);
         let r = run_experiment(&spec, std::slice::from_ref(&app));
@@ -51,5 +76,16 @@ fn main() {
             println!("  cache hit ratio      : {:.1}%", hit * 100.0);
         }
         println!();
+    }
+
+    if let Some(hub) = &hub {
+        if let Some(p) = &metrics_out {
+            std::fs::write(p, hub.metrics_json()).expect("write metrics");
+            println!("metrics written to {p}");
+        }
+        if let Some(p) = &trace_out {
+            std::fs::write(p, hub.chrome_trace_json()).expect("write trace");
+            println!("trace written to {p}");
+        }
     }
 }
