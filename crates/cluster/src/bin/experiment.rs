@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p cluster-harness --bin experiment -- config.json \
-//!     [--trace-out trace.json] [--metrics-out metrics.json]
+//!     [--trace-out trace.json] [--metrics-out metrics.json] \
+//!     [--flight-out flight.json]
 //! ```
 //!
 //! The config shape (all cluster fields optional, partitioning included)
@@ -14,15 +15,25 @@
 //! configs parse unchanged.
 //!
 //! `--trace-out` writes the run's Chrome-trace JSON (open it in
-//! `chrome://tracing` or Perfetto); `--metrics-out` writes the metric
-//! snapshot plus per-epoch deltas. Either flag forces the `telemetry`
-//! section of the config on.
+//! `chrome://tracing` or Perfetto) with every node's ring merged in
+//! timestamp order; `--metrics-out` writes the federated metric export
+//! (cluster rollup + per-node snapshots and epoch bookkeeping);
+//! `--flight-out` evaluates the config's anomaly rules against each
+//! node's per-epoch deltas and writes the flight record — rule firings,
+//! the metrics snapshot, and a bounded tail of recent trace events. Any
+//! of the three flags forces the `telemetry` section of the config on.
 
 use cluster_harness::config::ExperimentConfig;
 use cluster_harness::{run_experiment, CacheEfficiency, TelemetryReport};
 
+/// How many trailing trace events the flight record keeps.
+const FLIGHT_TAIL_EVENTS: usize = 256;
+
 fn usage() -> ! {
-    eprintln!("usage: experiment <config.json> [--trace-out FILE] [--metrics-out FILE]");
+    eprintln!(
+        "usage: experiment <config.json> [--trace-out FILE] [--metrics-out FILE] \
+         [--flight-out FILE]"
+    );
     std::process::exit(2);
 }
 
@@ -30,11 +41,13 @@ fn main() {
     let mut config_path: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut flight_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics-out" => metrics_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--flight-out" => flight_out = Some(args.next().unwrap_or_else(|| usage())),
             _ if config_path.is_none() => config_path = Some(a),
             _ => usage(),
         }
@@ -43,7 +56,7 @@ fn main() {
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let mut cfg =
         ExperimentConfig::from_json(&text).unwrap_or_else(|e| panic!("bad config {path}: {e}"));
-    if trace_out.is_some() || metrics_out.is_some() {
+    if trace_out.is_some() || metrics_out.is_some() || flight_out.is_some() {
         cfg.cluster.telemetry.enabled = true;
     }
     let (spec, apps) = cfg.to_spec().unwrap_or_else(|e| panic!("bad config {path}: {e}"));
@@ -64,11 +77,10 @@ fn main() {
             serde_json::to_string_pretty(&eff).expect("serialize cache efficiency")
         );
     }
-    if let Some(hub) = &r.obs {
+    if let Some(report) = TelemetryReport::from_run(&r) {
         println!(
             "  \"telemetry\": {},",
-            serde_json::to_string_pretty(&TelemetryReport::from_hub(hub))
-                .expect("serialize telemetry")
+            serde_json::to_string_pretty(&report).expect("serialize telemetry")
         );
     }
     println!("  \"network_payload_bytes\": {},", r.fabric.payload_bytes);
@@ -80,14 +92,33 @@ fn main() {
     println!("}}");
 
     // File exports happen after the summary: metrics first (snapshot +
-    // epoch deltas, non-destructive), then the trace (drains the ring).
-    if let Some(hub) = &r.obs {
+    // epoch deltas, non-destructive), then the trace. Draining the rings
+    // is destructive and both the flight tail and `--trace-out` want the
+    // events, so drain once and share.
+    if let Some(cluster) = &r.obs {
         if let Some(p) = &metrics_out {
-            std::fs::write(p, hub.metrics_json())
+            std::fs::write(p, cluster.metrics_json())
                 .unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
         }
+        if flight_out.is_none() && trace_out.is_none() {
+            return;
+        }
+        let events = cluster.drain_trace();
+        if let Some(p) = &flight_out {
+            // Evaluate the config's anomaly rules against each node's
+            // own epoch history; the flight record is always valid JSON,
+            // with `"fired": false` on a healthy run.
+            let rules = cfg.cluster.telemetry.anomaly_rules();
+            let mut firings = Vec::new();
+            for (name, hub) in cluster.hubs() {
+                firings.extend(kcache::obs::evaluate(name, &hub.epoch_deltas(), &rules));
+            }
+            let json =
+                kcache::obs::flight_json(&firings, &cluster.rollup(), &events, FLIGHT_TAIL_EVENTS);
+            std::fs::write(p, json).unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
+        }
         if let Some(p) = &trace_out {
-            std::fs::write(p, hub.chrome_trace_json())
+            std::fs::write(p, kcache::obs::chrome_trace_json(&events))
                 .unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
         }
     }

@@ -2,6 +2,7 @@
 //! iods, the mgr, optional cache modules, and application processes into a
 //! runnable simulation — the model of the paper's 6-node Linux cluster.
 
+use kcache::obs::ClusterObs;
 use kcache::{CacheConfig, CacheModule};
 use pvfs::{
     ByteRange, ClientConfig, CostModel, FileHandle, Iod, Mgr, PvfsClient, PvfsConfig, StripePolicy,
@@ -32,6 +33,13 @@ pub struct ClusterSpec {
     pub disk: DiskGeometry,
     pub disk_sched: DiskSched,
     pub seed: u64,
+    /// Federated telemetry: one [`kcache::ObsHub`] per node, so trace
+    /// pids separate by node and registries stay contention-free. When
+    /// set, the builder hands each cache module (and the mgr) its
+    /// node's hub, overriding `cache.obs`; when `None`, any single hub
+    /// already in `cache.obs` is shared by every module (the pre-
+    /// federation quickstart shape).
+    pub obs: Option<std::sync::Arc<ClusterObs>>,
     /// Verify every read against the deterministic file pattern.
     pub verify_reads: bool,
     /// Preload file contents into the iods' page caches (memory-resident
@@ -51,6 +59,7 @@ impl ClusterSpec {
             disk: DiskGeometry::maxtor_20gb(),
             disk_sched: DiskSched::CLook,
             seed: 42,
+            obs: None,
             verify_reads: true,
             preload_warm: true,
         }
@@ -168,13 +177,27 @@ pub fn build(spec: &ClusterSpec, apps: &[AppSpec]) -> Cluster {
             let mgr = eng.actor_as_mut::<Mgr>(mgr_id).expect("mgr downcast");
             mgr.set_hint_aging(HINT_DIR_MAX_AGE);
         }
+        // The mgr traces its directory lookups into node 0's hub so
+        // cross-node flows stitch through its lane. Federated specs hand
+        // it hub 0; a bare shared hub in `cache.obs` works the same way.
+        let mgr_hub = spec.obs.as_ref().map(|c| c.hub_for(0)).or_else(|| cache_cfg.obs.clone());
+        if let Some(hub) = mgr_hub {
+            let mgr = eng.actor_as_mut::<Mgr>(mgr_id).expect("mgr downcast");
+            mgr.set_obs(hub);
+        }
         for &node in &client_nodes {
+            let mut cfg = cache_cfg.clone();
+            if let Some(cluster_obs) = &spec.obs {
+                // Per-node hubs: each module records into its own ring
+                // and registry, keyed by node in the trace pid.
+                cfg.obs = Some(cluster_obs.hub_for(node as usize));
+            }
             let mut module = CacheModule::new(
                 NodeId(node),
                 fabric_id,
                 cpus[node as usize].clone(),
                 spec.costs.clone(),
-                cache_cfg.clone(),
+                cfg,
             );
             // The block location directory lives with the mgr on node 0;
             // telling the module where it is arms the remote-hit tier

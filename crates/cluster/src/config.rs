@@ -77,14 +77,86 @@ pub struct ClusterCfg {
 }
 
 /// The `telemetry` section of the cluster config. The derived default
-/// is the off state: disabled, library-default trace capacity.
+/// is the off state: disabled, library-default trace capacity,
+/// paper-derived SLO targets, stock anomaly thresholds — pre-telemetry
+/// configs parse unchanged.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 #[serde(default)]
 pub struct TelemetryCfg {
-    /// Wire one shared [`kcache::ObsHub`] through every cache module.
+    /// Wire a per-node [`kcache::ObsHub`] through every cache module
+    /// and the mgr, federated by a [`kcache::obs::ClusterObs`].
     pub enabled: bool,
-    /// Trace-ring capacity in slots (0 picks the library default).
+    /// Per-node trace-ring capacity in slots (0 picks the library
+    /// default).
     pub trace_capacity: usize,
+    /// Fetch-latency SLO targets per traffic tier.
+    pub slo: SloCfg,
+    /// Anomaly flight-recorder rule thresholds.
+    pub anomaly: AnomalyCfg,
+}
+
+impl TelemetryCfg {
+    /// Lower the SLO section into the obs crate's nanosecond targets.
+    pub fn slo_targets(&self) -> kcache::obs::SloTargets {
+        kcache::obs::SloTargets {
+            fetch_p99_ns_default: (self.slo.fetch_p99_ms_default * 1e6) as u64,
+            fetch_p99_ns_peer: (self.slo.fetch_p99_ms_peer * 1e6) as u64,
+        }
+    }
+
+    /// Lower the anomaly section into the obs crate's rule thresholds.
+    pub fn anomaly_rules(&self) -> kcache::obs::AnomalyRules {
+        kcache::obs::AnomalyRules {
+            hit_ratio_drop: self.anomaly.hit_ratio_drop,
+            min_epoch_accesses: self.anomaly.min_epoch_accesses,
+            stale_hints_per_epoch: self.anomaly.stale_hints_per_epoch,
+            trace_drops_per_epoch: self.anomaly.trace_drops_per_epoch,
+        }
+    }
+}
+
+/// Per-tier fetch-latency p99 targets, milliseconds. Defaults sit
+/// above the paper's measured medians (~9.1 ms disk fill, ~4.4 ms
+/// remote hit) so a healthy run burns only in the tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct SloCfg {
+    pub fetch_p99_ms_default: f64,
+    pub fetch_p99_ms_peer: f64,
+}
+
+impl Default for SloCfg {
+    fn default() -> Self {
+        SloCfg { fetch_p99_ms_default: 15.0, fetch_p99_ms_peer: 8.0 }
+    }
+}
+
+/// Anomaly flight-recorder thresholds (see `kcache::obs::anomaly` for
+/// rule semantics).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct AnomalyCfg {
+    /// Absolute hit-ratio drop between consecutive epochs that counts
+    /// as a collapse.
+    pub hit_ratio_drop: f64,
+    /// Minimum accesses for an epoch's hit ratio to be judged.
+    pub min_epoch_accesses: u64,
+    /// Stale-hint blocks in one epoch that count as a storm.
+    pub stale_hints_per_epoch: u64,
+    /// Trace-ring drops in one epoch that count as an overflow burst.
+    pub trace_drops_per_epoch: u64,
+}
+
+impl Default for AnomalyCfg {
+    fn default() -> Self {
+        let r = kcache::obs::AnomalyRules::default();
+        AnomalyCfg {
+            hit_ratio_drop: r.hit_ratio_drop,
+            min_epoch_accesses: r.min_epoch_accesses,
+            stale_hints_per_epoch: r.stale_hints_per_epoch,
+            trace_drops_per_epoch: r.trace_drops_per_epoch,
+        }
+    }
 }
 
 /// The `cooperative` section of the cluster config.
@@ -297,13 +369,18 @@ impl ExperimentConfig {
         };
         let partitioning = self.partitioning()?;
         let blocks = self.cluster.cache_blocks;
-        // One hub for the whole cluster: every module's manager and the
-        // harness share the registry, the trace ring, and the sim clock.
+        // One hub per node, federated: the builder hands each cache
+        // module (and the mgr) its own hub so trace pids separate by
+        // node and registries stay contention-free; `ClusterObs` merges
+        // them back into a cluster rollup at report time.
         let obs = self.cluster.telemetry.enabled.then(|| {
-            kcache::ObsHub::new(match self.cluster.telemetry.trace_capacity {
-                0 => kcache::obs::DEFAULT_TRACE_CAPACITY,
-                n => n,
-            })
+            kcache::obs::ClusterObs::per_node(
+                self.cluster.nodes as usize,
+                match self.cluster.telemetry.trace_capacity {
+                    0 => kcache::obs::DEFAULT_TRACE_CAPACITY,
+                    n => n,
+                },
+            )
         });
         let mut spec = ClusterSpec::paper(self.cluster.caching.then(|| CacheConfig {
             capacity_blocks: blocks,
@@ -314,9 +391,10 @@ impl ExperimentConfig {
             adaptive: adaptive.clone(),
             epoch_accesses,
             cooperative,
-            obs,
+            slo: self.cluster.telemetry.slo_targets(),
             ..CacheConfig::paper()
         }));
+        spec.obs = obs;
         spec.n_nodes = self.cluster.nodes;
         spec.seed = self.cluster.seed;
         spec.net = match self.cluster.fabric.as_str() {
@@ -534,24 +612,37 @@ mod tests {
 
     #[test]
     fn telemetry_config_defaults_off_and_lowers_to_a_hub() {
-        // Pre-telemetry configs parse unchanged and carry no hub.
+        // Pre-telemetry configs parse unchanged and carry no hubs.
         let old = ExperimentConfig::from_json(
             r#"{ "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
                              "request_kb": 64, "mode": "read" } ] }"#,
         )
         .unwrap();
         assert!(!old.cluster.telemetry.enabled);
-        assert!(old.to_spec().unwrap().0.cache.unwrap().obs.is_none());
+        let (old_spec, _) = old.to_spec().unwrap();
+        assert!(old_spec.obs.is_none());
+        assert!(old_spec.cache.unwrap().obs.is_none());
+        // SLO and anomaly sections default to the paper-derived knobs.
+        assert_eq!(old.cluster.telemetry.slo_targets().fetch_p99_ns_default, 15_000_000);
+        assert_eq!(old.cluster.telemetry.slo_targets().fetch_p99_ns_peer, 8_000_000);
+        assert_eq!(old.cluster.telemetry.anomaly_rules().min_epoch_accesses, 64);
 
         let cfg = ExperimentConfig::from_json(
-            r#"{ "cluster": { "telemetry": { "enabled": true, "trace_capacity": 128 } },
+            r#"{ "cluster": { "nodes": 3,
+                              "telemetry": { "enabled": true, "trace_capacity": 128,
+                                             "slo": { "fetch_p99_ms_peer": 2.5 } } },
                  "apps": [ { "name": "a", "nodes": [0], "total_mb": 1,
                              "request_kb": 64, "mode": "read" } ] }"#,
         )
         .unwrap();
         let (spec, _) = cfg.to_spec().unwrap();
-        let hub = spec.cache.unwrap().obs.expect("telemetry lowers to an obs hub");
-        assert_eq!(hub.trace_dropped(), 0);
+        let cluster = spec.obs.as_ref().expect("telemetry lowers to federated per-node hubs");
+        assert_eq!(cluster.node_count(), 3);
+        assert_eq!(cluster.trace_dropped(), 0);
+        // The builder hands out hubs; CacheConfig itself carries none.
+        let cache = spec.cache.unwrap();
+        assert!(cache.obs.is_none());
+        assert_eq!(cache.slo.fetch_p99_ns_peer, 2_500_000);
 
         // serialize → parse is the identity.
         let json = serde_json::to_string_pretty(&cfg).unwrap();

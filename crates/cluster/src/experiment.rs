@@ -1,11 +1,12 @@
 //! Experiment execution and result extraction.
 
 use crate::builder::{build, Cluster, ClusterSpec};
-use kcache::{AdaptiveStats, CacheModule, CacheStats, ModuleStats, ObsHub, PolicyStats};
+use kcache::obs::{ClusterObs, QuantileSnapshot};
+use kcache::{AdaptiveStats, CacheModule, CacheStats, ModuleStats, PolicyStats};
 use pvfs::{Iod, IodStats, Mgr};
 use serde::Serialize;
 use sim_core::{Dur, SimTime, StopReason};
-use sim_net::{Fabric, FabricStats};
+use sim_net::{Fabric, FabricStats, TrafficClass};
 use std::collections::BTreeMap;
 use workload::{AppSpec, Coordinator};
 
@@ -53,6 +54,34 @@ impl AppCacheUsage {
     }
 }
 
+/// Fetch-latency SLO summary for one traffic tier, merged over every
+/// cache module's quantile sketch (telemetry-enabled runs only).
+#[derive(Debug, Clone, Serialize)]
+pub struct SloClassSummary {
+    /// Traffic tier: `"default"` (disk fills) or `"peer"` (remote hits).
+    pub class: String,
+    /// Block fetches recorded into the sketch.
+    pub samples: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    /// Configured p99 target for this tier, nanoseconds.
+    pub target_p99_ns: u64,
+    /// Fetches that exceeded the target (the SLO burn counter).
+    pub burned: u64,
+}
+
+impl SloClassSummary {
+    /// Fraction of fetches that burned the SLO (0 before any traffic).
+    pub fn burn_ratio(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.burned as f64 / self.samples as f64
+        }
+    }
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
@@ -86,11 +115,16 @@ pub struct ExperimentResult {
     pub events: u64,
     pub sim_end: SimTime,
     pub completed: bool,
-    /// The cluster's observability hub (telemetry-enabled caching runs
-    /// only): metrics snapshot, epoch deltas, and the trace ring, ready
-    /// for the caller to export. Shared with the spec's `CacheConfig` —
-    /// reusing one spec across runs accumulates into the same hub.
-    pub obs: Option<std::sync::Arc<ObsHub>>,
+    /// The cluster's federated telemetry plane (telemetry-enabled runs
+    /// only): per-node hubs with their registries, epoch deltas, and
+    /// trace rings, plus the cluster rollup — ready for the caller to
+    /// export. A bare shared hub in `cache.obs` (the quickstart shape)
+    /// is wrapped as a single-entry `ClusterObs`. Shared with the spec —
+    /// reusing one spec across runs accumulates into the same hubs.
+    pub obs: Option<std::sync::Arc<ClusterObs>>,
+    /// Per-tier fetch-latency percentiles and SLO burn, merged over all
+    /// cache modules (telemetry-enabled caching runs only).
+    pub slo: Option<Vec<SloClassSummary>>,
 }
 
 impl ExperimentResult {
@@ -229,11 +263,31 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     // evidence — fewer duplicate copies means more of the cluster's
     // aggregate capacity covers distinct data.
     let mut cluster_residency: BTreeMap<kcache::BlockKey, u64> = BTreeMap::new();
+    // Per-tier fetch-latency sketches merged across modules: class name →
+    // (merged snapshot, target, burned).
+    let mut slo_acc: BTreeMap<String, (QuantileSnapshot, u64, u64)> = BTreeMap::new();
     for m in cluster.modules.iter().flatten() {
         let module = cluster.engine.actor_as::<CacheModule>(*m).expect("module downcast");
         // Bring the hub's deferred hit/miss mirrors up to date before any
         // export reads them (no-op without telemetry).
         module.cache().obs_flush();
+        if let Some(sketches) = module.fetch_latency_sketches() {
+            for (class, snap, target, burned) in sketches {
+                let name = match class {
+                    TrafficClass::Peer => "peer",
+                    _ => "default",
+                };
+                match slo_acc.get_mut(name) {
+                    Some((acc, _, b)) => {
+                        acc.merge(&snap);
+                        *b += burned;
+                    }
+                    None => {
+                        slo_acc.insert(name.to_string(), (snap, target, burned));
+                    }
+                }
+            }
+        }
         let cs = module.cache().stats();
         let ps = module.cache().policy_stats();
         let ms = module.stats().clone();
@@ -331,15 +385,36 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     let fabric_stats: FabricStats = fabric.stats().clone();
     let medium_utilization = fabric.medium_utilization(cluster.engine.now());
 
-    // End-of-run telemetry: the block location directory's size and
-    // staleness shedding become gauges on the shared hub (satellite of
-    // the hint-aging work — growth is now observable, not just bounded).
-    let obs = spec.cache.as_ref().and_then(|c| c.obs.clone());
-    if let Some(hub) = &obs {
+    // The run's telemetry plane: the spec's federated per-node hubs, or
+    // a bare shared hub from `cache.obs` wrapped as a one-entry cluster
+    // (the quickstart shape keeps working).
+    let obs = spec
+        .obs
+        .clone()
+        .or_else(|| spec.cache.as_ref().and_then(|c| c.obs.clone()).map(ClusterObs::shared));
+    if let Some(cluster_obs) = &obs {
+        // End-of-run telemetry: the block location directory's size and
+        // staleness shedding become gauges on the mgr's hub (node 0 —
+        // where the directory lives).
         let mgr = cluster.engine.actor_as::<Mgr>(cluster.mgr).expect("mgr downcast");
+        let hub = cluster_obs.hub_for(0);
         hub.registry().gauge("dir.entries").set(mgr.directory_entries() as u64);
         hub.registry().gauge("dir.stale_dropped").set(mgr.stats().dir_stale_dropped);
     }
+    let slo = (!slo_acc.is_empty()).then(|| {
+        slo_acc
+            .into_iter()
+            .map(|(class, (snap, target, burned))| SloClassSummary {
+                class,
+                samples: snap.count(),
+                p50_ns: snap.quantile(0.50),
+                p95_ns: snap.quantile(0.95),
+                p99_ns: snap.quantile(0.99),
+                target_p99_ns: target,
+                burned,
+            })
+            .collect::<Vec<_>>()
+    });
 
     ExperimentResult {
         instances,
@@ -367,5 +442,6 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
         sim_end: report.end_time,
         completed,
         obs,
+        slo,
     }
 }

@@ -23,10 +23,12 @@ pub mod sweep;
 
 pub use builder::{build, Cluster, ClusterSpec};
 pub use config::ExperimentConfig;
-pub use experiment::{run_experiment, AppCacheUsage, ExperimentResult, InstanceResult};
+pub use experiment::{
+    run_experiment, AppCacheUsage, ExperimentResult, InstanceResult, SloClassSummary,
+};
 pub use figures::{all_figures, fig4, fig5, fig6, fig7, fig8, Grid};
 pub use report::{
     write_outputs, AppEfficiency, CacheEfficiency, CooperativeReport, FigRow, FigureData,
-    TelemetryReport,
+    NodeTelemetryReport, SloReport, TelemetryReport,
 };
 pub use sweep::parallel_map;

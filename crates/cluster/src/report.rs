@@ -186,23 +186,53 @@ impl CooperativeReport {
     }
 }
 
-/// One histogram's digest in the telemetry summary.
+/// One histogram's digest in the telemetry summary. Percentiles come
+/// from the log2 buckets, so each is an upper bound with at most one
+/// power-of-two of slack.
 #[derive(Debug, Clone, Serialize)]
 pub struct HistogramReport {
     pub count: u64,
     pub sum: u64,
     pub mean: f64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
 }
 
-/// The `telemetry` section of experiment JSON output: the obs hub's
-/// cumulative counters/gauges, histogram digests, and the trace/epoch
-/// bookkeeping. Full per-epoch deltas and the raw trace stay behind
-/// `--metrics-out`/`--trace-out` — this section is the glanceable slice.
+/// One traffic tier's fetch-latency SLO line in the telemetry summary:
+/// sketch percentiles against the configured target plus the burn count.
 #[derive(Debug, Clone, Serialize)]
-pub struct TelemetryReport {
-    /// Trace events dropped on ring overflow (0 = the ring kept up).
+pub struct SloReport {
+    pub class: String,
+    pub samples: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub target_p99_ns: u64,
+    pub burned: u64,
+    pub burn_ratio: f64,
+}
+
+impl SloReport {
+    fn from_summary(s: &crate::experiment::SloClassSummary) -> SloReport {
+        SloReport {
+            class: s.class.clone(),
+            samples: s.samples,
+            p50_ns: s.p50_ns,
+            p95_ns: s.p95_ns,
+            p99_ns: s.p99_ns,
+            target_p99_ns: s.target_p99_ns,
+            burned: s.burned,
+            burn_ratio: s.burn_ratio(),
+        }
+    }
+}
+
+/// One node's slice of the telemetry summary (per-node hubs only).
+#[derive(Debug, Clone, Serialize)]
+pub struct NodeTelemetryReport {
+    pub node: String,
     pub trace_dropped: u64,
-    /// Epoch windows logged / discarded to the delta-log cap.
     pub epochs_logged: u64,
     pub epochs_discarded: u64,
     pub counters: std::collections::BTreeMap<String, u64>,
@@ -210,9 +240,57 @@ pub struct TelemetryReport {
     pub histograms: std::collections::BTreeMap<String, HistogramReport>,
 }
 
+fn digest_histograms(
+    hists: std::collections::BTreeMap<String, kcache::obs::HistogramSnapshot>,
+) -> std::collections::BTreeMap<String, HistogramReport> {
+    hists
+        .into_iter()
+        .map(|(n, h)| {
+            let mean = if h.count > 0 { h.sum as f64 / h.count as f64 } else { 0.0 };
+            let r = HistogramReport {
+                count: h.count,
+                sum: h.sum,
+                mean,
+                p50: h.quantile(0.50),
+                p95: h.quantile(0.95),
+                p99: h.quantile(0.99),
+            };
+            (n, r)
+        })
+        .collect()
+}
+
+/// The `telemetry` section of experiment JSON output: the cluster-rollup
+/// counters/gauges, histogram digests with p50/p95/p99, the per-tier
+/// fetch-latency SLO lines, trace/epoch bookkeeping, and — on federated
+/// runs — the per-node breakdown. Full per-epoch deltas and the raw
+/// trace stay behind `--metrics-out`/`--trace-out` — this section is the
+/// glanceable slice.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetryReport {
+    /// Trace events dropped on ring overflow, summed over every node's
+    /// ring (0 = the rings kept up).
+    pub trace_dropped: u64,
+    /// Epoch windows logged / discarded to the delta-log caps, summed
+    /// over every node's hub.
+    pub epochs_logged: u64,
+    pub epochs_discarded: u64,
+    /// Cluster rollup: counters and histograms sum across nodes; a
+    /// gauge holds the last write, so per-node gauges live in `nodes`.
+    pub counters: std::collections::BTreeMap<String, u64>,
+    pub gauges: std::collections::BTreeMap<String, u64>,
+    pub histograms: std::collections::BTreeMap<String, HistogramReport>,
+    /// Per-tier fetch-latency percentiles vs SLO targets (caching runs
+    /// with traffic only).
+    pub slo: Vec<SloReport>,
+    /// Per-node breakdown (empty when one shared hub serves the whole
+    /// cluster — there is no per-node signal to break out).
+    pub nodes: Vec<NodeTelemetryReport>,
+}
+
 impl TelemetryReport {
-    /// Digest a hub's cumulative state (non-destructive: the trace ring
-    /// is left intact for a later `--trace-out` export).
+    /// Digest a single hub's cumulative state (non-destructive: the
+    /// trace ring is left intact for a later `--trace-out` export).
     pub fn from_hub(hub: &kcache::ObsHub) -> TelemetryReport {
         let snap = hub.snapshot();
         let (epochs, discarded) = hub.epoch_counts();
@@ -222,15 +300,49 @@ impl TelemetryReport {
             epochs_discarded: discarded,
             counters: snap.counters,
             gauges: snap.gauges,
-            histograms: snap
-                .histograms
-                .into_iter()
-                .map(|(n, h)| {
-                    let mean = if h.count > 0 { h.sum as f64 / h.count as f64 } else { 0.0 };
-                    (n, HistogramReport { count: h.count, sum: h.sum, mean })
-                })
-                .collect(),
+            histograms: digest_histograms(snap.histograms),
+            slo: Vec::new(),
+            nodes: Vec::new(),
         }
+    }
+
+    /// Digest a finished run's federated telemetry plane: cluster
+    /// rollup, SLO lines, and (on per-node topologies) the node
+    /// breakdown. `None` when the run had telemetry off.
+    pub fn from_run(r: &crate::experiment::ExperimentResult) -> Option<TelemetryReport> {
+        let cluster = r.obs.as_ref()?;
+        let rollup = cluster.rollup();
+        let (epochs, discarded) = cluster.epoch_counts();
+        let nodes = if cluster.is_shared() {
+            Vec::new()
+        } else {
+            cluster
+                .hubs()
+                .map(|(name, hub)| {
+                    let snap = hub.snapshot();
+                    let (e, d) = hub.epoch_counts();
+                    NodeTelemetryReport {
+                        node: name.to_string(),
+                        trace_dropped: hub.trace_dropped(),
+                        epochs_logged: e as u64,
+                        epochs_discarded: d,
+                        counters: snap.counters,
+                        gauges: snap.gauges,
+                        histograms: digest_histograms(snap.histograms),
+                    }
+                })
+                .collect()
+        };
+        Some(TelemetryReport {
+            trace_dropped: cluster.trace_dropped(),
+            epochs_logged: epochs as u64,
+            epochs_discarded: discarded,
+            counters: rollup.counters,
+            gauges: rollup.gauges,
+            histograms: digest_histograms(rollup.histograms),
+            slo: r.slo.as_deref().unwrap_or_default().iter().map(SloReport::from_summary).collect(),
+            nodes,
+        })
     }
 }
 

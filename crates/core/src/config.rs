@@ -231,9 +231,15 @@ pub struct CacheConfig {
     /// module and its buffer manager: lock-free metric counters on the
     /// hit path, structured trace events (miss fills, eviction scans,
     /// peer fetches, epoch ticks, controller decisions), epoch-aligned
-    /// metric snapshots. One hub is shared cluster-wide (`Arc`); `None`
-    /// (the default) keeps every hot path at one never-taken branch.
+    /// metric snapshots. The cluster builder assigns each node its own
+    /// per-node hub (federated by `ClusterObs`); handing one shared hub
+    /// to every node still works. `None` (the default) keeps every hot
+    /// path at one never-taken branch.
     pub obs: Option<std::sync::Arc<kcache_obs::ObsHub>>,
+    /// Per-tier fetch-latency SLO targets; only consulted when `obs` is
+    /// wired (a fetch slower than its tier's target increments that
+    /// tier's `slo.fetch.burn.*` counter).
+    pub slo: kcache_obs::SloTargets,
 }
 
 impl CacheConfig {
@@ -253,6 +259,7 @@ impl CacheConfig {
             write_behind: true,
             cooperative: None,
             obs: None,
+            slo: kcache_obs::SloTargets::default(),
         }
     }
 

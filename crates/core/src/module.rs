@@ -25,7 +25,10 @@ use crate::block::{blocks_of_range, span_in_block, BlockKey, Span, CACHE_BLOCK_S
 use crate::config::CacheConfig;
 use crate::manager::{BufferManager, FlushItem, WriteOutcome};
 use bytes::Bytes;
-use kcache_obs::{Counter, EventId, Histogram, ObsHub};
+use kcache_obs::{
+    Counter, EventId, FlowId, Histogram, ObsHub, Phase, QuantileSketch, QuantileSnapshot,
+    SloTargets,
+};
 use kcache_policy::AppId;
 use pvfs::{
     BlockDirQuery, BlockDirReply, BlockDirUpdate, ByteRange, CostModel, Fid, FlushAck, FlushBlocks,
@@ -123,6 +126,9 @@ struct CoopFetch {
     /// Blocks that must come from the iod after all: directory-unknown
     /// ones plus stale-hint fallthroughs reported by peers.
     to_disk: Vec<u64>,
+    /// Trace-correlation id stamped on every message of this
+    /// conversation (the requester mints it; mgr and peers echo it).
+    flow: FlowId,
 }
 
 struct FlushTick;
@@ -148,14 +154,26 @@ struct ModuleObs {
     /// initiation to byte installation.
     fetch_ns_default: Histogram,
     fetch_ns_peer: Histogram,
+    /// Fine-grained (≤1/16 relative error) fetch-latency sketches per
+    /// tier — the log2 histograms are too coarse for a p99.
+    fetch_q_default: QuantileSketch,
+    fetch_q_peer: QuantileSketch,
+    /// SLO targets and burn counts: a fetch slower than its tier's
+    /// target burns error budget.
+    slo: SloTargets,
+    burn_default: Counter,
+    burn_peer: Counter,
     ev_miss_fill: EventId,
     ev_iod_read: EventId,
     ev_peer_fetch: EventId,
     ev_dir_query: EventId,
+    ev_peer_serve: EventId,
+    /// Flow-correlation event name shared by all coop actors.
+    ev_flow: EventId,
 }
 
 impl ModuleObs {
-    fn new(hub: Arc<ObsHub>, node: NodeId) -> ModuleObs {
+    fn new(hub: Arc<ObsHub>, node: NodeId, slo: SloTargets) -> ModuleObs {
         let r = hub.registry();
         ModuleObs {
             dir_located: r.counter("coop.dir_located_blocks"),
@@ -164,10 +182,17 @@ impl ModuleObs {
             remote_hits: r.counter("coop.remote_hit_blocks"),
             fetch_ns_default: r.histogram("fetch.ns.default"),
             fetch_ns_peer: r.histogram("fetch.ns.peer"),
+            fetch_q_default: QuantileSketch::new(),
+            fetch_q_peer: QuantileSketch::new(),
+            slo,
+            burn_default: r.counter("slo.fetch.burn.default"),
+            burn_peer: r.counter("slo.fetch.burn.peer"),
             ev_miss_fill: hub.intern("miss_fill", Some("blocks"), Some("remote")),
             ev_iod_read: hub.intern("iod_read", Some("blocks"), Some("bytes")),
             ev_peer_fetch: hub.intern("peer_fetch", Some("blocks"), Some("bytes")),
             ev_dir_query: hub.intern("dir_query", Some("located"), Some("unlocated")),
+            ev_peer_serve: hub.intern("peer_serve", Some("blocks"), Some("hits")),
+            ev_flow: hub.intern("coop_fetch", None, None),
             node: node.0 as u32,
             hub,
         }
@@ -177,6 +202,21 @@ impl ModuleObs {
         match class {
             TrafficClass::Peer => &self.fetch_ns_peer,
             TrafficClass::Default => &self.fetch_ns_default,
+        }
+    }
+
+    /// Record one fetch latency against the tier's sketch and SLO
+    /// budget (the histogram is recorded separately by the caller).
+    fn record_fetch(&self, class: TrafficClass, ns: u64) {
+        let (sketch, target, burn) = match class {
+            TrafficClass::Peer => (&self.fetch_q_peer, self.slo.fetch_p99_ns_peer, &self.burn_peer),
+            TrafficClass::Default => {
+                (&self.fetch_q_default, self.slo.fetch_p99_ns_default, &self.burn_default)
+            }
+        };
+        sketch.record(ns);
+        if ns > target {
+            burn.inc();
         }
     }
 }
@@ -239,7 +279,7 @@ impl CacheModule {
                 .obs(cfg.obs.clone(), node.0 as u32)
                 .build(),
         );
-        let obs = cfg.obs.clone().map(|hub| ModuleObs::new(hub, node));
+        let obs = cfg.obs.clone().map(|hub| ModuleObs::new(hub, node, cfg.slo));
         CacheModule {
             node,
             fabric,
@@ -296,6 +336,31 @@ impl CacheModule {
 
     pub fn cache(&self) -> &Arc<BufferManager> {
         &self.cache
+    }
+
+    /// Per-[`TrafficClass`] fetch-latency sketch snapshots, with the
+    /// tier's SLO target and burn count — `None` when observability is
+    /// off. The experiment harness merges these across nodes for the
+    /// cluster SLO report.
+    pub fn fetch_latency_sketches(
+        &self,
+    ) -> Option<Vec<(TrafficClass, QuantileSnapshot, u64, u64)>> {
+        self.obs.as_ref().map(|o| {
+            vec![
+                (
+                    TrafficClass::Default,
+                    o.fetch_q_default.snapshot(),
+                    o.slo.fetch_p99_ns_default,
+                    o.burn_default.get(),
+                ),
+                (
+                    TrafficClass::Peer,
+                    o.fetch_q_peer.snapshot(),
+                    o.slo.fetch_p99_ns_peer,
+                    o.burn_peer.get(),
+                ),
+            ]
+        })
     }
 
     fn charge(&self, now: SimTime, d: Dur) -> SimTime {
@@ -538,11 +603,16 @@ impl CacheModule {
                 fetch_ranges.iter().flat_map(|r| blocks_of_range(r.offset, r.len)).collect();
             self.coop_seq += 1;
             let qid = self.coop_seq;
+            // Mint the correlation id unconditionally (wire layout and
+            // determinism stay identical with tracing on or off); only
+            // the trace emission below is gated on obs.
+            let flow = FlowId::coop(self.node.0, qid);
             let q = BlockDirQuery {
                 req_id: qid,
                 fid: rr.fid,
                 blocks: blocks.clone(),
                 reply_to: (self.node, CACHE_PORT),
+                flow,
             };
             self.coop_pending.insert(
                 qid,
@@ -554,9 +624,16 @@ impl CacheModule {
                     blocks,
                     outstanding_peers: 0,
                     to_disk: Vec::new(),
+                    flow,
                 },
             );
             t = self.charge(t, self.costs.send_overhead);
+            if let Some(o) = &self.obs {
+                // Flow start on the requester: the miss that opens the
+                // cross-node conversation. The matching end is emitted
+                // by finish_coop, which every conversation reaches.
+                o.hub.flow(o.ev_flow, Phase::FlowStart, t.nanos(), o.node, 1, flow);
+            }
             self.tag += 1;
             let mgr = self.mgr_node.expect("cooperative_active checked mgr_node");
             let m = NetMessage::new(
@@ -815,6 +892,7 @@ impl CacheModule {
                 if let Some(o) = &self.obs {
                     let class = if remote { TrafficClass::Peer } else { TrafficClass::Default };
                     o.hist_for(class).record(ns);
+                    o.record_fetch(class, ns);
                 }
                 fetch_t0 = Some(fetch_t0.map_or(t0, |p| p.min(t0)));
             }
@@ -943,6 +1021,7 @@ impl CacheModule {
         cf.to_disk.extend(cf.blocks.iter().copied().filter(|b| !located.contains(b)));
         cf.outstanding_peers = per_peer.len();
         let fid = cf.fid;
+        let flow = cf.flow;
         let n_total = cf.blocks.len() as u64;
         let n_located = located.len() as u64;
         self.stats.dir_located_blocks += n_located;
@@ -964,6 +1043,7 @@ impl CacheModule {
                 fid,
                 blocks,
                 reply_to: (self.node, CACHE_PORT),
+                flow,
             };
             self.tag += 1;
             let m = NetMessage::new(
@@ -1022,6 +1102,12 @@ impl CacheModule {
         let Some(cf) = self.coop_pending.remove(&qid) else {
             return;
         };
+        if let Some(o) = &self.obs {
+            // Close the flow opened at the miss. Every conversation
+            // funnels through here (empty directory answer or last peer
+            // reply), so starts and finishes pair one-to-one.
+            o.hub.flow(o.ev_flow, Phase::FlowEnd, at.nanos(), o.node, 1, cf.flow);
+        }
         let mut to_disk = cf.to_disk;
         if to_disk.is_empty() {
             self.stats.fake_read_acks += 1;
@@ -1101,6 +1187,22 @@ impl CacheModule {
         self.stats.peer_blocks_served += hits.len() as u64;
         self.stats.peer_bytes_served += hits.len() as u64 * CACHE_BLOCK_SIZE as u64;
         t = self.charge(t, self.costs.send_overhead);
+        if let Some(o) = &self.obs {
+            // Peer-serve span on the responder node's lane, plus the
+            // requester's flow stepping through us.
+            o.hub.span(
+                o.ev_peer_serve,
+                o.node,
+                2,
+                now.nanos(),
+                t.since(now).as_nanos(),
+                pr.blocks.len() as u64,
+                hits.len() as u64,
+            );
+            if !pr.flow.is_none() {
+                o.hub.flow(o.ev_flow, Phase::FlowStep, now.nanos(), o.node, 2, pr.flow);
+            }
+        }
         let reply = PeerReadReply { req_id: pr.req_id, fid: pr.fid, hits, misses };
         self.tag += 1;
         let m = NetMessage::new(

@@ -21,11 +21,19 @@
 //! handles; with observability off (the default) the hot path pays one
 //! never-taken branch.
 
+pub mod anomaly;
+pub mod federate;
+pub mod flow;
 pub mod metrics;
+pub mod quantile;
 pub mod registry;
 pub mod trace;
 
+pub use anomaly::{evaluate, flight_json, AnomalyFiring, AnomalyRules};
+pub use federate::ClusterObs;
+pub use flow::FlowId;
 pub use metrics::{Counter, Gauge, Histogram, HIST_BUCKETS};
+pub use quantile::{QuantileSketch, QuantileSnapshot, SloTargets};
 pub use registry::{HistogramSnapshot, MetricRegistry, MetricsSnapshot};
 pub use trace::{chrome_trace_json, EventId, Phase, TraceEvent, TraceRing};
 
@@ -44,28 +52,39 @@ struct EpochState {
     last: MetricsSnapshot,
     deltas: Vec<MetricsSnapshot>,
     discarded: u64,
+    /// Ring-drop total already folded into `obs.trace_dropped`, so
+    /// each epoch's delta of that counter is the drops in that window.
+    drops_marked: u64,
 }
 
-/// One cluster's observability plumbing, shared by `Arc` across the
-/// buffer managers, cache modules, and the harness.
+/// One node's observability plumbing, shared by `Arc` across that
+/// node's buffer manager, cache module, and the harness. Federate
+/// per-node hubs with [`ClusterObs`].
 pub struct ObsHub {
     registry: MetricRegistry,
     trace: TraceRing,
     now_ns: AtomicU64,
     epochs: Mutex<EpochState>,
+    trace_drop_counter: Counter,
 }
 
 impl ObsHub {
     pub fn new(trace_capacity: usize) -> Arc<ObsHub> {
+        let registry = MetricRegistry::new();
+        // Mirrored from the ring at every epoch mark so the anomaly
+        // rules see per-epoch drop bursts, not just a lifetime total.
+        let trace_drop_counter = registry.counter("obs.trace_dropped");
         Arc::new(ObsHub {
-            registry: MetricRegistry::new(),
+            registry,
             trace: TraceRing::new(trace_capacity),
             now_ns: AtomicU64::new(0),
             epochs: Mutex::new(EpochState {
                 last: MetricsSnapshot::default(),
                 deltas: Vec::new(),
                 discarded: 0,
+                drops_marked: 0,
             }),
+            trace_drop_counter,
         })
     }
 
@@ -117,12 +136,28 @@ impl ObsHub {
         self.trace.dropped()
     }
 
+    /// Record a flow-phase event (`s`/`t`/`f`) at an explicit
+    /// timestamp — correlation points are emitted by actors on
+    /// different nodes, so the caller supplies its own clock rather
+    /// than trusting the hub's last `set_now`.
+    #[inline]
+    pub fn flow(&self, id: EventId, phase: Phase, ts_ns: u64, pid: u32, tid: u32, flow: FlowId) {
+        debug_assert!(phase.is_flow());
+        self.trace.record(id, phase, ts_ns, 0, pid, tid, flow.0, 0);
+    }
+
     /// Close the current epoch window: snapshot all metrics, log the
     /// delta against the previous epoch boundary. Driven by the buffer
     /// manager's `epoch_tick` hook.
     pub fn mark_epoch(&self) {
-        let snap = self.registry.snapshot();
         let mut e = self.epochs.lock().unwrap();
+        // Fold new ring drops into the mirror counter under the lock,
+        // *before* snapshotting, so the delta attributes them to the
+        // closing window.
+        let drops = self.trace.dropped();
+        self.trace_drop_counter.add(drops - e.drops_marked);
+        e.drops_marked = drops;
+        let snap = self.registry.snapshot();
         let delta = snap.delta(&e.last);
         e.last = snap;
         if e.deltas.len() >= MAX_EPOCH_DELTAS {
@@ -172,9 +207,13 @@ impl ObsHub {
             out.push_str("\n    ");
             out.push_str(&d.to_json());
         }
-        out.push_str("\n  ],\n  \"trace_dropped\": ");
-        out.push_str(&self.trace_dropped().to_string());
-        out.push_str("\n}\n");
+        let (epochs, discarded) = self.epoch_counts();
+        out.push_str(&format!(
+            "\n  ],\n  \"trace_dropped\": {},\n  \"epochs_logged\": {},\n  \"epochs_discarded\": {}\n}}\n",
+            self.trace_dropped(),
+            epochs,
+            discarded
+        ));
         out
     }
 
@@ -225,6 +264,27 @@ mod tests {
         let metrics = hub.metrics_json();
         assert!(metrics.contains("\"epoch_deltas\""));
         assert!(hub.summary_text().contains("cache.hits"));
+    }
+
+    #[test]
+    fn epoch_marks_mirror_ring_drops_into_a_counter() {
+        let hub = ObsHub::new(2);
+        let id = hub.intern("e", None, None);
+        for _ in 0..5 {
+            hub.instant(id, 0, 0, 0, 0);
+        }
+        hub.mark_epoch();
+        assert_eq!(hub.epoch_deltas()[0].counters["obs.trace_dropped"], 3);
+        for _ in 0..2 {
+            hub.instant(id, 0, 0, 0, 0);
+        }
+        hub.mark_epoch();
+        assert_eq!(hub.epoch_deltas()[1].counters["obs.trace_dropped"], 2);
+        assert_eq!(hub.snapshot().counters["obs.trace_dropped"], 5);
+        let json = hub.metrics_json();
+        assert!(json.contains("\"epochs_logged\": 2"));
+        assert!(json.contains("\"epochs_discarded\": 0"));
+        assert!(json.contains("\"trace_dropped\": 5"));
     }
 
     #[test]

@@ -13,14 +13,16 @@ use std::sync::Mutex;
 
 #[derive(Default)]
 struct Inner {
-    counters: Vec<(String, Counter)>,
-    gauges: Vec<(String, Gauge)>,
-    histograms: Vec<(String, Histogram)>,
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 /// Registry of named metric cells. Registration is idempotent: asking
 /// for an existing name returns a handle to the same cell, so two
-/// components may safely share a metric.
+/// components may safely share a metric. Lookup is map-backed
+/// (O(log n)) so registration cost stays flat as the per-app and
+/// per-ghost dynamic names multiply.
 #[derive(Default)]
 pub struct MetricRegistry {
     inner: Mutex<Inner>,
@@ -33,32 +35,17 @@ impl MetricRegistry {
 
     pub fn counter(&self, name: &str) -> Counter {
         let mut g = self.inner.lock().unwrap();
-        if let Some((_, c)) = g.counters.iter().find(|(n, _)| n == name) {
-            return c.clone();
-        }
-        let c = Counter::new();
-        g.counters.push((name.to_string(), c.clone()));
-        c
+        g.counters.entry(name.to_string()).or_default().clone()
     }
 
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut g = self.inner.lock().unwrap();
-        if let Some((_, v)) = g.gauges.iter().find(|(n, _)| n == name) {
-            return v.clone();
-        }
-        let v = Gauge::new();
-        g.gauges.push((name.to_string(), v.clone()));
-        v
+        g.gauges.entry(name.to_string()).or_default().clone()
     }
 
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut g = self.inner.lock().unwrap();
-        if let Some((_, h)) = g.histograms.iter().find(|(n, _)| n == name) {
-            return h.clone();
-        }
-        let h = Histogram::new();
-        g.histograms.push((name.to_string(), h.clone()));
-        h
+        g.histograms.entry(name.to_string()).or_default().clone()
     }
 
     /// Point-in-time copy of every registered cell.
@@ -117,6 +104,28 @@ impl HistogramSnapshot {
         for (i, b) in d.buckets.iter().enumerate() {
             self.buckets[i] += b;
         }
+    }
+
+    /// Coarse quantile estimate from the log2 buckets: the upper edge
+    /// (`2^i − 1`) of the bucket holding the order statistic at rank
+    /// `round(q · (count − 1))`. Power-of-two resolution — use the
+    /// `quantile` sketch when 1/16 relative error matters. Returns 0
+    /// on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum > rank {
+                // Bucket i holds values with bit length i: 0 for i=0,
+                // [2^(i-1), 2^i - 1] otherwise.
+                return if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+            }
+        }
+        u64::MAX
     }
 }
 

@@ -10,10 +10,24 @@ use crate::protocol::{
     BlockDirQuery, BlockDirReply, BlockDirUpdate, Fid, FileHandle, MgrCall, MgrReply, MgrRequest,
     StripeSpec, MGR_PORT,
 };
+use kcache_obs::{EventId, ObsHub, Phase};
 use sim_core::{resource, Actor, ActorId, Ctx, Msg, SharedResource};
 use sim_net::{Deliver, NetMessage, NodeId, Xmit};
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Trace `tid` lane for the mgr's directory work (cache modules use
+/// lanes 0-2 on their own node's `pid`).
+const MGR_TRACE_LANE: u32 = 3;
+
+/// Pre-resolved observability handles (None = tracing off, one
+/// never-taken branch on the query path).
+struct MgrObs {
+    hub: Arc<ObsHub>,
+    ev_dir_lookup: EventId,
+    ev_flow: EventId,
+}
 
 /// Striping policy applied to newly created files.
 #[derive(Debug, Clone)]
@@ -70,6 +84,7 @@ pub struct Mgr {
     /// dropped (on refresh, on query, and by a periodic sweep). `None`
     /// (authoritative mode) never ages — removals keep the map tight.
     hint_max_age: Option<u64>,
+    obs: Option<MgrObs>,
 }
 
 impl Mgr {
@@ -94,7 +109,19 @@ impl Mgr {
             directory: HashMap::new(),
             dir_gen: 0,
             hint_max_age: None,
+            obs: None,
         }
+    }
+
+    /// Wire the mgr into a telemetry hub (the mgr node's per-node hub,
+    /// or the cluster-shared one): directory lookups become spans, and
+    /// flow-stamped queries get their `t` correlation step.
+    pub fn set_obs(&mut self, hub: Arc<ObsHub>) {
+        self.obs = Some(MgrObs {
+            ev_dir_lookup: hub.intern("dir_lookup", Some("blocks"), Some("located")),
+            ev_flow: hub.intern("coop_fetch", None, None),
+            hub,
+        });
     }
 
     /// Age hint-mode directory entries out after `max_age` update
@@ -317,6 +344,30 @@ impl Actor for Mgr {
                     + self.costs.mgr_request_overhead
                     + self.costs.send_overhead;
                 let done = resource::reserve(&self.cpu, ctx.now(), service);
+                if let Some(o) = &self.obs {
+                    let pid = self.node.0 as u32;
+                    o.hub.span(
+                        o.ev_dir_lookup,
+                        pid,
+                        MGR_TRACE_LANE,
+                        ctx.now().nanos(),
+                        done.since(ctx.now()).as_nanos(),
+                        q.blocks.len() as u64,
+                        reply.locations.len() as u64,
+                    );
+                    if !q.flow.is_none() {
+                        // The requester opened this flow at its miss;
+                        // step it through the directory lookup.
+                        o.hub.flow(
+                            o.ev_flow,
+                            Phase::FlowStep,
+                            ctx.now().nanos(),
+                            pid,
+                            MGR_TRACE_LANE,
+                            q.flow,
+                        );
+                    }
+                }
                 self.tag += 1;
                 let wire = reply.wire_bytes();
                 let out = NetMessage::new((self.node, MGR_PORT), q.reply_to, wire, self.tag, reply);
@@ -465,8 +516,64 @@ mod tests {
             (NodeId(0), MGR_PORT),
             64,
             0,
-            BlockDirQuery { req_id, fid: Fid(1), blocks, reply_to: (NodeId(node), Port(7100)) },
+            BlockDirQuery {
+                req_id,
+                fid: Fid(1),
+                blocks,
+                reply_to: (NodeId(node), Port(7100)),
+                flow: kcache_obs::FlowId::NONE,
+            },
         ))
+    }
+
+    #[test]
+    fn traced_query_emits_lookup_span_and_flow_step() {
+        use kcache_obs::FlowId;
+        let mut eng = Engine::new(0);
+        let cap = eng.add_actor(Box::new(Capture { replies: vec![], dir_replies: vec![] }));
+        let hub = kcache_obs::ObsHub::new(64);
+        let mut m = Mgr::new(
+            NodeId(0),
+            cap,
+            FifoResource::shared("mgr-cpu"),
+            CostModel::default(),
+            StripePolicy { unit: 65536, n_iods: 4, total_iods: 6 },
+        );
+        m.set_obs(hub.clone());
+        let mgr = eng.add_actor(Box::new(m));
+        eng.post(Dur::ZERO, mgr, dir_update(1, vec![10], vec![]));
+        let flow = FlowId::coop(3, 9);
+        eng.post(
+            Dur::micros(1),
+            mgr,
+            Deliver(NetMessage::new(
+                (NodeId(3), Port(7100)),
+                (NodeId(0), MGR_PORT),
+                64,
+                0,
+                BlockDirQuery {
+                    req_id: 9,
+                    fid: Fid(1),
+                    blocks: vec![10, 11],
+                    reply_to: (NodeId(3), Port(7100)),
+                    flow,
+                },
+            )),
+        );
+        eng.run();
+        let ev = hub.drain_trace();
+        let span = ev
+            .iter()
+            .find(|e| e.name == "dir_lookup" && e.phase == Phase::Span)
+            .expect("dir_lookup span");
+        assert_eq!((span.pid, span.tid), (0, MGR_TRACE_LANE));
+        assert!(span.dur_ns > 0, "span covers the charged service time");
+        assert_eq!(span.args, vec![("blocks".to_string(), 2), ("located".to_string(), 1)]);
+        let step = ev
+            .iter()
+            .find(|e| e.name == "coop_fetch" && e.phase == Phase::FlowStep)
+            .expect("flow step");
+        assert_eq!(step.flow_id, flow.0);
     }
 
     #[test]

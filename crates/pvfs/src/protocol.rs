@@ -14,6 +14,7 @@
 //! "discount these [cached blocks] in the request(s)" mechanism.
 
 use bytes::Bytes;
+use kcache_obs::FlowId;
 use sim_net::{NodeId, Port};
 
 /// Well-known ports.
@@ -321,11 +322,17 @@ pub struct BlockDirQuery {
     pub fid: Fid,
     pub blocks: Vec<u64>,
     pub reply_to: (NodeId, Port),
+    /// Trace-correlation id ([`kcache_obs::FlowId`]) minted by the
+    /// requester; rides the whole cooperative conversation so the
+    /// requester's miss, the mgr's directory lookup, and the peer's
+    /// serve stitch into one flow in the exported trace. Zero when
+    /// tracing is off.
+    pub flow: FlowId,
 }
 
 impl BlockDirQuery {
     pub fn wire_bytes(&self) -> u32 {
-        MSG_HEADER_BYTES + self.blocks.len() as u32 * 8
+        MSG_HEADER_BYTES + 8 + self.blocks.len() as u32 * 8
     }
 }
 
@@ -352,11 +359,14 @@ pub struct PeerReadReq {
     pub fid: Fid,
     pub blocks: Vec<u64>,
     pub reply_to: (NodeId, Port),
+    /// Same correlation id the requester stamped on its
+    /// [`BlockDirQuery`] — see that field's docs.
+    pub flow: FlowId,
 }
 
 impl PeerReadReq {
     pub fn wire_bytes(&self) -> u32 {
-        MSG_HEADER_BYTES + self.blocks.len() as u32 * 8
+        MSG_HEADER_BYTES + 8 + self.blocks.len() as u32 * 8
     }
 }
 
@@ -479,8 +489,9 @@ mod tests {
             fid: Fid(1),
             blocks: vec![1, 2, 3, 4],
             reply_to: (NodeId(0), Port(7100)),
+            flow: FlowId::NONE,
         };
-        assert_eq!(q.wire_bytes(), 64 + 32);
+        assert_eq!(q.wire_bytes(), 64 + 8 + 32, "header + flow id + blocks");
         let r = BlockDirReply { req_id: 1, fid: Fid(1), locations: vec![(1, NodeId(3))] };
         assert_eq!(r.wire_bytes(), 64 + 10);
         let pr = PeerReadReq {
@@ -488,8 +499,9 @@ mod tests {
             fid: Fid(1),
             blocks: vec![5],
             reply_to: (NodeId(0), Port(7100)),
+            flow: FlowId::NONE,
         };
-        assert_eq!(pr.wire_bytes(), 64 + 8);
+        assert_eq!(pr.wire_bytes(), 64 + 8 + 8, "header + flow id + blocks");
         let rep = PeerReadReply {
             req_id: 1,
             fid: Fid(1),

@@ -7,12 +7,15 @@
 //!     --trace-out trace.json --metrics-out metrics.json
 //! ```
 //!
-//! The optional flags enable the `kcache-obs` hub for the cached run and
-//! export its Chrome-trace (`chrome://tracing` / Perfetto) and metrics
-//! JSON. Telemetry changes no cache decision — the comparison stands.
+//! The optional flags enable federated `kcache-obs` telemetry for the
+//! cached run — one hub per node, merged by `ClusterObs` — and export
+//! the Chrome-trace (`chrome://tracing` / Perfetto; `pid` lanes are
+//! nodes) and metrics JSON (cluster rollup + per-node breakdown).
+//! Telemetry changes no cache decision — the comparison stands.
 
 use clusterio::cluster::{run_experiment, ClusterSpec};
-use clusterio::kcache::{CacheConfig, ObsHub};
+use clusterio::kcache::obs::ClusterObs;
+use clusterio::kcache::CacheConfig;
 use clusterio::sim_core::Dur;
 use clusterio::sim_net::NodeId;
 use clusterio::workload::{AppSpec, Mode};
@@ -32,8 +35,7 @@ fn main() {
             }
         }
     }
-    let hub = (trace_out.is_some() || metrics_out.is_some())
-        .then(|| ObsHub::new(clusterio::kcache::obs::DEFAULT_TRACE_CAPACITY));
+    let telemetry = trace_out.is_some() || metrics_out.is_some();
     let app = AppSpec {
         name: "quickstart".into(),
         // p = 4 processes, one per node.
@@ -57,14 +59,23 @@ fn main() {
         app.request_size >> 10
     );
 
+    let mut obs = None;
     for (label, cache) in [
         ("original PVFS (no caching)", None),
-        (
-            "with kernel cache module",
-            Some(CacheConfig { obs: hub.clone(), ..CacheConfig::paper() }),
-        ),
+        ("with kernel cache module", Some(CacheConfig::paper())),
     ] {
-        let spec = ClusterSpec::paper(cache);
+        let cached = cache.is_some();
+        let mut spec = ClusterSpec::paper(cache);
+        if cached && telemetry {
+            // One hub per node, federated: trace pids separate by node
+            // and the metrics export carries a per-node breakdown.
+            let cluster = ClusterObs::per_node(
+                spec.n_nodes as usize,
+                clusterio::kcache::obs::DEFAULT_TRACE_CAPACITY,
+            );
+            spec.obs = Some(cluster.clone());
+            obs = Some(cluster);
+        }
         let r = run_experiment(&spec, std::slice::from_ref(&app));
         assert!(r.completed, "run did not complete");
         assert_eq!(r.total_verify_failures(), 0, "data corruption detected");
@@ -78,13 +89,13 @@ fn main() {
         println!();
     }
 
-    if let Some(hub) = &hub {
+    if let Some(cluster) = &obs {
         if let Some(p) = &metrics_out {
-            std::fs::write(p, hub.metrics_json()).expect("write metrics");
+            std::fs::write(p, cluster.metrics_json()).expect("write metrics");
             println!("metrics written to {p}");
         }
         if let Some(p) = &trace_out {
-            std::fs::write(p, hub.chrome_trace_json()).expect("write trace");
+            std::fs::write(p, cluster.chrome_trace_json()).expect("write trace");
             println!("trace written to {p}");
         }
     }
