@@ -101,6 +101,14 @@ impl GhostCache {
         }
     }
 
+    /// Raw `(hits, accesses)` over the current epoch — the mergeable form
+    /// of [`epoch_rate`](Self::epoch_rate): a sharded manager sums these
+    /// across shards before comparing candidates, so a busy shard's
+    /// evidence outweighs an idle one's instead of averaging away.
+    pub fn epoch_counts(&self) -> (u64, u64) {
+        (self.epoch_hits, self.epoch_hits + self.epoch_misses)
+    }
+
     /// Reset the per-epoch ledger (lifetime counters keep accumulating).
     pub fn end_epoch(&mut self) {
         self.epoch_hits = 0;

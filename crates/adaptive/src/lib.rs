@@ -34,10 +34,104 @@ pub mod ghost;
 pub use ghost::GhostCache;
 
 use kcache_policy::{
-    AccessEvent, AccessKind, AdaptiveStats, AppId, FrameTable, GhostRate, PolicyKind,
-    QuotaMoveRecord, QuotaUpdate, ReplacementPolicy, SwitchRecord,
+    AccessEvent, AccessKind, AdaptiveStats, AppId, EpochDirective, EpochObservation, FrameTable,
+    GhostRate, PolicyKind, QuotaMoveRecord, QuotaUpdate, ReplacementPolicy, SwitchRecord,
 };
 use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// The epoch controller's switch rule over per-candidate epoch ghost
+/// ledgers `(kind, hits, accesses)`: the best-rated candidate wins a
+/// switch when it is not the live one and beats the live rate by more
+/// than `hysteresis`. Returns `Some((to, live_rate, best_rate))` when a
+/// switch is warranted. Candidates with no traffic this epoch have no
+/// rate and cannot win (or be compared against); ties keep the earliest
+/// candidate in ledger order.
+///
+/// Shared verbatim by [`AdaptivePolicy::epoch_tick`] (single-shard
+/// decisions) and the sharded buffer manager (which merges per-shard
+/// ledgers first) — one rule, so sharding cannot drift the controller.
+pub fn decide_switch(
+    ledgers: &[(PolicyKind, u64, u64)],
+    live: PolicyKind,
+    hysteresis: f64,
+) -> Option<(PolicyKind, f64, f64)> {
+    let rate = |h: u64, a: u64| if a == 0 { None } else { Some(h as f64 / a as f64) };
+    let live_rate =
+        ledgers.iter().find(|&&(k, _, _)| k == live).and_then(|&(_, h, a)| rate(h, a))?;
+    let mut best: Option<(PolicyKind, f64)> = None;
+    for &(k, h, a) in ledgers {
+        if let Some(r) = rate(h, a) {
+            if best.is_none_or(|(_, br)| r > br) {
+                best = Some((k, r));
+            }
+        }
+    }
+    let (best_kind, best_rate) = best?;
+    (best_kind != live && best_rate > live_rate + hysteresis)
+        .then_some((best_kind, live_rate, best_rate))
+}
+
+/// One quota transfer proposed by the marginal-utility rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaMove {
+    pub winner: AppId,
+    pub loser: AppId,
+    /// Frames moved (`loser` shrinks by this, `winner` grows by this).
+    pub frames: usize,
+    pub winner_quota: usize,
+    pub loser_quota: usize,
+    pub winner_refaults: u64,
+    pub loser_refaults: u64,
+}
+
+/// The quota tuner's transfer rule: move up to `quota_step` frames of
+/// quota from the app with the fewest epoch refaults to the app with the
+/// most, clamped so the loser keeps `quota_floor` frames and the winner
+/// never exceeds `capacity` — in full or not at all. `quotas` is the
+/// current effective quota per app (ascending app id, as the manager
+/// reports it); `refaults` the per-app epoch refault evidence (missing
+/// apps count zero). Shared by [`AdaptivePolicy::epoch_tick`] and the
+/// sharded manager's coordinated epoch (which merges per-shard refault
+/// ledgers first).
+pub fn decide_quota_move(
+    quotas: &[(AppId, usize)],
+    refaults: &[(AppId, u64)],
+    capacity: usize,
+    quota_step: usize,
+    quota_floor: usize,
+) -> Option<QuotaMove> {
+    if quotas.len() < 2 {
+        return None;
+    }
+    let rf = |app: AppId| refaults.iter().find(|&&(a, _)| a == app).map_or(0, |&(_, n)| n);
+    // Winner: most refaults, smaller quota on ties (the squeezed app
+    // gains first). Loser: fewest refaults, larger quota on ties (a
+    // drained app is not squeezed further). Both deterministic over the
+    // ascending-app-id slice.
+    let &(winner, wq) = quotas.iter().max_by_key(|&&(a, q)| (rf(a), std::cmp::Reverse(q)))?;
+    let &(loser, lq) = quotas
+        .iter()
+        .filter(|&&(a, _)| a != winner)
+        .min_by_key(|&&(a, q)| (rf(a), std::cmp::Reverse(q)))?;
+    if rf(winner) <= rf(loser) {
+        return None;
+    }
+    // Clamp to what both sides can honor: the loser keeps at least the
+    // fairness floor and the winner never exceeds the pool — a transfer
+    // must be applicable in full or not proposed at all (a half-applied
+    // pair would leak quota).
+    let floor = quota_floor.max(1);
+    let frames = quota_step.min(lq.saturating_sub(floor)).min(capacity.saturating_sub(wq));
+    (frames > 0).then_some(QuotaMove {
+        winner,
+        loser,
+        frames,
+        winner_quota: wq + frames,
+        loser_quota: lq - frames,
+        winner_refaults: rf(winner),
+        loser_refaults: rf(loser),
+    })
+}
 
 /// Tunables of the meta-policy (the `adaptive` section of experiment
 /// configs lowers to this).
@@ -189,88 +283,11 @@ impl AdaptivePolicy {
         }
     }
 
-    /// The controller: compare epoch ghost rates, switch with hysteresis.
-    fn consider_switch(&mut self) {
-        let live_rate = self.ghosts[self.live_idx].epoch_rate();
-        let mut best: Option<(usize, f64)> = None;
-        for (i, g) in self.ghosts.iter().enumerate() {
-            if let Some(r) = g.epoch_rate() {
-                if best.is_none_or(|(_, br)| r > br) {
-                    best = Some((i, r));
-                }
-            }
-        }
-        if let (Some((best_idx, best_rate)), Some(live_rate)) = (best, live_rate) {
-            if best_idx != self.live_idx && best_rate > live_rate + self.cfg.hysteresis {
-                let from = self.cfg.candidates[self.live_idx];
-                let to = self.cfg.candidates[best_idx];
-                self.live = kcache_policy::migrate(self.live.as_ref(), to);
-                self.live_idx = best_idx;
-                self.stats.switches += 1;
-                self.stats.switch_log.push(SwitchRecord {
-                    epoch: self.stats.epochs,
-                    from,
-                    to,
-                    from_rate: live_rate,
-                    to_rate: best_rate,
-                });
-            }
-        }
-        for g in &mut self.ghosts {
-            g.end_epoch();
-        }
-    }
-
-    /// The tuner: move `quota_step` frames of quota from the app with the
-    /// fewest refaults (least marginal utility) to the app with the most.
-    fn tune_quotas(&mut self, quotas: &[(AppId, usize)]) -> Vec<QuotaUpdate> {
-        let mut updates = Vec::new();
-        if self.cfg.quota_tuning && quotas.len() >= 2 {
-            let refaults =
-                |app: AppId| self.app_ghosts.get(&app.0).map(|g| g.epoch_refaults).unwrap_or(0);
-            // Winner: most refaults, smaller quota on ties (the squeezed
-            // app gains first). Loser: fewest refaults, larger quota on
-            // ties (a drained app is not squeezed further). Both
-            // deterministic over the manager's ascending-app-id slice.
-            let &(winner, wq) = quotas
-                .iter()
-                .max_by_key(|&&(a, q)| (refaults(a), std::cmp::Reverse(q)))
-                .expect("non-empty quotas");
-            let &(loser, lq) = quotas
-                .iter()
-                .filter(|&&(a, _)| a != winner)
-                .min_by_key(|&&(a, q)| (refaults(a), std::cmp::Reverse(q)))
-                .expect("two quota'd apps");
-            if refaults(winner) > refaults(loser) {
-                // Clamp to what both sides can honor: the loser keeps at
-                // least the fairness floor and the winner never exceeds
-                // the pool — a transfer must be applicable in full or not
-                // proposed at all (a half-applied pair would leak quota).
-                let floor = self.cfg.quota_floor.max(1);
-                let step = self
-                    .cfg
-                    .quota_step
-                    .min(lq.saturating_sub(floor))
-                    .min(self.capacity.saturating_sub(wq));
-                if step > 0 {
-                    updates.push(QuotaUpdate { app: winner, quota: wq + step });
-                    updates.push(QuotaUpdate { app: loser, quota: lq - step });
-                    self.stats.quota_moves += 1;
-                    self.stats.quota_log.push(QuotaMoveRecord {
-                        epoch: self.stats.epochs,
-                        from: loser,
-                        to: winner,
-                        frames: step,
-                        from_refaults: refaults(loser),
-                        to_refaults: refaults(winner),
-                    });
-                }
-            }
-        }
-        for gl in self.app_ghosts.values_mut() {
-            gl.epoch_refaults = 0;
-        }
-        updates
+    /// The tuner's config knobs, exposed so a sharded manager can run the
+    /// shared [`decide_quota_move`] rule over merged per-shard evidence
+    /// with this instance's exact clamps.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
     }
 }
 
@@ -347,16 +364,100 @@ impl ReplacementPolicy for AdaptivePolicy {
         self.live.next_candidate(filter)
     }
 
+    fn recency_ranking(&self) -> Option<Vec<u32>> {
+        self.live.recency_ranking()
+    }
+
     fn epoch_tick(&mut self, quotas: &[(AppId, usize)]) -> Vec<QuotaUpdate> {
+        // Single-instance epoch = observe, decide over this instance's own
+        // ledgers with the shared rules, apply. A sharded manager runs the
+        // same three steps with a merge between observe and decide.
+        let obs = self.epoch_observe().expect("adaptive policies always observe");
+        let live = self.cfg.candidates[self.live_idx];
+        let switch_to = decide_switch(&obs.ghost_epoch, live, self.cfg.hysteresis);
+        let mut updates = Vec::new();
+        let mut quota_move = None;
+        if self.cfg.quota_tuning {
+            if let Some(mv) = decide_quota_move(
+                quotas,
+                &obs.refaults,
+                self.capacity,
+                self.cfg.quota_step,
+                self.cfg.quota_floor,
+            ) {
+                updates.push(QuotaUpdate { app: mv.winner, quota: mv.winner_quota });
+                updates.push(QuotaUpdate { app: mv.loser, quota: mv.loser_quota });
+                quota_move =
+                    Some((mv.loser, mv.winner, mv.frames, mv.loser_refaults, mv.winner_refaults));
+            }
+        }
+        self.epoch_apply(&EpochDirective { switch_to, quota_move });
+        updates
+    }
+
+    fn epoch_observe(&self) -> Option<EpochObservation> {
+        Some(EpochObservation {
+            live: Some(self.cfg.candidates[self.live_idx]),
+            ghost_epoch: self
+                .ghosts
+                .iter()
+                .map(|g| {
+                    let (hits, accesses) = g.epoch_counts();
+                    (g.kind(), hits, accesses)
+                })
+                .collect(),
+            refaults: self
+                .app_ghosts
+                .iter()
+                .map(|(&id, gl)| (AppId(id), gl.epoch_refaults))
+                .collect(),
+        })
+    }
+
+    fn epoch_apply(&mut self, directive: &EpochDirective) {
         self.stats.epochs += 1;
         // Time-based aging first, in the live policy and every ghost, so
-        // the switch decision is made over consistently aged metadata.
+        // a directed switch lands on consistently aged metadata.
         let _ = self.live.epoch_tick(&[]);
         for g in &mut self.ghosts {
             g.epoch_tick();
         }
-        self.consider_switch();
-        self.tune_quotas(quotas)
+        if let Some((to, from_rate, to_rate)) = directive.switch_to {
+            if let Some(idx) = self.cfg.candidates.iter().position(|&k| k == to) {
+                if idx != self.live_idx {
+                    let from = self.cfg.candidates[self.live_idx];
+                    self.live = kcache_policy::migrate(self.live.as_ref(), to);
+                    self.live_idx = idx;
+                    self.stats.switches += 1;
+                    self.stats.switch_log.push(SwitchRecord {
+                        epoch: self.stats.epochs,
+                        from,
+                        to,
+                        from_rate,
+                        to_rate,
+                    });
+                }
+            }
+        }
+        if let Some((from, to, frames, from_refaults, to_refaults)) = directive.quota_move {
+            self.stats.quota_moves += 1;
+            self.stats.quota_log.push(QuotaMoveRecord {
+                epoch: self.stats.epochs,
+                from,
+                to,
+                frames,
+                from_refaults,
+                to_refaults,
+            });
+        }
+        // Close the epoch: rate ledgers and refault evidence both reset
+        // (lifetime counters keep accumulating).
+        for g in &mut self.ghosts {
+            g.end_epoch();
+        }
+        for gl in self.app_ghosts.values_mut() {
+            gl.epoch_refaults = 0;
+        }
     }
 
     fn adaptive_stats(&self) -> Option<AdaptiveStats> {

@@ -16,6 +16,14 @@
 //! drained clock hit storm with and without a wired `kcache-obs` hub,
 //! proving telemetry costs no more than measurement noise on the path
 //! the paper optimizes.
+//!
+//! Finally, the shard sweep (`BENCH_shard.json`): hit- and miss-path
+//! throughput across `--shards` 1/2/4/8 against the default-builder
+//! baseline. The shards=1 facade must price identically to the
+//! unsharded baseline (CI gates at 3 %), and miss-path throughput must
+//! not *decrease* as shards are added — on a single-CPU container the
+//! curve is flat (threads serialize regardless of lock granularity),
+//! which the report records as acceptable parity via the `cpus` field.
 
 use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use kcache::{
@@ -416,6 +424,180 @@ fn obs_report(quick: bool, json_path: &str) {
     println!("obs report written to {json_path} ({} results, parse OK)", report.results.len());
 }
 
+// ---------------------------------------------------------------------
+// Shard sweep: per-shard leaf locks vs the single-shard facade
+// (`BENCH_shard.json`).
+// ---------------------------------------------------------------------
+
+/// Working set for the shard hit storm: half the capacity, so hash-skew
+/// across per-shard slices never forces evictions of the read set.
+const SHARD_READ_SET: u64 = (HITPATH_CAPACITY / 2) as u64;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ShardResult {
+    /// "hit" (resident reads) or "miss" (insert + eviction churn).
+    path: String,
+    /// "baseline" (default builder, no shards call) or "sharded"
+    /// (explicit `.shards(n)`).
+    mode: String,
+    shards: usize,
+    threads: usize,
+    total_ops: u64,
+    secs: f64,
+    mops_per_sec: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ShardReport {
+    bench: String,
+    capacity: usize,
+    quick: bool,
+    /// Host parallelism at measurement time. With `cpus == 1` the
+    /// miss-path curve is expected to be flat: threads serialize on the
+    /// scheduler regardless of lock granularity, so flat parity (not
+    /// scaling) is the acceptance bar recorded here.
+    cpus: usize,
+    notes: String,
+    results: Vec<ShardResult>,
+}
+
+fn shard_manager(shards: Option<usize>) -> BufferManager {
+    let mut b = BufferManager::builder(HITPATH_CAPACITY)
+        .watermarks(0, HITPATH_CAPACITY / 4)
+        .epoch_accesses(0);
+    if let Some(n) = shards {
+        b = b.shards(n);
+    }
+    let m = b.build();
+    let buf = vec![0xABu8; 4096];
+    for blk in 0..SHARD_READ_SET {
+        m.insert_clean(key(blk), NodeId(0), Span::FULL, &buf);
+    }
+    m
+}
+
+/// Pure-hit storm over the shard working set. No success assertion:
+/// hash routing splits capacity unevenly across shards, so a rare
+/// straggler miss must not abort the measurement (it still prices a
+/// full lookup, which is the quantity under test).
+fn measure_shard_hits(m: &BufferManager, threads: usize, per_thread: u64) -> (u64, f64) {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let mut out = vec![0u8; 64];
+                let span = Span::new(128, 192);
+                let mut b = (t as u64 * 131) % SHARD_READ_SET;
+                for _ in 0..per_thread {
+                    b = (b + 7) % SHARD_READ_SET;
+                    let _ = m.try_read(key(b), span, &mut out);
+                }
+            });
+        }
+    });
+    (threads as u64 * per_thread, start.elapsed().as_secs_f64())
+}
+
+/// Miss-path storm: every insert is a miss plus (once warm) an eviction
+/// scan under the owning shard's policy lock — the contention sharding
+/// divides. Thread-disjoint key ranges spread across shards by hash.
+fn measure_shard_misses(m: &BufferManager, threads: usize, per_thread: u64) -> (u64, f64) {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let buf = vec![0xCDu8; 4096];
+                let mut next = 2_000_000_000u64 + t as u64 * 1_000_000_000;
+                for _ in 0..per_thread {
+                    next += 1;
+                    m.insert_clean(key(next), NodeId(0), Span::FULL, &buf);
+                }
+            });
+        }
+    });
+    (threads as u64 * per_thread, start.elapsed().as_secs_f64())
+}
+
+fn shard_report(quick: bool, json_path: &str) {
+    let hit_per_thread: u64 = if quick { 30_000 } else { 300_000 };
+    let miss_per_thread: u64 = if quick { 5_000 } else { 50_000 };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut results = Vec::new();
+    // (mode, shards): the default builder is the unsharded reference the
+    // CI gate compares `.shards(1)` against.
+    let configs: [(&str, Option<usize>); 5] = [
+        ("baseline", None),
+        ("sharded", Some(1)),
+        ("sharded", Some(2)),
+        ("sharded", Some(4)),
+        ("sharded", Some(8)),
+    ];
+    for &threads in &[1usize, 4, 8] {
+        for (path, per_thread, measure) in [
+            (
+                "hit",
+                hit_per_thread,
+                measure_shard_hits as fn(&BufferManager, usize, u64) -> (u64, f64),
+            ),
+            ("miss", miss_per_thread, measure_shard_misses),
+        ] {
+            let managers: Vec<BufferManager> =
+                configs.iter().map(|&(_, shards)| shard_manager(shards)).collect();
+            for m in &managers {
+                measure(m, threads, per_thread / 4); // warm-up
+            }
+            // Same protocol as the obs guard: samples alternate across
+            // all configs each round (machine drift lands on every
+            // config equally) and each config reports its best of five
+            // — the baseline/shards=1 pair feeds a 3% CI gate, and the
+            // quantity under test is a code-path cost, not run-to-run
+            // scheduler variance.
+            let mut best: Vec<Option<(u64, f64)>> = vec![None; configs.len()];
+            for _ in 0..5 {
+                for (i, m) in managers.iter().enumerate() {
+                    let (ops, secs) = measure(m, threads, per_thread);
+                    if best[i].is_none_or(|(_, b)| secs < b) {
+                        best[i] = Some((ops, secs));
+                    }
+                }
+            }
+            for (i, &(mode, shards)) in configs.iter().enumerate() {
+                let n = shards.unwrap_or(1);
+                let (ops, secs) = best[i].expect("sampled");
+                let rate = ops as f64 / secs;
+                println!("shard/{path}/{mode}/{n}s/{threads}t: {:.2} Mops/s", rate / 1e6);
+                results.push(ShardResult {
+                    path: path.to_string(),
+                    mode: mode.to_string(),
+                    shards: n,
+                    threads,
+                    total_ops: ops,
+                    secs,
+                    mops_per_sec: rate / 1e6,
+                });
+            }
+        }
+    }
+    let report = ShardReport {
+        bench: "buffer_manager/shard_sweep".into(),
+        capacity: HITPATH_CAPACITY,
+        quick,
+        cpus,
+        notes: "Acceptance: shards=1 within 3% of the default-builder baseline \
+                (CI gate); miss-path throughput non-decreasing with shard count \
+                at 4/8 threads on multi-core hosts. With cpus=1 a flat miss-path \
+                curve is expected and acceptable: threads serialize on the \
+                scheduler, so lock granularity cannot change throughput."
+            .into(),
+        results,
+    };
+    let text = serde_json::to_string_pretty(&report).expect("serialize shard report");
+    std::fs::write(json_path, &text).expect("write BENCH_shard.json");
+    let parsed: ShardReport = serde_json::from_str(&text).expect("re-parse shard report");
+    assert_eq!(parsed.results.len(), report.results.len());
+    println!("shard report written to {json_path} ({} results, parse OK)", report.results.len());
+}
+
 fn arg_path(args: &[String], flag: &str, default: &str) -> String {
     args.iter()
         .position(|a| a == flag)
@@ -433,9 +615,15 @@ fn main() {
         arg_path(&args, "--json", concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hitpath.json"));
     let obs_path =
         arg_path(&args, "--obs-json", concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json"));
+    let shard_path = arg_path(
+        &args,
+        "--shard-json",
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json"),
+    );
     if !quick {
         benches();
     }
     hitpath_report(quick, &json_path);
     obs_report(quick, &obs_path);
+    shard_report(quick, &shard_path);
 }

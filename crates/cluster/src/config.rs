@@ -62,6 +62,10 @@ pub struct ClusterCfg {
     pub clean_first: bool,
     /// Frame-quota mode: "shared" (default), "strict", or "soft".
     pub partitioning: String,
+    /// Buffer-manager shards per node (1 = the paper's single pool;
+    /// defaulted so pre-sharding configs parse unchanged). Capacity,
+    /// watermarks and quotas split across shards; blocks route by hash.
+    pub shards: usize,
     /// Meta-policy knobs (only consulted when `policy` is `"adaptive"`,
     /// except `epoch_accesses`, which also drives `SharingAware` referent
     /// decay under static policies). All defaulted: pre-adaptive configs
@@ -231,6 +235,7 @@ impl Default for ClusterCfg {
             policy: "clock".into(),
             clean_first: true,
             partitioning: "shared".into(),
+            shards: 1,
             adaptive: AdaptiveCfg::default(),
             cooperative: CooperativeCfg::default(),
             telemetry: TelemetryCfg::default(),
@@ -392,6 +397,7 @@ impl ExperimentConfig {
             epoch_accesses,
             cooperative,
             slo: self.cluster.telemetry.slo_targets(),
+            shards: self.cluster.shards.max(1),
             ..CacheConfig::paper()
         }));
         spec.obs = obs;

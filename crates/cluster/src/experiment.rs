@@ -83,6 +83,19 @@ impl SloClassSummary {
 }
 
 /// Everything measured in one run.
+/// One buffer-manager shard's share of the cluster's cache state,
+/// summed over every module (shards are per node; index `i` here is the
+/// union of every node's shard `i`). A skewed `occupancy` spread is hash
+/// imbalance; a skewed `evictions` spread is pressure imbalance.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardUsage {
+    pub shard: usize,
+    /// Frames resident at the end of the run.
+    pub occupancy: u64,
+    /// Lifetime evictions (clean + dirty).
+    pub evictions: u64,
+}
+
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
     pub instances: Vec<InstanceResult>,
@@ -102,6 +115,9 @@ pub struct ExperimentResult {
     /// Per-application occupancy and attributed traffic, summed over all
     /// modules (caching runs only; ascending by app id).
     pub app_usage: Option<Vec<AppCacheUsage>>,
+    /// Per-shard occupancy/eviction breakdown, summed over all modules
+    /// (caching runs only; a single entry when `shards = 1`).
+    pub shard_usage: Option<Vec<ShardUsage>>,
     pub module: Option<ModuleStats>,
     pub iod: IodStats,
     pub fabric: FabricStats,
@@ -258,6 +274,7 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
     let mut policy_total: Option<PolicyStats> = None;
     let mut adaptive_total: Option<AdaptiveStats> = None;
     let mut app_total: BTreeMap<u32, AppCacheUsage> = BTreeMap::new();
+    let mut shard_total: Option<Vec<ShardUsage>> = None;
     // End-of-run cluster-wide residency: how many caches hold each block.
     // Distinct blocks vs total copies is the singleton-preservation
     // evidence — fewer duplicate copies means more of the cluster's
@@ -358,6 +375,15 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
         macc.disk_fetch_blocks += ms.disk_fetch_blocks;
         macc.disk_fetch_ns += ms.disk_fetch_ns;
         macc.remote_fetch_ns += ms.remote_fetch_ns;
+        let occ = module.cache().shard_occupancy();
+        let ev = module.cache().shard_evictions();
+        let shards = shard_total.get_or_insert_with(|| {
+            (0..occ.len()).map(|i| ShardUsage { shard: i, occupancy: 0, evictions: 0 }).collect()
+        });
+        for (acc, (o, e)) in shards.iter_mut().zip(occ.iter().zip(&ev)) {
+            acc.occupancy += *o as u64;
+            acc.evictions += *e;
+        }
         for key in module.cache().resident_keys() {
             *cluster_residency.entry(key).or_insert(0u64) += 1;
         }
@@ -432,6 +458,7 @@ pub fn run_experiment(spec: &ClusterSpec, apps: &[AppSpec]) -> ExperimentResult 
             .cache
             .is_some()
             .then(|| app_total.into_values().collect::<Vec<AppCacheUsage>>()),
+        shard_usage: shard_total,
         module: module_total,
         iod: iod_total,
         fabric: fabric_stats,

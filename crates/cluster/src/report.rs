@@ -367,6 +367,9 @@ pub struct CacheEfficiency {
     pub invalidated: u64,
     /// Per-application occupancy and hit ratios (ascending by app id).
     pub apps: Vec<AppEfficiency>,
+    /// Per-shard occupancy/eviction balance (one entry under the default
+    /// single-pool manager; see `ShardUsage`).
+    pub shards: Vec<crate::experiment::ShardUsage>,
     /// Meta-policy observability (adaptive runs only).
     pub adaptive: Option<AdaptiveReport>,
     /// Local/remote/disk tier breakdown (cooperative runs only).
@@ -399,6 +402,7 @@ impl CacheEfficiency {
                 .iter()
                 .map(AppEfficiency::from_usage)
                 .collect(),
+            shards: r.shard_usage.clone().unwrap_or_default(),
             adaptive: r.adaptive.as_ref().map(AdaptiveReport::from_stats),
             cooperative: CooperativeReport::from_run(r),
         })

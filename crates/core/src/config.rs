@@ -240,6 +240,12 @@ pub struct CacheConfig {
     /// wired (a fetch slower than its tier's target increments that
     /// tier's `slo.fetch.burn.*` counter).
     pub slo: kcache_obs::SloTargets,
+    /// Independent buffer-manager shards the frame pool is split into
+    /// (capacity, watermarks and quotas divide across them; blocks route
+    /// by key hash). `1` — the default and the paper's behavior — is the
+    /// single-pool manager; higher values remove cross-core lock sharing
+    /// at the cost of per-shard (rather than global) eviction ordering.
+    pub shards: usize,
 }
 
 impl CacheConfig {
@@ -260,6 +266,7 @@ impl CacheConfig {
             cooperative: None,
             obs: None,
             slo: kcache_obs::SloTargets::default(),
+            shards: 1,
         }
     }
 

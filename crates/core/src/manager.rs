@@ -20,12 +20,31 @@
 //!   exercised by real multi-threaded stress tests, not only by the
 //!   single-threaded simulation.
 //!
-//! Lock ordering discipline: bucket → frame. The free list, dirty list and
-//! the policy state are leaf locks — never held while acquiring a bucket or
-//! frame lock. Evictions ask the policy for a candidate (policy lock only),
-//! release, then take bucket → frame and revalidate; the policy may thus
-//! offer a candidate that has since changed hands, and the manager simply
-//! asks for the next one.
+//! ## Sharding
+//!
+//! [`BufferManager`] is a lock-free facade over N independent shards
+//! (builder knob [`BufferManagerBuilder::shards`], default 1 — the
+//! paper's configuration, byte-for-byte). A block's home shard is fixed
+//! by the *high* bits of its key hash (bucket selection within a shard
+//! uses the low bits, so the two choices stay independent); capacity,
+//! watermarks, and per-app quotas split across shards with the remainder
+//! to low indexes. Every lock in the structure lives *inside* a shard —
+//! the facade owns only the shard array and three atomics (epoch clock,
+//! boundary mark, CAS gate), so no code path can serialize two shards'
+//! traffic on a manager-global lock (CI greps the facade struct for
+//! `Mutex`/`RwLock`). Cross-shard state — adaptive ghost evidence,
+//! switch decisions, tuned-quota overlays — reconciles only at epoch
+//! boundaries; strict-quota headroom moves between shards as *quota
+//! units* (never frames) on the pre-admission spill path.
+//!
+//! Lock ordering discipline, per shard: bucket → frame. The free list,
+//! dirty list and the policy state are leaf locks — never held while
+//! acquiring a bucket or frame lock; the charge ledger may nest its
+//! tuned-quota overlay (charges → tuned_quotas) and nothing else. No
+//! lock is ever held across a shard boundary. Evictions ask the policy
+//! for a candidate (policy lock only), release, then take bucket → frame
+//! and revalidate; the policy may thus offer a candidate that has since
+//! changed hands, and the manager simply asks for the next one.
 //!
 //! ## Hit-path concurrency (eager vs drained accounting)
 //!
@@ -61,16 +80,16 @@
 use crate::block::{BlockKey, Span, CACHE_BLOCK_SIZE};
 use crate::config::{CooperativeConfig, PartitionConfig, PartitionMode};
 use crate::ring::EventRing;
-use kcache_adaptive::{AdaptiveConfig, AdaptivePolicy};
+use kcache_adaptive::{decide_quota_move, decide_switch, AdaptiveConfig, AdaptivePolicy};
 use kcache_obs::{Counter, EventId, Histogram, ObsHub};
 use kcache_policy::{
-    AccessEvent, AdaptiveStats, AppId, AppUsage, PolicyKind, PolicyStats, RefWords,
-    ReplacementPolicy,
+    AccessEvent, AdaptiveStats, AppId, AppUsage, EpochDirective, EpochObservation, PolicyKind,
+    PolicyStats, RefWords, ReplacementPolicy,
 };
 use parking_lot::Mutex;
 use sim_net::NodeId;
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc as StdArc;
 
 /// Replacement configuration (§3.2 design choices, now a policy *choice*
@@ -292,8 +311,16 @@ struct ManagerObs {
     quota_seen: AtomicU64,
 }
 
-/// The shared, finely-locked block cache.
-pub struct BufferManager {
+/// One shard of the cache: a fully self-contained slice of the frame
+/// pool with its own hash buckets, free list, dirty queue, replacement
+/// policy, event ring and charge ledger — every lock below this line is
+/// shard-local. The public [`BufferManager`] facade routes each
+/// [`BlockKey`] to exactly one shard (high hash bits, disjoint from the
+/// low bits the in-shard bucket index consumes), so two threads touching
+/// blocks on different shards share **no** lock at all. Cross-shard
+/// state — global quota balances, adaptive switch decisions, tuned-quota
+/// overlays — is reconciled only at epoch boundaries by the facade.
+struct Shard {
     capacity: usize,
     policy_cfg: EvictPolicy,
     partitioning: PartitionConfig,
@@ -369,6 +396,53 @@ pub struct BufferManager {
     /// never-taken branch).
     obs: Option<ManagerObs>,
     stats: AtomicStats,
+    /// `Some` when a sharded facade coordinates epochs (N > 1): every
+    /// access event bumps this facade-shared clock instead of running
+    /// the in-shard epoch boundary. `None` (N = 1) keeps the exact
+    /// in-shard epoch path, byte-for-byte the pre-sharding behavior.
+    shared_clock: Option<StdArc<AtomicU64>>,
+}
+
+/// The shared, finely-locked block cache — a facade over `N` independent
+/// [`Shard`]s (see [`BufferManagerBuilder::shards`]; the default of 1
+/// preserves the historical single-pool behavior exactly).
+///
+/// The facade itself holds **no locks**: routing is a pure hash, the
+/// aggregate counters are sums over shard-local atomics, and the only
+/// facade-owned mutable state is the lock-free epoch clock/gate pair
+/// below. Cross-shard coordination happens in exactly two places:
+///
+/// * **Epoch boundaries** (N > 1): shards feed one shared access clock;
+///   when it crosses `epoch_accesses` the thread that trips the gate
+///   collects each shard's [`EpochObservation`], merges the ghost and
+///   refault ledgers, makes ONE switch/quota decision over the merged
+///   evidence (`kcache-adaptive`'s shared decision rules), and applies
+///   the resulting [`EpochDirective`] to every shard — so an adaptive
+///   switch migrates all shards atomically with respect to epochs and
+///   no shard can disagree about the live policy.
+/// * **Strict-quota spill**: per-shard strict quotas are the global
+///   quota split across shards. When an app's traffic hashes unevenly
+///   its home shard may fill while a sibling's slice idles; before a
+///   write/insert is denied the facade moves one *quota unit* (never a
+///   frame) from an under-used sibling to the home shard —
+///   decrement-before-increment, so the global sum never exceeds the
+///   configured quota at any instant.
+pub struct BufferManager {
+    shards: Box<[Shard]>,
+    capacity: usize,
+    policy_cfg: EvictPolicy,
+    /// The *global* partition config (shards hold their split slices).
+    partitioning: PartitionConfig,
+    adaptive_cfg: Option<AdaptiveConfig>,
+    epoch_accesses: usize,
+    quota_floor: usize,
+    /// N > 1 only: accesses across all shards since construction (the
+    /// shards bump it; see [`Shard::shared_clock`]).
+    epoch_clock: StdArc<AtomicU64>,
+    /// Coordinated epoch boundaries already run.
+    epoch_marks: AtomicU64,
+    /// CAS gate: exactly one thread runs a due boundary.
+    epoch_gate: AtomicBool,
 }
 
 /// Builder for [`BufferManager`] — the canonical construction surface.
@@ -399,6 +473,7 @@ pub struct BufferManagerBuilder {
     eager: bool,
     cooperative: Option<CooperativeConfig>,
     obs: Option<(StdArc<ObsHub>, u32)>,
+    shards: usize,
 }
 
 impl BufferManagerBuilder {
@@ -414,6 +489,7 @@ impl BufferManagerBuilder {
             eager: false,
             cooperative: None,
             obs: None,
+            shards: 1,
         }
     }
 
@@ -479,6 +555,20 @@ impl BufferManagerBuilder {
         self
     }
 
+    /// Number of independent shards the frame pool is split into. `1`
+    /// (the default) is the historical single-pool manager, bit for
+    /// bit. With `n > 1` each shard owns `capacity / n` frames (the
+    /// remainder spread over the low-index shards), its own replacement
+    /// policy instance, free/dirty lists and charge ledger; blocks route
+    /// to shards by the *high* bits of the key hash (the in-shard bucket
+    /// index consumes the low bits). Quotas and watermarks are split the
+    /// same way, sums preserved; epochs are coordinated by the facade so
+    /// adaptive decisions stay global (see [`BufferManager`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     pub fn build(self) -> BufferManager {
         let BufferManagerBuilder {
             capacity,
@@ -491,12 +581,109 @@ impl BufferManagerBuilder {
             eager,
             cooperative,
             obs,
+            shards: n_shards,
         } = self;
         assert!(capacity > 0);
+        assert!(n_shards >= 1, "at least one shard");
+        assert!(n_shards <= capacity, "more shards than frames");
         assert!(low_watermark <= high_watermark && high_watermark <= capacity);
         partitioning.validate(capacity).unwrap_or_else(|e| panic!("bad partitioning: {e}"));
-        let n_buckets = (capacity / 4).next_power_of_two().max(16);
         let quota_floor = adaptive.as_ref().map_or(1, |a| a.quota_floor.max(1));
+        let shared_clock = (n_shards > 1).then(|| StdArc::new(AtomicU64::new(0)));
+        let caps = split_units(capacity, n_shards);
+        let lows = split_units(low_watermark, n_shards);
+        let highs = split_units(high_watermark, n_shards);
+        let shards: Vec<Shard> = (0..n_shards)
+            .map(|i| {
+                // Per-shard slice of the partition plan: each quota is
+                // split like the capacity (remainder to low shards), so
+                // the per-shard quotas of any app sum exactly to its
+                // global quota. A slice may legitimately be 0 for small
+                // quotas — strict admission then denies on that shard
+                // until the facade lends it a unit from a sibling.
+                let part = PartitionConfig {
+                    mode: partitioning.mode,
+                    quotas: partitioning
+                        .quotas
+                        .iter()
+                        .map(|(&id, &q)| (id, split_units(q, n_shards)[i]))
+                        .collect(),
+                };
+                Shard::build(ShardParams {
+                    capacity: caps[i],
+                    policy,
+                    low_watermark: lows[i],
+                    high_watermark: highs[i],
+                    partitioning: part,
+                    adaptive: adaptive.clone(),
+                    epoch_accesses,
+                    eager,
+                    cooperative,
+                    obs: obs.clone(),
+                    quota_floor,
+                    shared_clock: shared_clock.clone(),
+                })
+            })
+            .collect();
+        BufferManager {
+            shards: shards.into_boxed_slice(),
+            capacity,
+            policy_cfg: policy,
+            partitioning,
+            adaptive_cfg: adaptive,
+            epoch_accesses,
+            quota_floor,
+            epoch_clock: shared_clock.unwrap_or_else(|| StdArc::new(AtomicU64::new(0))),
+            epoch_marks: AtomicU64::new(0),
+            epoch_gate: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Split `total` units over `n` shards: `total / n` each, the remainder
+/// distributed one-per-shard from index 0. Monotone in `total` (so split
+/// watermarks never exceed split capacities) and sum-preserving.
+fn split_units(total: usize, n: usize) -> Vec<usize> {
+    let (base, rem) = (total / n, total % n);
+    (0..n).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// Construction parameters for one [`Shard`] (the facade's split of the
+/// builder knobs).
+struct ShardParams {
+    capacity: usize,
+    policy: EvictPolicy,
+    low_watermark: usize,
+    high_watermark: usize,
+    partitioning: PartitionConfig,
+    adaptive: Option<AdaptiveConfig>,
+    epoch_accesses: usize,
+    eager: bool,
+    cooperative: Option<CooperativeConfig>,
+    obs: Option<(StdArc<ObsHub>, u32)>,
+    quota_floor: usize,
+    shared_clock: Option<StdArc<AtomicU64>>,
+}
+
+impl Shard {
+    fn build(params: ShardParams) -> Shard {
+        let ShardParams {
+            capacity,
+            policy,
+            low_watermark,
+            high_watermark,
+            partitioning,
+            adaptive,
+            epoch_accesses,
+            eager,
+            cooperative,
+            obs,
+            quota_floor,
+            shared_clock,
+        } = params;
+        debug_assert!(capacity > 0);
+        debug_assert!(low_watermark <= high_watermark && high_watermark <= capacity);
+        let n_buckets = (capacity / 4).next_power_of_two().max(16);
         let is_adaptive = adaptive.is_some();
         let ranked: Box<dyn ReplacementPolicy> = match adaptive {
             Some(cfg) => Box::new(AdaptivePolicy::new(capacity, cfg)),
@@ -530,7 +717,7 @@ impl BufferManagerBuilder {
                 node,
             }
         });
-        BufferManager {
+        Shard {
             capacity,
             policy_cfg: policy,
             partitioning,
@@ -557,94 +744,20 @@ impl BufferManagerBuilder {
             duplicate_hints: singleton.then(|| Mutex::new(std::collections::HashSet::new())),
             obs,
             stats: AtomicStats::default(),
+            shared_clock,
         }
     }
-}
 
-impl BufferManager {
-    /// Start building a manager with `capacity` 4 KB frames. See
-    /// [`BufferManagerBuilder`] for the knobs and their defaults.
-    pub fn builder(capacity: usize) -> BufferManagerBuilder {
-        BufferManagerBuilder::new(capacity)
-    }
-
-    #[deprecated(note = "use BufferManager::builder(capacity).build()")]
-    pub fn new(capacity: usize, policy: EvictPolicy) -> BufferManager {
-        Self::builder(capacity).policy(policy).build()
-    }
-
-    #[deprecated(note = "use BufferManager::builder(..).watermarks(..)")]
-    pub fn with_watermarks(
-        capacity: usize,
-        policy: EvictPolicy,
-        low_watermark: usize,
-        high_watermark: usize,
-    ) -> BufferManager {
-        Self::builder(capacity).policy(policy).watermarks(low_watermark, high_watermark).build()
-    }
-
-    #[deprecated(note = "use BufferManager::builder(..).partitioning(..)")]
-    pub fn with_config(
-        capacity: usize,
-        policy: EvictPolicy,
-        low_watermark: usize,
-        high_watermark: usize,
-        partitioning: PartitionConfig,
-    ) -> BufferManager {
-        Self::builder(capacity)
-            .policy(policy)
-            .watermarks(low_watermark, high_watermark)
-            .partitioning(partitioning)
-            .build()
-    }
-
-    #[deprecated(note = "use BufferManager::builder(..)")]
-    pub fn with_full_config(
-        capacity: usize,
-        policy: EvictPolicy,
-        low_watermark: usize,
-        high_watermark: usize,
-        partitioning: PartitionConfig,
-        adaptive: Option<AdaptiveConfig>,
-        epoch_accesses: usize,
-    ) -> BufferManager {
-        Self::builder(capacity)
-            .policy(policy)
-            .watermarks(low_watermark, high_watermark)
-            .partitioning(partitioning)
-            .adaptive(adaptive)
-            .epoch_accesses(epoch_accesses)
-            .build()
-    }
-
-    #[deprecated(note = "use BufferManagerBuilder::eager_accounting(true)")]
-    pub fn with_eager_accounting(mut self) -> BufferManager {
-        self.eager = true;
-        self
-    }
-
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    pub fn free_frames(&self) -> usize {
+    fn free_frames(&self) -> usize {
         self.free.lock().len()
     }
 
-    pub fn resident(&self) -> usize {
+    fn resident(&self) -> usize {
         self.capacity - self.free_frames()
     }
 
-    pub fn dirty_queue_len(&self) -> usize {
+    fn dirty_queue_len(&self) -> usize {
         self.dirty.lock().len()
-    }
-
-    pub fn policy(&self) -> EvictPolicy {
-        self.policy_cfg
-    }
-
-    pub fn partitioning(&self) -> &PartitionConfig {
-        &self.partitioning
     }
 
     /// The replacement policy's own event ledger (hits/misses/evictions as
@@ -858,6 +971,13 @@ impl BufferManager {
     /// boundary. Locks are taken one at a time (policy, then
     /// tuned_quotas — both leaves), never nested.
     fn note_epoch_access(&self) {
+        // Sharded facade (N > 1): this shard does not run epochs itself —
+        // it feeds the facade's shared clock and the facade coordinates
+        // one cross-shard boundary when the clock crosses the threshold.
+        if let Some(clock) = &self.shared_clock {
+            clock.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         if self.epoch_accesses == 0 {
             return;
         }
@@ -865,6 +985,23 @@ impl BufferManager {
         if !n.is_multiple_of(self.epoch_accesses as u64) {
             return;
         }
+        self.epoch_tick_local();
+        if self.obs.is_some() {
+            let usage = self.app_usage();
+            let quotas: Vec<(AppId, usize)> =
+                usage.iter().filter_map(|&(app, _)| self.quota_of(app).map(|q| (app, q))).collect();
+            let ast = self.adaptive_stats();
+            self.obs_epoch_mark(n, &usage, &quotas, ast.as_ref());
+        }
+    }
+
+    /// One shard-local epoch tick: drain, let the policy decide
+    /// (adaptive switch, `SharingAware` decay), validate and apply any
+    /// quota updates it recommends. Runs from the in-shard clock (N = 1)
+    /// or per shard from the facade's coordinated boundary when no
+    /// adaptive meta-policy needs cross-shard merging (static policies
+    /// age independently — there is no shared decision to coordinate).
+    fn epoch_tick_local(&self) {
         let quotas: Vec<(AppId, usize)> = if self.partitioning.mode == PartitionMode::Shared {
             Vec::new()
         } else {
@@ -905,9 +1042,25 @@ impl BufferManager {
                 }
             }
         }
-        if let Some(o) = &self.obs {
-            self.obs_epoch_mark(o, n);
-        }
+    }
+
+    /// Facade coordination, step 1 (adaptive, N > 1): drain this shard's
+    /// deferred events and export its epoch observation — the live
+    /// policy, each candidate ghost's per-epoch ledger, each app's
+    /// refault count. `None` for static policies.
+    fn epoch_observe(&self) -> Option<EpochObservation> {
+        let mut p = self.policy.lock();
+        self.drain_locked(&mut p);
+        p.epoch_observe()
+    }
+
+    /// Facade coordination, step 2 (adaptive, N > 1): apply the merged
+    /// cross-shard decision — every shard receives the same directive,
+    /// so a policy switch migrates all shards within one boundary.
+    fn epoch_apply_directive(&self, directive: &EpochDirective) {
+        let mut p = self.policy.lock();
+        self.drain_locked(&mut p);
+        p.epoch_apply(directive);
     }
 
     /// Epoch-boundary observability (cold path, obs-wired managers only):
@@ -918,7 +1071,19 @@ impl BufferManager {
     /// free of any obs dependency. Each decision event carries its
     /// *reason* as args: the deciding ghost hit rates for a policy
     /// switch, the winning/losing refault counts for a quota move.
-    fn obs_epoch_mark(&self, o: &ManagerObs, access_n: u64) {
+    ///
+    /// Usage, quota gauges and adaptive stats come in as arguments so the
+    /// sharded facade can pass *merged* cross-shard views — a shard
+    /// publishing only its own slice would clobber the global gauges with
+    /// a partial picture.
+    fn obs_epoch_mark(
+        &self,
+        access_n: u64,
+        usage: &[(AppId, AppUsage)],
+        quota_gauges: &[(AppId, usize)],
+        ast: Option<&AdaptiveStats>,
+    ) {
+        let Some(o) = &self.obs else { return };
         // Sync the deferred hit/miss mirrors *before* closing the metric
         // window, so each epoch delta carries exactly its own accesses.
         self.obs_sync_counts(o);
@@ -926,15 +1091,15 @@ impl BufferManager {
         let epoch = access_n / self.epoch_accesses as u64;
         o.hub.instant(o.ev_epoch_tick, o.node, 0, epoch, access_n);
         let reg = o.hub.registry();
-        for (app, u) in self.app_usage() {
+        for (app, u) in usage {
             reg.gauge(&format!("app.{}.resident", app.0)).set(u.resident);
             reg.gauge(&format!("app.{}.hits", app.0)).set(u.hits);
             reg.gauge(&format!("app.{}.misses", app.0)).set(u.misses);
-            if let Some(q) = self.quota_of(app) {
-                reg.gauge(&format!("app.{}.quota", app.0)).set(q as u64);
-            }
         }
-        let Some(ast) = self.adaptive_stats() else {
+        for (app, q) in quota_gauges {
+            reg.gauge(&format!("app.{}.quota", app.0)).set(*q as u64);
+        }
+        let Some(ast) = ast else {
             return;
         };
         for g in &ast.ghost_rates {
@@ -1068,18 +1233,6 @@ impl BufferManager {
         }
     }
 
-    /// [`BufferManager::try_read_by`] with an unattributed accessor.
-    pub fn try_read(&self, key: BlockKey, span: Span, out: &mut [u8]) -> bool {
-        self.try_read_by(key, span, out, AppId::UNKNOWN)
-    }
-
-    /// Try to serve `span` of `key` into `out` (`out.len() == span.len()`)
-    /// on behalf of application `app`. Counts a hit (and refreshes
-    /// recency) or a miss. Wrapper over [`BufferManager::access`].
-    pub fn try_read_by(&self, key: BlockKey, span: Span, out: &mut [u8], app: AppId) -> bool {
-        self.access(key, Access { app, kind: AccessKind::Read { span, out } }).is_hit()
-    }
-
     fn read_impl(&self, key: BlockKey, span: Span, out: &mut [u8], app: AppId) -> bool {
         debug_assert_eq!(out.len(), span.len() as usize);
         let idx = {
@@ -1106,24 +1259,6 @@ impl BufferManager {
         };
         self.record_hit(idx, key, app);
         true
-    }
-
-    /// [`BufferManager::probe_by`] with an unattributed accessor.
-    pub fn probe(&self, key: BlockKey, span: Span) -> bool {
-        self.probe_by(key, span, AppId::UNKNOWN)
-    }
-
-    /// Hit check without copying (used to plan request splitting) on
-    /// behalf of `app`. Both branches run the same accounting as
-    /// [`BufferManager::try_read_by`] — global and policy hit/miss
-    /// counters, the per-app ledger, the epoch clock — except that, like
-    /// the seed implementation, a probe hit does **not** refresh recency
-    /// (planning a split is not a use of the block). Before PR 5 the hit
-    /// branch skipped the epoch clock and the app ledger while the miss
-    /// branch counted both, so probe-heavy workloads skewed epoch length
-    /// and per-app hit ratios. Wrapper over [`BufferManager::access`].
-    pub fn probe_by(&self, key: BlockKey, span: Span, app: AppId) -> bool {
-        self.access(key, Access { app, kind: AccessKind::Probe { span } }).is_hit()
     }
 
     fn probe_impl(&self, key: BlockKey, span: Span, app: AppId) -> bool {
@@ -1174,11 +1309,19 @@ impl BufferManager {
     }
 
     /// Quota gate: charge one frame to `app` if it is under quota.
+    ///
+    /// The effective quota is resolved **while holding the charges
+    /// lock** (charges → tuned_quotas is the one sanctioned leaf-lock
+    /// nesting; nothing takes them in the other order). This serializes
+    /// admission against the facade's cross-shard quota lending, which
+    /// also inspects the charge under the charges lock before moving a
+    /// quota unit away — without it a grant racing a lend could leave a
+    /// shard one frame over its (just-shrunk) slice.
     fn admit(&self, app: AppId) -> Admission {
+        let mut c = self.charges.lock();
         let Some(quota) = self.quota_of(app) else {
             return Admission::Unlimited;
         };
-        let mut c = self.charges.lock();
         let n = c.entry(app.0).or_insert(0);
         if *n < quota {
             *n += 1;
@@ -1186,6 +1329,50 @@ impl BufferManager {
         } else {
             Admission::OverQuota
         }
+    }
+
+    /// Is `app` at (or over) its quota slice on this shard? Used by the
+    /// facade to decide whether a write/insert is about to be denied and
+    /// a quota unit should be borrowed from a sibling shard first.
+    fn at_quota(&self, app: AppId) -> bool {
+        let c = self.charges.lock();
+        match self.quota_of(app) {
+            Some(q) => c.get(&app.0).copied().unwrap_or(0) >= q,
+            None => false,
+        }
+    }
+
+    /// Give up one unused quota unit of `app`'s slice on this shard
+    /// (facade spill, strict mode): succeeds only while the app's charge
+    /// is strictly below its slice, so the unit being moved is provably
+    /// idle here. Runs under the charges lock — see [`Shard::admit`].
+    fn lend_quota_unit(&self, app: AppId) -> bool {
+        let c = self.charges.lock();
+        let Some(q) = self.quota_of(app) else {
+            return false;
+        };
+        if q == 0 || c.get(&app.0).copied().unwrap_or(0) >= q {
+            return false;
+        }
+        self.tuned_quotas.lock().insert(app.0, q - 1);
+        true
+    }
+
+    /// Grow `app`'s quota slice on this shard by the unit a sibling just
+    /// lent (the decrement happened first, so the global sum never
+    /// exceeds the configured quota).
+    fn receive_quota_unit(&self, app: AppId) {
+        let c = self.charges.lock();
+        if let Some(q) = self.quota_of(app) {
+            self.tuned_quotas.lock().insert(app.0, q + 1);
+        }
+        drop(c);
+    }
+
+    /// Overwrite `app`'s tuned-quota slice (facade epoch reconciliation:
+    /// the merged tuner decision re-split across shards).
+    fn set_tuned_quota(&self, app: AppId, quota: usize) {
+        self.tuned_quotas.lock().insert(app.0, quota);
     }
 
     /// Charge one frame to `app` bypassing the quota check (soft-mode
@@ -1508,36 +1695,6 @@ impl BufferManager {
         }
     }
 
-    /// [`BufferManager::insert_clean_by`] with an unattributed accessor.
-    pub fn insert_clean(
-        &self,
-        key: BlockKey,
-        home: NodeId,
-        span: Span,
-        bytes: &[u8],
-    ) -> Option<FlushItem> {
-        self.insert_clean_by(key, home, span, bytes, AppId::UNKNOWN)
-    }
-
-    /// Install fetched (clean) bytes for `key` on behalf of `app`. Fetches
-    /// are whole blocks, so `span` is normally [`Span::FULL`]. Returns a
-    /// flush snapshot if a dirty frame had to be evicted to make room.
-    /// Wrapper over [`BufferManager::access`].
-    pub fn insert_clean_by(
-        &self,
-        key: BlockKey,
-        home: NodeId,
-        span: Span,
-        bytes: &[u8],
-        app: AppId,
-    ) -> Option<FlushItem> {
-        match self.access(key, Access { app, kind: AccessKind::InsertClean { home, span, bytes } })
-        {
-            AccessOutcome::Inserted(fl) => fl,
-            _ => unreachable!("InsertClean yields Inserted"),
-        }
-    }
-
     fn insert_clean_impl(
         &self,
         key: BlockKey,
@@ -1597,28 +1754,6 @@ impl BufferManager {
             self.stats.insertions.fetch_add(1, Ordering::Relaxed);
             self.note_insert(idx, key, app);
             return flush;
-        }
-    }
-
-    /// [`BufferManager::write_by`] with an unattributed accessor.
-    pub fn write(&self, key: BlockKey, home: NodeId, span: Span, bytes: &[u8]) -> WriteOutcome {
-        self.write_by(key, home, span, bytes, AppId::UNKNOWN)
-    }
-
-    /// Write-behind absorb of `span` of `key` on behalf of `app`. On
-    /// success the block is dirty in cache and the write can be
-    /// acknowledged locally. Wrapper over [`BufferManager::access`].
-    pub fn write_by(
-        &self,
-        key: BlockKey,
-        home: NodeId,
-        span: Span,
-        bytes: &[u8],
-        app: AppId,
-    ) -> WriteOutcome {
-        match self.access(key, Access { app, kind: AccessKind::Write { home, span, bytes } }) {
-            AccessOutcome::Write(out) => out,
-            _ => unreachable!("Write yields Write"),
         }
     }
 
@@ -1895,7 +2030,7 @@ impl BufferManager {
     }
 
     /// Keys currently resident (diagnostics/tests; O(capacity)).
-    pub fn resident_keys(&self) -> Vec<BlockKey> {
+    fn resident_keys(&self) -> Vec<BlockKey> {
         let mut out = Vec::new();
         for b in &self.buckets {
             for (k, _) in b.lock().iter() {
@@ -1904,6 +2039,583 @@ impl BufferManager {
         }
         out.sort_unstable();
         out
+    }
+}
+
+impl BufferManager {
+    /// Start building a manager over `capacity` cache-block frames.
+    pub fn builder(capacity: usize) -> BufferManagerBuilder {
+        BufferManagerBuilder::new(capacity)
+    }
+
+    /// Total frames across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured replacement policy (for the adaptive meta-policy
+    /// see [`live_policy_kind`](Self::live_policy_kind)).
+    pub fn policy(&self) -> EvictPolicy {
+        self.policy_cfg
+    }
+
+    /// The *global* partition configuration (each shard enforces its
+    /// per-shard split of these quotas).
+    pub fn partitioning(&self) -> &PartitionConfig {
+        &self.partitioning
+    }
+
+    /// Number of independent shards (1 = the historical single pool).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_idx_of(&self, key: &BlockKey) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            // High hash bits: the in-shard bucket index consumes the low
+            // bits, so shard routing and bucket placement stay
+            // independent (a shard's buckets fill evenly).
+            (key.hash() >> 32) as usize % self.shards.len()
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &BlockKey) -> &Shard {
+        &self.shards[self.shard_idx_of(key)]
+    }
+
+    pub fn free_frames(&self) -> usize {
+        self.shards.iter().map(|s| s.free_frames()).sum()
+    }
+
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(|s| s.resident()).sum()
+    }
+
+    pub fn dirty_queue_len(&self) -> usize {
+        self.shards.iter().map(|s| s.dirty_queue_len()).sum()
+    }
+
+    /// Frames currently resident in each shard (index = shard id) — the
+    /// balance view behind the `shard.<i>.occupancy` gauges.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.resident()).collect()
+    }
+
+    /// Lifetime evictions (clean + dirty) per shard.
+    pub fn shard_evictions(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let st = s.stats();
+                st.evictions_clean + st.evictions_dirty
+            })
+            .collect()
+    }
+
+    /// The replacement policy's own event ledger, summed across shards.
+    /// Drains deferred events first, so a snapshot never under-reports
+    /// traffic that already happened.
+    pub fn policy_stats(&self) -> PolicyStats {
+        let mut acc = self.shards[0].policy_stats();
+        for s in &self.shards[1..] {
+            acc.merge(&s.policy_stats());
+        }
+        acc
+    }
+
+    /// The adaptive meta-policy's observability ledger; `None` when a
+    /// static policy runs. Coordinated decisions are recorded identically
+    /// in every shard, so shard 0's switch/quota logs already *are* the
+    /// global logs — only the per-shard ghost traffic ledgers need
+    /// summing (naively merging whole stats would multiply every log
+    /// entry by the shard count).
+    pub fn adaptive_stats(&self) -> Option<AdaptiveStats> {
+        let mut base = self.shards[0].adaptive_stats()?;
+        for s in &self.shards[1..] {
+            if let Some(st) = s.adaptive_stats() {
+                for g in st.ghost_rates {
+                    match base.ghost_rates.iter_mut().find(|b| b.kind == g.kind) {
+                        Some(b) => {
+                            b.hits += g.hits;
+                            b.misses += g.misses;
+                        }
+                        None => base.ghost_rates.push(g),
+                    }
+                }
+            }
+        }
+        Some(base)
+    }
+
+    /// The [`PolicyKind`] currently ranking candidates — for a static
+    /// policy the configured kind, for the adaptive meta-policy whichever
+    /// candidate is live right now (all shards switch in lockstep, so
+    /// shard 0 speaks for everyone).
+    pub fn live_policy_kind(&self) -> PolicyKind {
+        self.shards[0].live_policy_kind()
+    }
+
+    /// Per-application occupancy and attributed traffic, merged across
+    /// shards (ascending by app id; apps appear once they have touched
+    /// the cache anywhere).
+    pub fn app_usage(&self) -> Vec<(AppId, AppUsage)> {
+        if self.shards.len() == 1 {
+            return self.shards[0].app_usage();
+        }
+        let mut merged: BTreeMap<u32, AppUsage> = BTreeMap::new();
+        for s in self.shards.iter() {
+            for (app, u) in s.app_usage() {
+                let e = merged.entry(app.0).or_default();
+                e.resident += u.resident;
+                e.hits += u.hits;
+                e.misses += u.misses;
+                e.evictions += u.evictions;
+            }
+        }
+        merged.into_iter().map(|(id, u)| (AppId(id), u)).collect()
+    }
+
+    /// Frames currently owned (installed) by `app`, across all shards.
+    pub fn resident_of(&self, app: AppId) -> usize {
+        self.shards.iter().map(|s| s.resident_of(app)).sum()
+    }
+
+    /// Snapshot of the manager's counters, summed across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut acc = CacheStats::default();
+        for s in self.shards.iter() {
+            let st = s.stats();
+            acc.hits += st.hits;
+            acc.misses += st.misses;
+            acc.insertions += st.insertions;
+            acc.writes_absorbed += st.writes_absorbed;
+            acc.writes_passthrough += st.writes_passthrough;
+            acc.evictions_clean += st.evictions_clean;
+            acc.evictions_dirty += st.evictions_dirty;
+            acc.flush_blocks += st.flush_blocks;
+            acc.invalidated += st.invalidated;
+            acc.invalidated_dirty += st.invalidated_dirty;
+        }
+        acc
+    }
+
+    /// Times any shard's access-event ring refused a push (see the shard
+    /// docs: nothing is lost, each is a lock-convoy window).
+    pub fn event_ring_overflows(&self) -> u64 {
+        self.shards.iter().map(|s| s.event_ring_overflows()).sum()
+    }
+
+    /// `app`'s *global* effective quota — the sum of its per-shard
+    /// slices (tuned overlays included) — or `None` when unpartitioned.
+    pub fn quota_of(&self, app: AppId) -> Option<usize> {
+        let mut total = None;
+        for s in self.shards.iter() {
+            if let Some(q) = s.quota_of(app) {
+                *total.get_or_insert(0) += q;
+            }
+        }
+        total
+    }
+
+    /// Bring the hub's deferred metric counters up to date and refresh
+    /// the per-shard `shard.<i>.occupancy` / `shard.<i>.evictions`
+    /// balance gauges. No-op without a wired hub.
+    pub fn obs_flush(&self) {
+        for s in self.shards.iter() {
+            s.obs_flush();
+        }
+        self.publish_shard_gauges();
+    }
+
+    fn publish_shard_gauges(&self) {
+        for (i, s) in self.shards.iter().enumerate() {
+            if let Some(o) = &s.obs {
+                let reg = o.hub.registry();
+                reg.gauge(&format!("shard.{i}.occupancy")).set(s.resident() as u64);
+                let st = s.stats();
+                reg.gauge(&format!("shard.{i}.evictions"))
+                    .set(st.evictions_clean + st.evictions_dirty);
+            }
+        }
+    }
+
+    /// The canonical access entry point: route to the owning shard, run
+    /// the strict-quota spill protocol if the install would be denied,
+    /// delegate, then give a due coordinated epoch boundary a chance to
+    /// run.
+    pub fn access(&self, key: BlockKey, req: Access<'_>) -> AccessOutcome {
+        let shard = self.shard_of(&key);
+        if self.shards.len() > 1
+            && matches!(req.kind, AccessKind::Write { .. } | AccessKind::InsertClean { .. })
+        {
+            self.pre_admit_spill(shard, &key, req.app);
+        }
+        let out = shard.access(key, req);
+        self.maybe_epoch();
+        out
+    }
+
+    /// Strict-quota spill (N > 1): an app at its per-shard quota here may
+    /// have idle quota on a sibling shard (hash skew); move one *quota
+    /// unit* — never a frame — from an under-used sibling to this shard
+    /// so the install admits. Decrement-before-increment keeps the global
+    /// sum of per-shard quotas ≤ the configured quota at every instant,
+    /// so the strict bound is never violated, only redistributed.
+    fn pre_admit_spill(&self, home: &Shard, key: &BlockKey, app: AppId) {
+        if self.partitioning.mode != PartitionMode::Strict
+            || app == AppId::UNKNOWN
+            || !self.partitioning.quotas.contains_key(&app.0)
+        {
+            return;
+        }
+        // A resident key merges in place (no new frame, no charge); only
+        // a genuinely new install can be quota-denied.
+        if home.contains(*key) || !home.at_quota(app) {
+            return;
+        }
+        for s in self.shards.iter() {
+            if std::ptr::eq(s, home) {
+                continue;
+            }
+            if s.lend_quota_unit(app) {
+                home.receive_quota_unit(app);
+                return;
+            }
+        }
+    }
+
+    /// [`try_read_by`](Self::try_read_by) with an unattributed accessor.
+    pub fn try_read(&self, key: BlockKey, span: Span, out: &mut [u8]) -> bool {
+        self.try_read_by(key, span, out, AppId::UNKNOWN)
+    }
+
+    /// Try to serve `span` of `key` into `out` (`out.len() == span.len()`)
+    /// on behalf of application `app`. Counts a hit (and refreshes
+    /// recency) or a miss. Wrapper over [`access`](Self::access).
+    pub fn try_read_by(&self, key: BlockKey, span: Span, out: &mut [u8], app: AppId) -> bool {
+        self.access(key, Access { app, kind: AccessKind::Read { span, out } }).is_hit()
+    }
+
+    /// [`probe_by`](Self::probe_by) with an unattributed accessor.
+    pub fn probe(&self, key: BlockKey, span: Span) -> bool {
+        self.probe_by(key, span, AppId::UNKNOWN)
+    }
+
+    /// Hit check without copying (used to plan request splitting) on
+    /// behalf of `app`. Both branches run the same accounting as
+    /// [`try_read_by`](Self::try_read_by) — global and policy hit/miss
+    /// counters, the per-app ledger, the epoch clock — except that, like
+    /// the seed implementation, a probe hit does **not** refresh recency
+    /// (planning a split is not a use of the block). Before PR 5 the hit
+    /// branch skipped the epoch clock and the app ledger while the miss
+    /// branch counted both, so probe-heavy workloads skewed epoch length
+    /// and per-app hit ratios. Wrapper over [`access`](Self::access).
+    pub fn probe_by(&self, key: BlockKey, span: Span, app: AppId) -> bool {
+        self.access(key, Access { app, kind: AccessKind::Probe { span } }).is_hit()
+    }
+
+    /// [`insert_clean_by`](Self::insert_clean_by) with an unattributed
+    /// accessor.
+    pub fn insert_clean(
+        &self,
+        key: BlockKey,
+        home: NodeId,
+        span: Span,
+        bytes: &[u8],
+    ) -> Option<FlushItem> {
+        self.insert_clean_by(key, home, span, bytes, AppId::UNKNOWN)
+    }
+
+    /// Install fetched (clean) bytes for `key` on behalf of `app`. Fetches
+    /// are whole blocks, so `span` is normally [`Span::FULL`]. Returns a
+    /// flush snapshot if a dirty frame had to be evicted to make room.
+    /// Wrapper over [`access`](Self::access).
+    pub fn insert_clean_by(
+        &self,
+        key: BlockKey,
+        home: NodeId,
+        span: Span,
+        bytes: &[u8],
+        app: AppId,
+    ) -> Option<FlushItem> {
+        match self.access(key, Access { app, kind: AccessKind::InsertClean { home, span, bytes } })
+        {
+            AccessOutcome::Inserted(fl) => fl,
+            _ => unreachable!("InsertClean yields Inserted"),
+        }
+    }
+
+    /// [`write_by`](Self::write_by) with an unattributed accessor.
+    pub fn write(&self, key: BlockKey, home: NodeId, span: Span, bytes: &[u8]) -> WriteOutcome {
+        self.write_by(key, home, span, bytes, AppId::UNKNOWN)
+    }
+
+    /// Write-behind absorb of `span` of `key` on behalf of `app`. On
+    /// success the block is dirty in cache and the write can be
+    /// acknowledged locally. Wrapper over [`access`](Self::access).
+    pub fn write_by(
+        &self,
+        key: BlockKey,
+        home: NodeId,
+        span: Span,
+        bytes: &[u8],
+        app: AppId,
+    ) -> WriteOutcome {
+        match self.access(key, Access { app, kind: AccessKind::Write { home, span, bytes } }) {
+            AccessOutcome::Write(out) => out,
+            _ => unreachable!("Write yields Write"),
+        }
+    }
+
+    /// Attribute an access to `app` without copying data — used by the
+    /// cache module when one fetch satisfies waiters from *several*
+    /// applications, so sharing-aware policies see every referent.
+    pub fn note_access(&self, key: BlockKey, app: AppId) {
+        self.shard_of(&key).note_access(key, app);
+        self.maybe_epoch();
+    }
+
+    /// Look up `key` in the hash table (no data copy, no stats). Mostly
+    /// for tests and diagnostics.
+    pub fn contains(&self, key: BlockKey) -> bool {
+        self.shard_of(&key).contains(key)
+    }
+
+    /// Copy `span` of `key` into `out` if it is resident and valid,
+    /// **without** touching any accounting: no hit/miss counters, no
+    /// recency refresh, no per-app ledger, no epoch tick. This is the
+    /// read the cooperative tier serves *peer* fetches with — remote
+    /// traffic must not distort this node's local hit ratio or promote
+    /// blocks its own applications are not using.
+    pub fn read_resident(&self, key: BlockKey, span: Span, out: &mut [u8]) -> bool {
+        self.shard_of(&key).read_resident(key, span, out)
+    }
+
+    /// Overwrite `span` of `key` in place if resident (sync-write
+    /// propagation); see the shard implementation for semantics.
+    pub fn update_if_present(&self, key: BlockKey, span: Span, bytes: &[u8]) -> bool {
+        let updated = self.shard_of(&key).update_if_present(key, span, bytes);
+        self.maybe_epoch();
+        updated
+    }
+
+    /// Snapshot up to `max` dirty blocks for write-back. Each shard's
+    /// queue preserves its own FIFO dirtying order; shards are drained in
+    /// index order, so global ordering across shards is approximate —
+    /// staleness bounds still hold per shard.
+    pub fn take_dirty(&self, max: usize) -> Vec<FlushItem> {
+        let mut out = Vec::new();
+        for s in self.shards.iter() {
+            if out.len() >= max {
+                break;
+            }
+            out.extend(s.take_dirty(max - out.len()));
+        }
+        out
+    }
+
+    /// The iod acknowledged the write-back of `key`'s `span`; see the
+    /// shard implementation for re-dirty semantics.
+    pub fn flush_complete(&self, key: BlockKey, span: Span) {
+        self.shard_of(&key).flush_complete(key, span);
+    }
+
+    /// Drop cached copies of the listed blocks (sync-write coherence).
+    /// Dirty copies are discarded — the sync-writer's data supersedes
+    /// them. Returns `(dropped, dropped_dirty)` totals.
+    pub fn invalidate<I: IntoIterator<Item = BlockKey>>(&self, keys: I) -> (u64, u64) {
+        let mut dropped = 0;
+        let mut dropped_dirty = 0;
+        for key in keys {
+            let (d, dd) = self.shard_of(&key).invalidate([key]);
+            dropped += d;
+            dropped_dirty += dd;
+        }
+        (dropped, dropped_dirty)
+    }
+
+    /// Has any shard's free list fallen below its low watermark? (the
+    /// harvester's wake-up condition — per-shard, because one full shard
+    /// stalls *its* installs no matter how empty its siblings are).
+    pub fn needs_harvest(&self) -> bool {
+        self.shards.iter().any(|s| s.needs_harvest())
+    }
+
+    /// Harvester sweep over every shard (each sweeps itself to its own
+    /// high watermark; see the shard implementation for the quota-aware
+    /// candidate order).
+    pub fn harvest(&self) -> Vec<FlushItem> {
+        self.shards.iter().flat_map(|s| s.harvest()).collect()
+    }
+
+    /// Keys currently resident (diagnostics/tests; O(capacity)).
+    pub fn resident_keys(&self) -> Vec<BlockKey> {
+        let mut out: Vec<BlockKey> = self.shards.iter().flat_map(|s| s.resident_keys()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Record that `key` is believed duplicated in a peer's cache
+    /// (singleton-preserving cooperative mode; no-op otherwise).
+    pub fn note_duplicate(&self, key: BlockKey) {
+        self.shard_of(&key).note_duplicate(key);
+    }
+
+    /// Blocks currently hinted as duplicated cluster-wide.
+    pub fn duplicate_hint_count(&self) -> usize {
+        self.shards.iter().map(|s| s.duplicate_hint_count()).sum()
+    }
+
+    /// Drain the evicted/invalidated key log (cooperative authoritative
+    /// mode; empty otherwise).
+    pub fn take_evicted(&self) -> Vec<BlockKey> {
+        self.shards.iter().flat_map(|s| s.take_evicted()).collect()
+    }
+
+    /// Run any due coordinated epoch boundary (N > 1 only; with a single
+    /// shard the shard runs its own exact in-shard epoch path). The CAS
+    /// gate admits exactly one thread per boundary; latecomers return
+    /// immediately — the boundary they observed due is already being
+    /// handled.
+    fn maybe_epoch(&self) {
+        if self.shards.len() == 1 || self.epoch_accesses == 0 {
+            return;
+        }
+        let ea = self.epoch_accesses as u64;
+        loop {
+            let marks = self.epoch_marks.load(Ordering::Acquire);
+            if self.epoch_clock.load(Ordering::Relaxed) < (marks + 1) * ea {
+                return;
+            }
+            if self
+                .epoch_gate
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                return;
+            }
+            // Re-check under the gate: the previous holder may have run
+            // the boundary we saw due.
+            let marks = self.epoch_marks.load(Ordering::Relaxed);
+            if self.epoch_clock.load(Ordering::Relaxed) >= (marks + 1) * ea {
+                self.run_epoch_boundary(marks + 1);
+                self.epoch_marks.store(marks + 1, Ordering::Release);
+            }
+            self.epoch_gate.store(false, Ordering::Release);
+        }
+    }
+
+    /// One coordinated cross-shard epoch boundary.
+    ///
+    /// Adaptive: collect each shard's [`EpochObservation`], merge the
+    /// ghost and refault ledgers, make ONE switch/quota decision over the
+    /// merged evidence with the same shared rules the single-shard path
+    /// uses (`kcache-adaptive`'s `decide_switch` / `decide_quota_move`),
+    /// and push the identical [`EpochDirective`] into every shard — a
+    /// switch therefore migrates all shards within one boundary and no
+    /// shard can disagree about the live policy. A quota transfer is
+    /// validated globally (the same backstop rules as the in-shard path)
+    /// and re-split across shards.
+    ///
+    /// Static: policies age independently — each shard runs its own
+    /// local tick (`SharingAware` referent decay etc.); there is no
+    /// shared decision to coordinate.
+    fn run_epoch_boundary(&self, epoch_n: u64) {
+        match &self.adaptive_cfg {
+            Some(cfg) => {
+                let mut merged: Option<EpochObservation> = None;
+                for s in self.shards.iter() {
+                    if let Some(obs) = s.epoch_observe() {
+                        match &mut merged {
+                            Some(m) => m.merge(&obs),
+                            None => merged = Some(obs),
+                        }
+                    }
+                }
+                let Some(merged) = merged else { return };
+                let live = merged.live.unwrap_or(self.policy_cfg.kind);
+                let switch_to = decide_switch(&merged.ghost_epoch, live, cfg.hysteresis);
+                let mut quota_move = None;
+                let mut new_quotas: Option<[(AppId, usize); 2]> = None;
+                if cfg.quota_tuning && self.partitioning.mode != PartitionMode::Shared {
+                    let global_quotas: Vec<(AppId, usize)> = self
+                        .partitioning
+                        .quotas
+                        .keys()
+                        .filter_map(|&id| self.quota_of(AppId(id)).map(|q| (AppId(id), q)))
+                        .collect();
+                    if let Some(mv) = decide_quota_move(
+                        &global_quotas,
+                        &merged.refaults,
+                        self.capacity,
+                        cfg.quota_step,
+                        cfg.quota_floor.max(1),
+                    ) {
+                        // The same backstop validation the in-shard path
+                        // applies (all-or-nothing: a half-applied pair
+                        // would leak quota).
+                        let valid = [(mv.winner, mv.winner_quota), (mv.loser, mv.loser_quota)]
+                            .iter()
+                            .all(|&(app, q)| {
+                                app != AppId::UNKNOWN
+                                    && q >= 1
+                                    && q <= self.capacity
+                                    && self.partitioning.quotas.contains_key(&app.0)
+                                    && (q >= self.quota_floor
+                                        || self.quota_of(app).is_some_and(|cur| q >= cur))
+                            });
+                        if valid {
+                            quota_move = Some((
+                                mv.loser,
+                                mv.winner,
+                                mv.frames,
+                                mv.loser_refaults,
+                                mv.winner_refaults,
+                            ));
+                            new_quotas =
+                                Some([(mv.winner, mv.winner_quota), (mv.loser, mv.loser_quota)]);
+                        }
+                    }
+                }
+                let directive = EpochDirective { switch_to, quota_move };
+                for s in self.shards.iter() {
+                    s.epoch_apply_directive(&directive);
+                }
+                if let Some(pairs) = new_quotas {
+                    for (app, q) in pairs {
+                        let split = split_units(q, self.shards.len());
+                        for (s, &slice) in self.shards.iter().zip(&split) {
+                            s.set_tuned_quota(app, slice);
+                        }
+                    }
+                }
+            }
+            None => {
+                for s in self.shards.iter() {
+                    s.epoch_tick_local();
+                }
+            }
+        }
+        // Observability: one coordinated mark with *merged* cross-shard
+        // views (shard 0's hub handles speak for the node), plus the
+        // per-shard balance gauges.
+        if self.shards[0].obs.is_some() {
+            let usage = self.app_usage();
+            let quota_gauges: Vec<(AppId, usize)> =
+                usage.iter().filter_map(|&(a, _)| self.quota_of(a).map(|q| (a, q))).collect();
+            let ast = self.adaptive_stats();
+            self.shards[0].obs_epoch_mark(
+                epoch_n * self.epoch_accesses as u64,
+                &usage,
+                &quota_gauges,
+                ast.as_ref(),
+            );
+            self.publish_shard_gauges();
+        }
     }
 }
 
@@ -3092,6 +3804,311 @@ mod tests {
             let mut dedup = keys.clone();
             dedup.dedup();
             assert_eq!(keys.len(), dedup.len(), "{kind}: duplicate resident keys");
+        }
+    }
+
+    /// The sharding differential: a `.shards(1)` manager IS the
+    /// unsharded manager — same single `Shard`, `shared_clock` absent,
+    /// the exact in-shard epoch path — so two identically-configured
+    /// builds must replay a mixed trace byte-for-byte, across every
+    /// policy, static and adaptive ranking, and every partition mode.
+    #[test]
+    fn shards_one_matches_unsharded_reference() {
+        for kind in PolicyKind::ALL {
+            for adaptive in
+                [None, Some(AdaptiveConfig { quota_tuning: false, ..AdaptiveConfig::new([kind]) })]
+            {
+                for part in [
+                    crate::config::PartitionConfig::shared(),
+                    crate::config::PartitionConfig::strict([(0, 4), (1, 4)]),
+                    crate::config::PartitionConfig::soft([(0, 4), (1, 4)]),
+                ] {
+                    let build = |shards: Option<usize>| {
+                        let mut b = BufferManager::builder(8)
+                            .policy(EvictPolicy::of(kind))
+                            .watermarks(0, 2)
+                            .partitioning(part.clone())
+                            .adaptive(adaptive.clone())
+                            .epoch_accesses(32);
+                        if let Some(n) = shards {
+                            b = b.shards(n);
+                        }
+                        b.build()
+                    };
+                    let reference = build(None);
+                    let sharded = build(Some(1));
+                    let mut buf = vec![0u8; 4096];
+                    for step in 0..600u64 {
+                        let k = key((step * 7919) % 19);
+                        let app = AppId((step % 2) as u32);
+                        match step % 5 {
+                            0 | 3 => {
+                                let a = reference.try_read_by(k, Span::FULL, &mut buf, app);
+                                let b = sharded.try_read_by(k, Span::FULL, &mut buf, app);
+                                assert_eq!(a, b, "{kind} step {step}: read outcome diverged");
+                            }
+                            1 => {
+                                let a =
+                                    reference.insert_clean_by(k, NodeId(0), Span::FULL, &buf, app);
+                                let b =
+                                    sharded.insert_clean_by(k, NodeId(0), Span::FULL, &buf, app);
+                                assert_eq!(
+                                    a.is_some(),
+                                    b.is_some(),
+                                    "{kind} step {step}: insert flush diverged"
+                                );
+                            }
+                            2 => {
+                                let a = reference.write_by(k, NodeId(0), Span::FULL, &buf, app);
+                                let b = sharded.write_by(k, NodeId(0), Span::FULL, &buf, app);
+                                assert_eq!(a, b, "{kind} step {step}: write outcome diverged");
+                            }
+                            _ => {
+                                for it in reference.take_dirty(2) {
+                                    reference.flush_complete(it.key, it.span);
+                                }
+                                for it in sharded.take_dirty(2) {
+                                    sharded.flush_complete(it.key, it.span);
+                                }
+                            }
+                        }
+                        assert_eq!(
+                            reference.resident_keys(),
+                            sharded.resident_keys(),
+                            "{kind} step {step}: resident sets diverged"
+                        );
+                    }
+                    let (a, b) = (reference.stats(), sharded.stats());
+                    assert_eq!((a.hits, a.misses), (b.hits, b.misses), "{kind}: ledgers diverged");
+                    let (pa, pb) = (reference.policy_stats(), sharded.policy_stats());
+                    assert_eq!(
+                        (pa.hits, pa.misses, pa.evictions_clean, pa.evictions_dirty),
+                        (pb.hits, pb.misses, pb.evictions_clean, pb.evictions_dirty),
+                        "{kind}: policy ledgers diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Single-threaded multi-shard roundtrip: routing is stable (a key
+    /// lives in exactly the shard the facade routes it to), and every
+    /// facade aggregate is the sum of its shard parts.
+    #[test]
+    fn multi_shard_routing_and_aggregation_roundtrip() {
+        let m = BufferManager::builder(64).shards(4).watermarks(0, 4).build();
+        assert_eq!(m.n_shards(), 4);
+        assert_eq!(m.capacity(), 64);
+        let mut buf = vec![0u8; 4096];
+        for b in 0..40u64 {
+            m.insert_clean(key(b), NodeId(0), Span::FULL, &full_block(b as u8));
+        }
+        for b in 0..40u64 {
+            assert!(m.try_read(key(b), Span::FULL, &mut buf), "block {b} lost");
+            assert_eq!(buf[0], b as u8);
+            // The key is resident in exactly the shard the facade routes
+            // it to — and in no other.
+            let home = m.shard_idx_of(&key(b));
+            for (i, s) in m.shards.iter().enumerate() {
+                assert_eq!(s.contains(key(b)), i == home, "block {b} misplaced");
+            }
+        }
+        // Blocks actually spread (40 keys over 4 shards: every shard got
+        // traffic unless the hash is catastrophically skewed).
+        let occ = m.shard_occupancy();
+        assert_eq!(occ.len(), 4);
+        assert_eq!(occ.iter().sum::<usize>(), m.resident());
+        assert!(
+            occ.iter().filter(|&&n| n > 0).count() >= 2,
+            "all keys routed to one shard: {occ:?}"
+        );
+        // Aggregates = sum of parts.
+        assert_eq!(m.resident(), m.resident_keys().len());
+        assert_eq!(m.resident() + m.free_frames(), 64);
+        let s = m.stats();
+        assert_eq!(s.hits, 40);
+        assert_eq!(s.insertions, 40);
+        assert_eq!(m.shard_evictions().iter().sum::<u64>(), s.evictions_clean + s.evictions_dirty);
+        // Dirty queues and invalidation route per key.
+        m.write(key(3), NodeId(0), Span::FULL, &buf);
+        m.write(key(17), NodeId(0), Span::FULL, &buf);
+        assert_eq!(m.dirty_queue_len(), 2);
+        let flushed = m.take_dirty(8);
+        assert_eq!(flushed.len(), 2);
+        for it in flushed {
+            m.flush_complete(it.key, it.span);
+        }
+        let (dropped, _) = m.invalidate((0..10u64).map(key));
+        assert_eq!(dropped, 10);
+        assert_eq!(m.resident(), 30);
+        assert_eq!(m.resident() + m.free_frames(), 64);
+    }
+
+    /// Strict-quota spill: when an app's keys hash entirely onto one
+    /// shard, its per-shard quota slice there (global/4) would deny most
+    /// of its configured allowance — the facade must move quota *units*
+    /// from idle sibling slices so the app reaches its full global quota,
+    /// while the global sum of per-shard slices never grows.
+    #[test]
+    fn strict_quota_spills_to_neighbor_shards() {
+        let quota = 4usize;
+        let m = BufferManager::builder(16)
+            .shards(4)
+            .watermarks(0, 1)
+            .partitioning(crate::config::PartitionConfig::strict([(0, quota)]))
+            .build();
+        let app = AppId(0);
+        // Collect `quota` keys that all route to the same shard.
+        let home = m.shard_idx_of(&key(0));
+        let skewed: Vec<BlockKey> =
+            (0..10_000u64).map(key).filter(|k| m.shard_idx_of(k) == home).take(quota).collect();
+        assert_eq!(skewed.len(), quota, "not enough same-shard keys in probe range");
+        for (i, &k) in skewed.iter().enumerate() {
+            m.insert_clean_by(k, NodeId(0), Span::FULL, &full_block(i as u8), app);
+        }
+        // Without spill the home shard's slice (4/4 = 1) would cap the
+        // app at one frame; lending must let every install land.
+        for &k in &skewed {
+            assert!(m.contains(k), "strict slice denied an install the global quota allows");
+        }
+        assert_eq!(m.resident_of(app), quota);
+        // The global allowance was redistributed, never grown: per-shard
+        // slices still sum to the configured quota, and once every unit
+        // has spilled home a further install self-evicts (strict quotas
+        // cap residency, not installs) instead of growing residency.
+        assert_eq!(m.quota_of(app), Some(quota));
+        let extra: BlockKey = (10_000..20_000u64)
+            .map(key)
+            .find(|k| m.shard_idx_of(k) == home)
+            .expect("probe range exhausted");
+        m.insert_clean_by(extra, NodeId(0), Span::FULL, &full_block(0xEE), app);
+        assert!(m.contains(extra), "strict install should self-evict, not deny");
+        assert_eq!(m.resident_of(app), quota, "spill grew the app's residency past its quota");
+        let survivors = skewed.iter().filter(|&&k| m.contains(k)).count();
+        assert_eq!(survivors, quota - 1, "the extra install must displace exactly one block");
+    }
+
+    /// Coordinated epochs (N > 1, adaptive): shards feed one shared
+    /// clock, the facade makes one merged decision per boundary, and
+    /// every shard applies it — so epoch counts advance in lockstep and
+    /// no shard can disagree about the live policy.
+    #[test]
+    fn coordinated_epochs_switch_all_shards_in_lockstep() {
+        let m = BufferManager::builder(32)
+            .shards(2)
+            .watermarks(0, 2)
+            .adaptive(Some(AdaptiveConfig {
+                quota_tuning: false,
+                hysteresis: 0.0,
+                ..AdaptiveConfig::new([PolicyKind::Clock, PolicyKind::ExactLru])
+            }))
+            .epoch_accesses(64)
+            .build();
+        let mut buf = vec![0u8; 4096];
+        for step in 0..1500u64 {
+            let k = key(step % 48);
+            if !m.try_read(k, Span::FULL, &mut buf) {
+                m.insert_clean(k, NodeId(0), Span::FULL, &full_block(step as u8));
+            }
+        }
+        let ast = m.adaptive_stats().expect("adaptive manager reports stats");
+        assert!(ast.epochs > 0, "no coordinated boundary ran");
+        // Lockstep: every shard saw exactly the same number of epochs and
+        // runs the same live candidate.
+        let live = m.live_policy_kind();
+        for s in m.shards.iter() {
+            let st = s.adaptive_stats().unwrap();
+            assert_eq!(st.epochs, ast.epochs, "shards disagree on epoch count");
+            assert_eq!(s.live_policy_kind(), live, "shards disagree on the live policy");
+            assert_eq!(st.switches, ast.switches, "shards disagree on switch count");
+        }
+        // The merged ghost ledgers saw the union of shard traffic.
+        assert!(
+            ast.ghost_rates.iter().any(|g| g.hits + g.misses > 0),
+            "merged ghost ledgers empty despite traffic"
+        );
+    }
+
+    /// 8-thread stress over a 4-shard manager with strict quotas: frames
+    /// and charges conserved, every lookup counted exactly once, the
+    /// strict bound holds (modulo the documented per-thread revalidation
+    /// slack), and per-shard quota slices always sum to the global quota.
+    #[test]
+    fn concurrent_multi_shard_stress_conserves_frames_and_quotas() {
+        use std::sync::Arc;
+        let quota = 20usize;
+        let m = Arc::new(
+            BufferManager::builder(64)
+                .shards(4)
+                .watermarks(4, 16)
+                .partitioning(crate::config::PartitionConfig::strict([(0, quota), (1, quota)]))
+                .epoch_accesses(256)
+                .build(),
+        );
+        let threads = 8u64;
+        let lookups = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let m = Arc::clone(&m);
+                let lookups = &lookups;
+                s.spawn(move || {
+                    let mut buf = vec![0u8; 4096];
+                    for i in 0..3000u64 {
+                        let k = key((i * 13 + t * 97) % 150);
+                        let app = AppId((t % 2) as u32);
+                        match i % 8 {
+                            0 | 1 | 5 => {
+                                let _ = m.try_read_by(k, Span::FULL, &mut buf, app);
+                                lookups.fetch_add(1, Ordering::Relaxed);
+                            }
+                            2 => {
+                                let _ = m.probe_by(k, Span::FULL, app);
+                                lookups.fetch_add(1, Ordering::Relaxed);
+                            }
+                            3 | 6 => {
+                                let _ = m.insert_clean_by(k, NodeId(0), Span::FULL, &buf, app);
+                            }
+                            4 => {
+                                let _ = m.write_by(k, NodeId(0), Span::FULL, &buf, app);
+                            }
+                            _ => {
+                                if i % 64 == 7 {
+                                    for it in m.take_dirty(8) {
+                                        m.flush_complete(it.key, it.span);
+                                    }
+                                } else if i % 160 == 15 {
+                                    let _ = m.harvest();
+                                } else {
+                                    let _ = m.try_read_by(k, Span::FULL, &mut buf, app);
+                                    lookups.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Frame conservation, globally and per shard.
+        let keys = m.resident_keys();
+        assert_eq!(keys.len() + m.free_frames(), 64, "frames leaked");
+        for s in m.shards.iter() {
+            assert_eq!(s.resident_keys().len() + s.free_frames(), s.capacity, "shard leaked");
+        }
+        let mut dedup = keys.clone();
+        dedup.dedup();
+        assert_eq!(keys.len(), dedup.len(), "duplicate resident keys");
+        // Every lookup counted exactly once across the shard sums.
+        let s = m.stats();
+        let n = lookups.load(Ordering::Relaxed);
+        assert_eq!(s.hits + s.misses, n, "manager hit+miss != lookups");
+        let ps = m.policy_stats();
+        assert_eq!(ps.hits + ps.misses, n, "policy hit+miss != lookups");
+        // Strict quotas hold globally (documented per-thread slack), and
+        // spill only ever *redistributed* the allowance.
+        for app in [AppId(0), AppId(1)] {
+            let r = m.resident_of(app);
+            assert!(r <= quota + threads as usize, "app {app:?} resident {r} over quota {quota}");
+            assert_eq!(m.quota_of(app), Some(quota), "spill changed the global quota");
         }
     }
 }

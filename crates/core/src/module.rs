@@ -277,6 +277,7 @@ impl CacheModule {
                 .epoch_accesses(cfg.epoch_accesses)
                 .cooperative(cfg.cooperative)
                 .obs(cfg.obs.clone(), node.0 as u32)
+                .shards(cfg.shards)
                 .build(),
         );
         let obs = cfg.obs.clone().map(|hub| ModuleObs::new(hub, node, cfg.slo));

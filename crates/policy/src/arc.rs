@@ -153,6 +153,20 @@ impl ReplacementPolicy for Arc {
         }
         None
     }
+
+    fn recency_ranking(&self) -> Option<Vec<u32>> {
+        // Same composition begin_scan would pick right now (REPLACE()'s
+        // rule): the list being drained ranks least protected.
+        let mut order = Vec::with_capacity(self.t1.len() + self.t2.len());
+        if !self.t1.is_empty() && self.t1.len() > self.p {
+            order.extend(self.t1.iter());
+            order.extend(self.t2.iter());
+        } else {
+            order.extend(self.t2.iter());
+            order.extend(self.t1.iter());
+        }
+        Some(order)
+    }
 }
 
 #[cfg(test)]

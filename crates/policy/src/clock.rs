@@ -104,6 +104,21 @@ impl ReplacementPolicy for Clock {
         }
         None
     }
+
+    /// Hand order approximates recency: the next frames the hand would
+    /// visit are offered first, with currently-referenced frames — the
+    /// ones a sweep would grant a second chance — ranked after every
+    /// unreferenced frame. Reads the atomic words without consuming them,
+    /// so exporting the ranking never strips protection.
+    fn recency_ranking(&self) -> Option<Vec<u32>> {
+        let cap = self.table.capacity();
+        let sweep = |referenced: bool| {
+            (0..cap).map(move |i| ((self.hand + i) % cap) as u32).filter(move |&f| {
+                self.table.is_resident(f) && self.table.ref_words().is_referenced(f) == referenced
+            })
+        };
+        Some(sweep(false).chain(sweep(true)).collect())
+    }
 }
 
 #[cfg(test)]

@@ -80,6 +80,12 @@ impl ReplacementPolicy for Lfu {
         }
         None
     }
+
+    fn recency_ranking(&self) -> Option<Vec<u32>> {
+        let mut order = self.table.resident_frames();
+        order.sort_by_key(|&f| (self.freq[f as usize], self.last[f as usize]));
+        Some(order)
+    }
 }
 
 #[cfg(test)]

@@ -434,6 +434,18 @@ pub trait ReplacementPolicy: Send {
     /// during a clean-only pass, raced away, …) and simply ask again.
     fn next_candidate(&mut self, filter: Option<AppId>) -> Option<u32>;
 
+    /// The resident frames in this policy's *eviction-preference order* —
+    /// soonest-to-evict first, most-protected last — without consuming any
+    /// ranking state (a read-only view of what a scan *would* offer).
+    /// [`migrate`] replays residency through the incoming policy in this
+    /// order, so the outgoing policy's recency/utility ranking survives a
+    /// live switch instead of degrading to frame-index order. `None`
+    /// means the policy has no meaningful ordering to export and the
+    /// caller falls back to frame order.
+    fn recency_ranking(&self) -> Option<Vec<u32>> {
+        None
+    }
+
     // ------------------------------------------------------------------
     // Provided, table-backed surface.
     // ------------------------------------------------------------------
@@ -498,24 +510,111 @@ pub trait ReplacementPolicy: Send {
     fn adaptive_stats(&self) -> Option<AdaptiveStats> {
         None
     }
+
+    // ------------------------------------------------------------------
+    // Coordinated epoch protocol (sharded managers).
+    // ------------------------------------------------------------------
+
+    /// Export what this policy observed over the closing epoch *without*
+    /// taking any decision: ghost hit/access counts per candidate and the
+    /// per-application refault evidence. A sharded manager collects one
+    /// observation per shard, merges the ledgers, decides once globally,
+    /// and pushes the verdict back through
+    /// [`epoch_apply`](Self::epoch_apply) — so every shard switches (or
+    /// stays) in lockstep. Static policies have nothing to report
+    /// (`None`); the caller then just runs their ordinary
+    /// [`epoch_tick`](Self::epoch_tick).
+    fn epoch_observe(&self) -> Option<EpochObservation> {
+        None
+    }
+
+    /// Apply a globally-decided epoch verdict: advance the epoch clock,
+    /// perform the directed live switch (if any), and close out the ghost
+    /// ledgers the observation was taken from. Only meaningful for
+    /// policies that returned `Some` from
+    /// [`epoch_observe`](Self::epoch_observe); the default ignores the
+    /// directive.
+    fn epoch_apply(&mut self, directive: &EpochDirective) {
+        let _ = directive;
+    }
+}
+
+/// What an adaptive meta-policy saw over one epoch, exported *before* any
+/// switch/tuning decision so a sharded manager can merge per-shard ledgers
+/// and decide once for the whole pool.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochObservation {
+    /// The currently live candidate's kind.
+    pub live: Option<PolicyKind>,
+    /// Per-candidate ghost traffic this epoch: `(kind, hits, accesses)`.
+    pub ghost_epoch: Vec<(PolicyKind, u64, u64)>,
+    /// Per-application refaults this epoch (ghost-list re-reads of blocks
+    /// the app recently lost to eviction) — the quota tuner's evidence.
+    pub refaults: Vec<(AppId, u64)>,
+}
+
+impl EpochObservation {
+    /// Merge another shard's observation into this one (ledgers sum by
+    /// kind / app; `live` must agree — shards switch in lockstep).
+    pub fn merge(&mut self, other: &EpochObservation) {
+        if self.live.is_none() {
+            self.live = other.live;
+        }
+        for &(kind, hits, accesses) in &other.ghost_epoch {
+            match self.ghost_epoch.iter_mut().find(|(k, _, _)| *k == kind) {
+                Some(slot) => {
+                    slot.1 += hits;
+                    slot.2 += accesses;
+                }
+                None => self.ghost_epoch.push((kind, hits, accesses)),
+            }
+        }
+        for &(app, n) in &other.refaults {
+            match self.refaults.iter_mut().find(|(a, _)| *a == app) {
+                Some(slot) => slot.1 += n,
+                None => self.refaults.push((app, n)),
+            }
+        }
+    }
+}
+
+/// A globally-decided epoch verdict pushed back into each shard's policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochDirective {
+    /// `Some((to, from_rate, to_rate))` directs a live switch to `to`
+    /// (rates are the merged ghost rates that justified it, recorded in
+    /// the switch log). `None` keeps the live policy.
+    pub switch_to: Option<(PolicyKind, f64, f64)>,
+    /// A globally-decided quota transfer to enter into the move log:
+    /// `(from, to, frames, from_refaults, to_refaults)`. The transfer
+    /// itself is applied by the manager's charge ledger; this field only
+    /// carries the bookkeeping so the decision shows up in
+    /// [`AdaptiveStats::quota_log`].
+    pub quota_move: Option<(AppId, AppId, usize, u64, u64)>,
 }
 
 /// Live-migrate a policy's frame state into a fresh policy of `to`'s kind:
 /// every resident frame is replayed through the new policy's `on_insert`
-/// (rebuilding its ranking metadata with identical residency, in frame
-/// order — recency *order* within the resident set is approximated, which
-/// is the price of a switch), then the shared [`FrameTable`] is carried
-/// over verbatim so pins, ownership, the per-application ledger and the
-/// [`PolicyStats`] counters all survive the switch unchanged. The table
-/// carries its atomic [`RefWords`] with it (shared `Arc`), so reference
-/// bits set before the switch keep protecting their frames when the
-/// incoming policy is clock — a partial answer to recency-preserving
-/// migration.
+/// in the outgoing policy's [`recency_ranking`] order (soonest-to-evict
+/// first, so the incoming policy ends up protecting what the outgoing one
+/// protected; frame order is the fallback when the outgoing policy exports
+/// no ranking), then the shared [`FrameTable`] is carried over verbatim so
+/// pins, ownership, the per-application ledger and the [`PolicyStats`]
+/// counters all survive the switch unchanged. The table carries its atomic
+/// [`RefWords`] with it (shared `Arc`), so reference bits set before the
+/// switch keep protecting their frames when the incoming policy is clock.
+///
+/// [`recency_ranking`]: ReplacementPolicy::recency_ranking
 pub fn migrate(old: &dyn ReplacementPolicy, to: PolicyKind) -> Box<dyn ReplacementPolicy> {
     let table = old.table();
     let mut new = to.build(table.capacity());
-    for (frame, key, owner) in table.resident_entries() {
-        new.on_insert(frame, key, owner);
+    let order = old
+        .recency_ranking()
+        .unwrap_or_else(|| table.resident_entries().iter().map(|&(f, _, _)| f).collect());
+    for frame in order {
+        if table.is_resident(frame) {
+            new.on_insert(frame, table.key_of(frame), table.owner_of(frame));
+        }
     }
     *new.table_mut() = table.clone();
     new
@@ -683,6 +782,74 @@ mod tests {
                 assert!(new.table().evictable(c), "{from}->{to}: bad candidate {c}");
             }
         }
+    }
+
+    #[test]
+    fn recency_ranking_covers_residency_without_consuming_state() {
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build(8);
+            for f in 0..6u32 {
+                p.on_insert(f, 100 + f as u64, AppId(f % 2));
+            }
+            p.on_access(1, 101, AppId(1));
+            p.table().ref_words().touch(2, AppId(0));
+            let Some(order) = p.recency_ranking() else {
+                panic!("{kind}: every built-in policy exports a ranking");
+            };
+            let set: std::collections::BTreeSet<u32> = order.iter().copied().collect();
+            assert_eq!(
+                set,
+                p.table().resident_frames().into_iter().collect(),
+                "{kind}: ranking must cover exactly the resident set"
+            );
+            assert_eq!(order.len(), 6, "{kind}: ranking has duplicates");
+            assert_eq!(
+                p.recency_ranking().unwrap(),
+                order,
+                "{kind}: exporting the ranking must not consume ranking state"
+            );
+            assert!(
+                p.table().ref_words().is_referenced(2),
+                "{kind}: ranking export consumed a reference bit"
+            );
+        }
+    }
+
+    #[test]
+    fn migrate_preserves_recency_order() {
+        let mut p = PolicyKind::ExactLru.build(8);
+        for f in 0..6u32 {
+            p.on_insert(f, 500 + f as u64, AppId::UNKNOWN);
+        }
+        // Touch in an order that diverges from frame-index order.
+        p.on_access(0, 500, AppId::UNKNOWN);
+        p.on_access(3, 503, AppId::UNKNOWN);
+        let want = p.recency_ranking().unwrap();
+        assert_eq!(want, vec![1, 2, 4, 5, 0, 3]);
+        let mut new = migrate(p.as_ref(), PolicyKind::ExactLru);
+        assert_eq!(new.recency_ranking().unwrap(), want, "LRU order must survive the switch");
+        new.begin_scan();
+        assert_eq!(new.next_candidate(None), Some(1), "victim choice carries over");
+    }
+
+    #[test]
+    fn epoch_observation_merges_by_kind_and_app() {
+        let mut a = EpochObservation {
+            live: Some(PolicyKind::Clock),
+            ghost_epoch: vec![(PolicyKind::Clock, 3, 10), (PolicyKind::Arc, 5, 10)],
+            refaults: vec![(AppId(0), 2)],
+        };
+        let b = EpochObservation {
+            live: Some(PolicyKind::Clock),
+            ghost_epoch: vec![(PolicyKind::Arc, 1, 4), (PolicyKind::Lfu, 2, 4)],
+            refaults: vec![(AppId(0), 1), (AppId(1), 7)],
+        };
+        a.merge(&b);
+        assert_eq!(
+            a.ghost_epoch,
+            vec![(PolicyKind::Clock, 3, 10), (PolicyKind::Arc, 6, 14), (PolicyKind::Lfu, 2, 4)]
+        );
+        assert_eq!(a.refaults, vec![(AppId(0), 3), (AppId(1), 7)]);
     }
 
     #[test]

@@ -122,6 +122,10 @@ impl ReplacementPolicy for ExactLru {
         }
         None
     }
+
+    fn recency_ranking(&self) -> Option<Vec<u32>> {
+        Some(self.lru_order())
+    }
 }
 
 #[cfg(test)]

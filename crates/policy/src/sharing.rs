@@ -148,6 +148,19 @@ impl ReplacementPolicy for SharingAware {
         None
     }
 
+    fn recency_ranking(&self) -> Option<Vec<u32>> {
+        // Scan order without the scan's side effects: the app-touch masks
+        // are *read* (`app_mask`), not consumed — exporting a ranking for
+        // migration must not retire undrained sharing evidence.
+        let mut order = self.table.resident_frames();
+        order.sort_by_key(|&f| {
+            let mask =
+                self.apps[f as usize] | self.aged[f as usize] | self.table.ref_words().app_mask(f);
+            (mask.count_ones(), self.last[f as usize])
+        });
+        Some(order)
+    }
+
     fn epoch_tick(&mut self, _quotas: &[(AppId, usize)]) -> Vec<crate::QuotaUpdate> {
         // Age the referent masks: the live generation becomes the aged one
         // and a fresh epoch starts. A referent seen two epochs ago is

@@ -137,6 +137,20 @@ impl ReplacementPolicy for TwoQ {
         }
         None
     }
+
+    fn recency_ranking(&self) -> Option<Vec<u32>> {
+        // Same composition begin_scan would pick right now: the queue
+        // that drains first ranks as least protected.
+        let mut order = Vec::with_capacity(self.a1in.len() + self.am.len());
+        if self.a1in.len() >= self.kin {
+            order.extend(self.a1in.iter());
+            order.extend(self.am.iter());
+        } else {
+            order.extend(self.am.iter());
+            order.extend(self.a1in.iter());
+        }
+        Some(order)
+    }
 }
 
 #[cfg(test)]
